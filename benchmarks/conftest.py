@@ -1,0 +1,91 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's tables or figures.
+Simulations are expensive, so they run once per pytest session through the
+``scenario_cache`` fixture (memoised by scenario label); the ``benchmark``
+fixture then measures the paper's dominant cost — the connectivity analysis
+of a routing-table snapshot — on the data produced by those simulations.
+
+Each module writes its reproduced rows/series to
+``benchmarks/output/<artefact>.txt`` so the numbers referenced in
+EXPERIMENTS.md can be regenerated with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.scenarios import Scenario
+
+#: Root seed of every benchmark simulation (fixed for reproducibility).
+BENCH_SEED = 42
+#: Scale profile used by the harness; see DESIGN.md for the substitution.
+BENCH_PROFILE = "bench"
+#: Directory that receives the reproduced tables/figures as text files.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+class ScenarioCache:
+    """Session-wide memo of scenario runs, keyed by the scenario label."""
+
+    def __init__(self, profile_name: str = BENCH_PROFILE, seed: int = BENCH_SEED) -> None:
+        self.profile = get_profile(profile_name)
+        self.seed = seed
+        self._runner = ExperimentRunner(
+            profile=self.profile, seed=seed, keep_snapshots=True
+        )
+        self._results: Dict[str, ExperimentResult] = {}
+
+    def run(self, scenario: Scenario) -> ExperimentResult:
+        """Run ``scenario`` (or return the cached result of an earlier run)."""
+        key = scenario.label()
+        if key not in self._results:
+            self._results[key] = self._runner.run(scenario)
+        return self._results[key]
+
+    def analyzer(self):
+        """A fresh connectivity analyzer configured like the runner's."""
+        return self._runner.build_analyzer()
+
+
+@pytest.fixture(scope="session")
+def scenario_cache() -> ScenarioCache:
+    """Session-scoped cache of scenario runs shared by all benchmarks."""
+    return ScenarioCache()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory for the reproduced tables/figures."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artefact(output_dir: Path, name: str, content: str) -> None:
+    """Write a reproduced table/figure to the output directory and echo it."""
+    path = output_dir / name
+    path.write_text(content + "\n", encoding="utf-8")
+    print(f"\n[reproduced -> {path}]\n{content}")
+
+
+def benchmark_final_snapshot_analysis(benchmark, cache: ScenarioCache, result):
+    """Benchmark the connectivity analysis of a run's final snapshot.
+
+    This is the step the paper spends cluster-hours on; benchmarking it per
+    figure keeps the timing comparable across scenarios while the simulation
+    itself runs only once (in the session cache).
+    """
+    snapshot = result.snapshots[-1]
+    analyzer = cache.analyzer()
+    report = benchmark.pedantic(
+        lambda: analyzer.analyze_snapshot(snapshot.routing_tables),
+        rounds=1,
+        iterations=1,
+    )
+    return report

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only exists so
+`pip install -e . --no-use-pep517` (legacy editable install) works offline.
+"""
+from setuptools import setup
+
+setup()

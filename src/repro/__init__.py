@@ -1,0 +1,70 @@
+"""repro — reproduction of *Evaluating Connection Resilience for the Overlay
+Network Kademlia* (Heck, Kieselmann, Wacker; 2017).
+
+The package bundles everything the paper's evaluation pipeline needs, built
+from scratch in pure Python:
+
+``repro.graph``
+    A small directed-graph library with max-flow solvers (highest-label
+    push-relabel, Dinic, Edmonds-Karp), Even's vertex-splitting
+    transformation, DIMACS I/O and the usual traversal helpers.
+
+``repro.simulator``
+    A deterministic discrete-event simulation engine (the PeerSim
+    substitute): event queue, simulated clock, message transport with
+    latency and loss, protocol and control hooks.
+
+``repro.kademlia``
+    The Kademlia protocol itself — XOR metric, k-buckets, routing tables,
+    iterative lookups with request parallelism ``alpha``, data
+    dissemination, bucket refresh and staleness handling.
+
+``repro.churn``
+    Environment models: random bootstrap, churn scenarios, traffic
+    generation and message-loss scenarios.
+
+``repro.core``
+    The paper's primary contribution — connectivity-graph construction,
+    vertex connectivity (pairwise and global, exact or sampled) and the
+    resilience model ``kappa(D) > r >= a``.
+
+``repro.experiments``
+    Scenario registry for the paper's Simulations A–L, the phase schedule
+    (setup / stabilisation / churn), the runner and report generators for
+    every table and figure.
+
+``repro.analysis``
+    Statistics (mean, relative variance), series aggregation and ASCII
+    rendering of the figures.
+"""
+
+from repro.core.analyzer import ConnectivityAnalyzer, ConnectivityReport
+from repro.core.resilience import ResilienceModel, required_bucket_size, resilience_of
+from repro.core.vertex_connectivity import (
+    global_vertex_connectivity,
+    pairwise_vertex_connectivity,
+)
+from repro.graph.digraph import DiGraph
+from repro.kademlia.config import KademliaConfig
+from repro.experiments.scenarios import Scenario, ScenarioRegistry, get_scenario
+from repro.experiments.runner import ExperimentRunner, ExperimentResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConnectivityAnalyzer",
+    "ConnectivityReport",
+    "DiGraph",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "KademliaConfig",
+    "ResilienceModel",
+    "Scenario",
+    "ScenarioRegistry",
+    "get_scenario",
+    "global_vertex_connectivity",
+    "pairwise_vertex_connectivity",
+    "required_bucket_size",
+    "resilience_of",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Text rendering of figure data.
+
+The paper's figures are line charts; the benchmark harness regenerates the
+underlying series and prints them as aligned tables (one row per snapshot
+time, one column per curve) plus an optional coarse ASCII chart, so the
+shape of each curve can be eyeballed directly from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def render_series_table(
+    times: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    float_format: str = "{:.1f}",
+    time_label: str = "time (min)",
+) -> str:
+    """Render aligned columns: time plus one column per named series.
+
+    All series must have the same length as ``times``.
+    """
+    for name, values in series.items():
+        if len(values) != len(times):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(times)} times"
+            )
+    headers = [time_label] + list(series)
+    rows: List[List[str]] = []
+    for i, t in enumerate(times):
+        row = [float_format.format(t)]
+        for name in series:
+            row.append(float_format.format(series[name][i]))
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.rjust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_ascii_chart(
+    values: Sequence[float],
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Render a single series as a coarse ASCII bar chart (one column per value)."""
+    if height <= 0:
+        raise ValueError("height must be positive")
+    if not values:
+        return f"{label}(empty series)"
+    top = max(values)
+    if top <= 0:
+        top = 1.0
+    lines: List[str] = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        row = "".join("█" if value >= threshold else " " for value in values)
+        lines.append(f"{threshold:8.1f} |{row}")
+    lines.append(" " * 9 + "+" + "-" * len(values))
+    if label:
+        lines.insert(0, label)
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a generic table with string conversion and right alignment."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in str_rows)) if str_rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[i].rjust(widths[i]) for i in range(len(headers))),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

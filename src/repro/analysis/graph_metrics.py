@@ -1,0 +1,174 @@
+"""Structural metrics of connectivity graphs.
+
+The paper's related work (Salah & Strufe; Salah, Roos & Strufe) characterises
+KAD/Kademlia connectivity graphs statistically instead of computing the
+exact vertex connectivity.  These metrics complement the exact analysis in
+:mod:`repro.core`: they are cheap, they explain *why* a snapshot has low or
+high connectivity (degree floors, asymmetry, unreachable nodes), and the
+examples print them next to the connectivity report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.analysis.statistics import mean
+from repro.graph.algorithms.components import strongly_connected_components
+from repro.graph.algorithms.traversal import bfs_distances
+from repro.graph.digraph import DiGraph
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class DegreeDistribution:
+    """Summary of a degree sequence."""
+
+    minimum: int
+    maximum: int
+    average: float
+    median: float
+    percentile_5: float
+    percentile_95: float
+
+    @classmethod
+    def from_degrees(cls, degrees: Sequence[int]) -> "DegreeDistribution":
+        """Summarise a non-empty degree sequence."""
+        if not degrees:
+            return cls(0, 0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(degrees)
+        return cls(
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            average=mean(ordered),
+            median=_percentile(ordered, 0.5),
+            percentile_5=_percentile(ordered, 0.05),
+            percentile_95=_percentile(ordered, 0.95),
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return float(ordered[index])
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """Structural snapshot metrics reported next to the connectivity."""
+
+    vertex_count: int
+    edge_count: int
+    in_degrees: DegreeDistribution
+    out_degrees: DegreeDistribution
+    reciprocity: float
+    strongly_connected_components: int
+    largest_scc_fraction: float
+    estimated_average_path_length: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary representation (for reports)."""
+        return {
+            "vertex_count": self.vertex_count,
+            "edge_count": self.edge_count,
+            "min_in_degree": self.in_degrees.minimum,
+            "mean_in_degree": round(self.in_degrees.average, 2),
+            "max_in_degree": self.in_degrees.maximum,
+            "min_out_degree": self.out_degrees.minimum,
+            "mean_out_degree": round(self.out_degrees.average, 2),
+            "max_out_degree": self.out_degrees.maximum,
+            "reciprocity": round(self.reciprocity, 3),
+            "strongly_connected_components": self.strongly_connected_components,
+            "largest_scc_fraction": round(self.largest_scc_fraction, 3),
+            "estimated_average_path_length": (
+                None
+                if self.estimated_average_path_length is None
+                else round(self.estimated_average_path_length, 2)
+            ),
+        }
+
+
+def compute_graph_metrics(
+    graph: DiGraph,
+    path_length_samples: int = 20,
+    rng: Optional[random.Random] = None,
+) -> GraphMetrics:
+    """Compute :class:`GraphMetrics` for a connectivity graph.
+
+    ``path_length_samples`` BFS runs from random sources estimate the
+    average shortest-path hop count (``None`` for graphs with fewer than two
+    vertices); Kademlia's design goal is O(log n) hops, which the examples
+    use as a sanity check of the simulated networks.
+    """
+    vertices = graph.vertices()
+    n = len(vertices)
+    in_degrees = [graph.in_degree(v) for v in vertices]
+    out_degrees = [graph.out_degree(v) for v in vertices]
+
+    if n == 0:
+        scc_count = 0
+        largest_fraction = 0.0
+    else:
+        components = strongly_connected_components(graph)
+        scc_count = len(components)
+        largest_fraction = max(len(c) for c in components) / n
+
+    average_path_length = _estimate_average_path_length(
+        graph, path_length_samples, rng or random.Random(0)
+    )
+
+    return GraphMetrics(
+        vertex_count=n,
+        edge_count=graph.number_of_edges(),
+        in_degrees=DegreeDistribution.from_degrees(in_degrees),
+        out_degrees=DegreeDistribution.from_degrees(out_degrees),
+        reciprocity=graph.symmetry_ratio(),
+        strongly_connected_components=scc_count,
+        largest_scc_fraction=largest_fraction,
+        estimated_average_path_length=average_path_length,
+    )
+
+
+def _estimate_average_path_length(
+    graph: DiGraph, samples: int, rng: random.Random
+) -> Optional[float]:
+    """Mean hop distance over BFS trees from up to ``samples`` random sources."""
+    vertices = graph.vertices()
+    if len(vertices) < 2 or samples <= 0:
+        return None
+    sources = vertices if len(vertices) <= samples else rng.sample(vertices, samples)
+    distances: List[int] = []
+    for source in sources:
+        reached = bfs_distances(graph, source)
+        distances.extend(d for target, d in reached.items() if target != source)
+    if not distances:
+        return None
+    return mean(distances)
+
+
+def routing_table_occupancy(
+    routing_tables: Dict[int, Sequence[int]], bucket_capacity: int
+) -> Dict[str, float]:
+    """Occupancy statistics of a snapshot's routing tables.
+
+    Reports how full the tables are relative to a single bucket's capacity
+    ``k`` — the quantity the paper's connectivity levels track ("the network
+    connectivity strongly correlates with the bucket size k").
+    """
+    if bucket_capacity <= 0:
+        raise ValueError("bucket_capacity must be positive")
+    sizes = [len(contacts) for contacts in routing_tables.values()]
+    if not sizes:
+        return {"nodes": 0, "mean_contacts": 0.0, "min_contacts": 0,
+                "max_contacts": 0, "mean_buckets_worth": 0.0}
+    return {
+        "nodes": len(sizes),
+        "mean_contacts": mean(sizes),
+        "min_contacts": min(sizes),
+        "max_contacts": max(sizes),
+        "mean_buckets_worth": mean(sizes) / bucket_capacity,
+    }

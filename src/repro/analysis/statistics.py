@@ -1,0 +1,76 @@
+"""Basic statistics used by the evaluation tables.
+
+The only non-standard quantity is the *relative variance* (RV), defined by
+the paper as variance divided by mean (Table 2).  The paper uses it to show
+that stronger churn increases the variability of the minimum connectivity
+relative to its level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean of an empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def population_variance(values: Sequence[float]) -> float:
+    """Population variance (divide by N)."""
+    if not values:
+        raise ValueError("variance of an empty sequence is undefined")
+    mu = mean(values)
+    return sum((value - mu) ** 2 for value in values) / len(values)
+
+
+def sample_variance(values: Sequence[float]) -> float:
+    """Sample variance (divide by N - 1); needs at least two values."""
+    if len(values) < 2:
+        raise ValueError("sample variance needs at least two values")
+    mu = mean(values)
+    return sum((value - mu) ** 2 for value in values) / (len(values) - 1)
+
+
+def standard_deviation(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    return math.sqrt(population_variance(values))
+
+
+def relative_variance(values: Sequence[float]) -> float:
+    """Variance divided by mean — the paper's "RV" statistic (Table 2).
+
+    Defined as 0.0 when the sequence is empty or its mean is 0; the paper
+    reports RV = 0.00 for the size-2500, k=5 rows whose minimum
+    connectivity is zero throughout the churn phase.
+    """
+    if not values:
+        return 0.0
+    mu = mean(values)
+    if mu == 0:
+        return 0.0
+    return population_variance(values) / mu
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return a small summary dictionary (count/mean/min/max/variance/RV)."""
+    if not values:
+        return {
+            "count": 0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "variance": 0.0,
+            "relative_variance": 0.0,
+        }
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "min": min(values),
+        "max": max(values),
+        "variance": population_variance(values),
+        "relative_variance": relative_variance(values),
+    }

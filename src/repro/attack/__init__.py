@@ -1,0 +1,37 @@
+"""Attacker model and empirical resilience validation.
+
+The paper's system model (Section 3) assumes an attacker who can compromise
+up to ``a`` nodes at any time; a compromised node can impersonate the node
+and refuse to forward or answer requests.  Equation 2 states that a network
+whose connectivity graph has vertex connectivity ``kappa(D) > a`` still
+offers a communication path between every pair of un-compromised nodes.
+
+This package makes that claim executable:
+
+* :mod:`repro.attack.adversary` — strategies for choosing which nodes to
+  compromise (random, highest-degree, lowest-degree, targeted cut);
+* :mod:`repro.attack.evaluation` — remove the compromised vertices from a
+  connectivity graph and check whether the surviving nodes can still reach
+  each other, empirically validating (or falsifying) the resilience
+  prediction for concrete snapshots.
+"""
+
+from repro.attack.adversary import (
+    Adversary,
+    highest_degree_strategy,
+    lowest_degree_strategy,
+    min_cut_strategy,
+    random_strategy,
+)
+from repro.attack.evaluation import AttackOutcome, evaluate_attack, resilience_curve
+
+__all__ = [
+    "Adversary",
+    "AttackOutcome",
+    "evaluate_attack",
+    "highest_degree_strategy",
+    "lowest_degree_strategy",
+    "min_cut_strategy",
+    "random_strategy",
+    "resilience_curve",
+]

@@ -1,0 +1,189 @@
+"""Adversary strategies: which nodes does the attacker compromise?
+
+The paper only bounds the attacker's budget ``a`` and derives the worst case
+from the graph connectivity (any ``a`` nodes can be compromised).  For the
+empirical validation it is useful to instantiate concrete strategies:
+
+* ``random`` — the baseline corresponding to uncorrelated failures
+  (maintenance, defects, power outages; Section 3 notes these are
+  indistinguishable from attacks);
+* ``highest-degree`` — a strong heuristic attacker going after the
+  best-connected nodes;
+* ``lowest-degree`` — targets poorly connected nodes (cheap to isolate);
+* ``min-cut`` — the strongest attacker considered here: compromises an
+  actual minimum vertex cut between some weakly connected pair, i.e. it
+  realises the bound of Equation 2 with equality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.core.vertex_connectivity import (
+    lowest_in_degree_vertices,
+    lowest_out_degree_vertices,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.maxflow.dinic import dinic_on_network
+from repro.graph.maxflow.residual import ResidualNetwork
+from repro.graph.transform.even_transform import even_transform
+
+Vertex = Hashable
+Strategy = Callable[[DiGraph, int, random.Random], List[Vertex]]
+
+
+def random_strategy(graph: DiGraph, budget: int, rng: random.Random) -> List[Vertex]:
+    """Compromise ``budget`` uniformly random nodes."""
+    vertices = graph.vertices()
+    budget = min(budget, len(vertices))
+    return rng.sample(vertices, budget)
+
+
+def highest_degree_strategy(
+    graph: DiGraph, budget: int, rng: random.Random
+) -> List[Vertex]:
+    """Compromise the nodes with the highest total (in + out) degree."""
+    ranked = sorted(
+        graph.vertices(),
+        key=lambda v: graph.in_degree(v) + graph.out_degree(v),
+        reverse=True,
+    )
+    return ranked[:budget]
+
+
+def lowest_degree_strategy(
+    graph: DiGraph, budget: int, rng: random.Random
+) -> List[Vertex]:
+    """Compromise the nodes with the lowest total degree."""
+    ranked = sorted(
+        graph.vertices(), key=lambda v: graph.in_degree(v) + graph.out_degree(v)
+    )
+    return ranked[:budget]
+
+
+def min_cut_strategy(graph: DiGraph, budget: int, rng: random.Random) -> List[Vertex]:
+    """Compromise a minimum vertex cut (up to ``budget`` nodes).
+
+    The strategy picks the weakest-looking source/target pair (smallest
+    out-degree source, smallest in-degree target, non-adjacent), computes a
+    minimum vertex cut between them via the Even-transformed max flow, and
+    compromises the cut vertices.  If the cut is larger than the budget the
+    lexicographically first ``budget`` cut vertices are taken (the attack is
+    then expected to fail, which the evaluation will report).
+    """
+    n = graph.number_of_vertices()
+    if n < 3 or budget <= 0:
+        return []
+    # Vertices with no outgoing (or incoming) edges are already cut off; a
+    # cut between them and anyone else is empty and not worth attacking.
+    sources = [
+        v for v in lowest_out_degree_vertices(graph, max(3, n // 10) + n)
+        if graph.out_degree(v) > 0
+    ][: max(3, n // 10)]
+    targets = [
+        v for v in lowest_in_degree_vertices(graph, max(3, n // 10) + n)
+        if graph.in_degree(v) > 0
+    ][: max(3, n // 10)]
+    pair = None
+    for source in sources:
+        for target in targets:
+            if source != target and not graph.has_edge(source, target):
+                pair = (source, target)
+                break
+        if pair:
+            break
+    if pair is None:
+        return random_strategy(graph, budget, rng)
+
+    source, target = pair
+    transform = even_transform(graph)
+    # For *extracting* the cut (not just its size) the original edges get an
+    # effectively infinite capacity so the minimum cut consists of internal
+    # (v' -> v'') edges only, i.e. of vertices.
+    for edge_source, edge_target, _capacity in graph.edges():
+        transform.graph.add_edge(
+            transform.outgoing[edge_source],
+            transform.incoming[edge_target],
+            capacity=float(n),
+        )
+    network = ResidualNetwork(transform.graph)
+    flow_source = network.index_of(transform.outgoing[source])
+    flow_target = network.index_of(transform.incoming[target])
+    dinic_on_network(network, flow_source, flow_target)
+
+    # Vertices whose internal edge (v' -> v'') is saturated and that lie on
+    # the source side of the residual cut form a minimum vertex cut.
+    reachable = set(network.min_cut_reachable(flow_source))
+    cut: List[Vertex] = []
+    for vertex in graph.vertices():
+        if vertex in (source, target):
+            continue
+        v_in = network.index_of(transform.incoming[vertex])
+        v_out = network.index_of(transform.outgoing[vertex])
+        if v_in in reachable and v_out not in reachable:
+            cut.append(vertex)
+    if not cut:
+        return random_strategy(graph, budget, rng)
+    return cut[:budget]
+
+
+_STRATEGIES = {
+    "random": random_strategy,
+    "highest-degree": highest_degree_strategy,
+    "lowest-degree": lowest_degree_strategy,
+    "min-cut": min_cut_strategy,
+}
+
+
+@dataclass
+class Adversary:
+    """An attacker with a node budget and a target-selection strategy.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of nodes the attacker can compromise at any time
+        (the paper's ``a``).
+    strategy:
+        Either a strategy name (``"random"``, ``"highest-degree"``,
+        ``"lowest-degree"``, ``"min-cut"``) or a callable
+        ``(graph, budget, rng) -> list of vertices``.
+    seed:
+        Seed of the attacker's own random stream.
+    """
+
+    budget: int
+    strategy: object = "random"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError(f"attacker budget must be non-negative, got {self.budget}")
+        if isinstance(self.strategy, str):
+            if self.strategy not in _STRATEGIES:
+                raise ValueError(
+                    f"unknown strategy {self.strategy!r}; "
+                    f"available: {sorted(_STRATEGIES)}"
+                )
+            self._select: Strategy = _STRATEGIES[self.strategy]
+        elif callable(self.strategy):
+            self._select = self.strategy  # type: ignore[assignment]
+        else:
+            raise TypeError("strategy must be a name or a callable")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def strategy_name(self) -> str:
+        """Human-readable strategy name."""
+        return self.strategy if isinstance(self.strategy, str) else getattr(
+            self.strategy, "__name__", "custom"
+        )
+
+    def choose_targets(self, graph: DiGraph) -> List[Vertex]:
+        """Return the nodes the adversary compromises on ``graph``."""
+        if self.budget == 0 or graph.number_of_vertices() == 0:
+            return []
+        targets = self._select(graph, self.budget, self._rng)
+        return targets[: self.budget]

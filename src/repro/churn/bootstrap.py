@@ -1,0 +1,54 @@
+"""Bootstrap (network setup) procedure.
+
+The paper's final setup procedure (Section 5.3): every node joins at a
+random point in time uniformly distributed over the setup phase (0 to 30
+minutes), and its bootstrap node is chosen uniformly at random from the
+nodes that have already joined.  The very first node to join has no
+bootstrap node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.simulator.network import Network
+
+
+@dataclass(frozen=True)
+class BootstrapSchedule:
+    """Join times for the initial network population."""
+
+    join_times: List[float]
+
+    @classmethod
+    def uniform(
+        cls, node_count: int, setup_duration: float, rng: random.Random
+    ) -> "BootstrapSchedule":
+        """Draw ``node_count`` join times uniformly over ``[0, setup_duration)``.
+
+        The returned times are sorted, so the i-th joining node can be
+        bootstrapped from any of the previous ``i - 1`` nodes.
+        """
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        if setup_duration <= 0:
+            raise ValueError("setup_duration must be positive")
+        times = sorted(rng.uniform(0.0, setup_duration) for _ in range(node_count))
+        return cls(join_times=times)
+
+    def __len__(self) -> int:
+        return len(self.join_times)
+
+
+class RandomBootstrapPolicy:
+    """Pick a uniformly random already-joined node as the bootstrap contact."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def select(self, network: Network, joining_id: int) -> Optional[int]:
+        """Return the bootstrap node id for ``joining_id`` (None for the first node)."""
+        candidate = network.random_alive_node(self._rng, exclude=joining_id)
+        return candidate.node_id if candidate is not None else None

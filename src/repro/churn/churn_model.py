@@ -1,0 +1,82 @@
+"""Churn scenarios.
+
+The paper uses three churn scenarios, written ``adds/removes`` per simulated
+minute: ``0/1`` (one node leaves per minute, none join), ``1/1`` and
+``10/10``.  Actions happen "at random points in time within each minute
+range" (Section 5.3); :meth:`ChurnScenario.minute_actions` reproduces that by
+drawing one uniform time per action inside the minute and interleaving joins
+and leaves in time order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Action kinds produced by :meth:`ChurnScenario.minute_actions`.
+JOIN = "join"
+LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class ChurnScenario:
+    """A per-minute node join/leave rate."""
+
+    name: str
+    joins_per_minute: int
+    leaves_per_minute: int
+
+    def __post_init__(self) -> None:
+        if self.joins_per_minute < 0 or self.leaves_per_minute < 0:
+            raise ValueError("churn rates must be non-negative")
+
+    @property
+    def is_active(self) -> bool:
+        """True if the scenario adds or removes any nodes at all."""
+        return self.joins_per_minute > 0 or self.leaves_per_minute > 0
+
+    def minute_actions(
+        self, minute_start: float, rng: random.Random
+    ) -> List[Tuple[float, str]]:
+        """Return the churn actions of one minute as ``(time, kind)`` pairs.
+
+        Times are uniform in ``[minute_start, minute_start + 1)`` and the
+        returned list is sorted by time, so joins and leaves interleave the
+        way they would in a real deployment.
+        """
+        actions = [
+            (minute_start + rng.random(), JOIN) for _ in range(self.joins_per_minute)
+        ]
+        actions.extend(
+            (minute_start + rng.random(), LEAVE)
+            for _ in range(self.leaves_per_minute)
+        )
+        actions.sort(key=lambda pair: pair[0])
+        return actions
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChurnScenario":
+        """Parse an ``"adds/removes"`` string such as ``"10/10"``."""
+        parts = spec.split("/")
+        if len(parts) != 2:
+            raise ValueError(f"churn spec must look like 'adds/removes', got {spec!r}")
+        joins, leaves = int(parts[0]), int(parts[1])
+        return cls(name=spec, joins_per_minute=joins, leaves_per_minute=leaves)
+
+
+#: The paper's churn scenarios plus the churn-free baseline used by
+#: Simulation J.
+CHURN_SCENARIOS: Dict[str, ChurnScenario] = {
+    "none": ChurnScenario("none", 0, 0),
+    "0/1": ChurnScenario("0/1", 0, 1),
+    "1/1": ChurnScenario("1/1", 1, 1),
+    "10/10": ChurnScenario("10/10", 10, 10),
+}
+
+
+def get_churn_scenario(name: str) -> ChurnScenario:
+    """Return a named (or parseable) churn scenario."""
+    if name in CHURN_SCENARIOS:
+        return CHURN_SCENARIOS[name]
+    return ChurnScenario.parse(name)

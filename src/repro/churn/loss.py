@@ -1,0 +1,75 @@
+"""Message-loss scenarios (paper Table 1).
+
+The paper defines loss in terms of the probability that a *two-way*
+request/response exchange fails, and derives the per-one-way-message
+probability from it: ``P_2way = 1 - (1 - P_1way)**2``.  The four scenarios:
+
+=========  ============  ============
+scenario   P_loss 1-way  P_loss 2-way
+=========  ============  ============
+none            0.0 %          0 %
+low             2.5 %          5 %
+medium         13.4 %         25 %
+high           29.3 %         50 %
+=========  ============  ============
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MessageLossModel:
+    """A named per-one-way-message Bernoulli loss probability."""
+
+    name: str
+    one_way_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.one_way_probability < 1.0:
+            raise ValueError(
+                f"one_way_probability must be in [0, 1), got {self.one_way_probability}"
+            )
+
+    @property
+    def two_way_probability(self) -> float:
+        """Probability that a request/response round-trip fails due to loss."""
+        return 1.0 - (1.0 - self.one_way_probability) ** 2
+
+    @classmethod
+    def from_two_way(cls, name: str, two_way_probability: float) -> "MessageLossModel":
+        """Build a model from the two-way failure probability.
+
+        Inverts ``P_2way = 1 - (1 - P_1way)**2``, which is how the paper's
+        Table 1 derives the 2.5 / 13.4 / 29.3 % one-way values from the
+        5 / 25 / 50 % two-way targets.
+        """
+        if not 0.0 <= two_way_probability < 1.0:
+            raise ValueError(
+                f"two_way_probability must be in [0, 1), got {two_way_probability}"
+            )
+        one_way = 1.0 - math.sqrt(1.0 - two_way_probability)
+        return cls(name=name, one_way_probability=one_way)
+
+
+#: The paper's four loss scenarios, keyed by name.  One-way probabilities are
+#: quoted exactly as printed in Table 1 (rounded to 0.1 %).
+LOSS_SCENARIOS: Dict[str, MessageLossModel] = {
+    "none": MessageLossModel("none", 0.0),
+    "low": MessageLossModel("low", 0.025),
+    "medium": MessageLossModel("medium", 0.134),
+    "high": MessageLossModel("high", 0.293),
+}
+
+
+def get_loss_model(name: str) -> MessageLossModel:
+    """Return the named loss scenario; raises ``KeyError`` with guidance."""
+    try:
+        return LOSS_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown loss scenario {name!r}; available: {sorted(LOSS_SCENARIOS)}"
+        ) from None

@@ -1,0 +1,76 @@
+"""Data-traffic model.
+
+In the paper's "with data traffic" scenarios every node performs 10 lookup
+procedures and 1 dissemination procedure per minute, at random points in
+time within the minute (Section 5.3).  Without data traffic only the
+periodic bucket refresh generates messages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Action kinds produced by :meth:`TrafficModel.minute_actions`.
+LOOKUP = "lookup"
+DISSEMINATE = "disseminate"
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Per-node, per-minute traffic rates.
+
+    Attributes
+    ----------
+    enabled:
+        False models the paper's "without data traffic" scenarios.
+    lookups_per_node_per_minute / disseminations_per_node_per_minute:
+        Rates used when traffic is enabled.  The paper uses 10 and 1; the
+        scaled benchmark profiles reduce the lookup rate proportionally to
+        the compressed time axis (see ``repro.experiments.profiles``).
+    """
+
+    enabled: bool = True
+    lookups_per_node_per_minute: float = 10.0
+    disseminations_per_node_per_minute: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lookups_per_node_per_minute < 0:
+            raise ValueError("lookup rate must be non-negative")
+        if self.disseminations_per_node_per_minute < 0:
+            raise ValueError("dissemination rate must be non-negative")
+
+    @classmethod
+    def disabled(cls) -> "TrafficModel":
+        """The paper's "without data traffic" scenario."""
+        return cls(enabled=False, lookups_per_node_per_minute=0.0,
+                   disseminations_per_node_per_minute=0.0)
+
+    @classmethod
+    def paper_default(cls) -> "TrafficModel":
+        """10 lookups and 1 dissemination per node and minute."""
+        return cls(enabled=True)
+
+    def minute_actions(
+        self, minute_start: float, rng: random.Random
+    ) -> List[Tuple[float, str]]:
+        """Return one node's traffic actions for one minute, time-ordered.
+
+        Fractional rates are handled stochastically: a rate of 2.5 performs
+        2 actions plus a third with probability 0.5, which is how the scaled
+        profiles keep the *expected* per-minute load proportional.
+        """
+        if not self.enabled:
+            return []
+        actions: List[Tuple[float, str]] = []
+        for rate, kind in (
+            (self.lookups_per_node_per_minute, LOOKUP),
+            (self.disseminations_per_node_per_minute, DISSEMINATE),
+        ):
+            count = int(rate)
+            if rng.random() < rate - count:
+                count += 1
+            actions.extend((minute_start + rng.random(), kind) for _ in range(count))
+        actions.sort(key=lambda pair: pair[0])
+        return actions

@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Subcommands:
+
+``run``
+    Run one of the paper's scenarios (A–L) and print its summary and
+    connectivity time series.
+
+``sweep-k``
+    Run a scenario once per bucket size and print the figure-style series
+    (the k-sweep of Figures 2–9).
+
+``table1`` / ``table2``
+    Print the reproduced Table 1 (definitional) and Table 2 (from fresh
+    Simulations E–H runs).
+
+``analyze-snapshot``
+    Analyze a routing-table snapshot JSON file: connectivity, resilience.
+
+``export-dimacs``
+    Convert a snapshot JSON file into the DIMACS max-flow format of its
+    Even-transformed connectivity graph (the paper's HIPR input format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analyzer import ConnectivityAnalyzer
+from repro.experiments.profiles import PROFILES
+from repro.experiments.report import (
+    format_figure,
+    format_summaries,
+    format_table1,
+    format_table2,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import PAPER_BUCKET_SIZES, get_scenario
+from repro.experiments.snapshot import RoutingTableSnapshot
+from repro.experiments.sweep import run_bucket_size_sweep
+from repro.graph.io.dimacs import write_dimacs
+from repro.graph.transform.even_transform import even_transform
+from repro.analysis.figures import render_series_table
+
+
+def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="bench", choices=sorted(PROFILES),
+        help="scale profile (default: bench; 'paper' uses the original sizes)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="root random seed")
+    parser.add_argument(
+        "--bucket-size", type=int, default=None,
+        help="override the Kademlia bucket size k",
+    )
+    parser.add_argument(
+        "--alpha", type=int, default=None, help="override the request parallelism"
+    )
+    parser.add_argument(
+        "--staleness", type=int, default=None, help="override the staleness limit s"
+    )
+    parser.add_argument(
+        "--loss", default=None, choices=["none", "low", "medium", "high"],
+        help="override the message loss scenario",
+    )
+
+
+def _apply_overrides(scenario, args):
+    overrides = {}
+    if args.bucket_size is not None:
+        overrides["bucket_size"] = args.bucket_size
+    if args.alpha is not None:
+        overrides["alpha"] = args.alpha
+    if args.staleness is not None:
+        overrides["staleness_limit"] = args.staleness
+    if args.loss is not None:
+        overrides["loss"] = args.loss
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _apply_overrides(get_scenario(args.scenario), args)
+    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
+    result = runner.run(scenario)
+    print(format_summaries([result]))
+    print()
+    rows = result.series.to_rows()
+    print(render_series_table(
+        [row["time"] for row in rows],
+        {
+            "Min": [row["min"] for row in rows],
+            "Avg": [row["avg"] for row in rows],
+            "Network size": [row["network_size"] for row in rows],
+        },
+    ))
+    return 0
+
+
+def _cmd_sweep_k(args: argparse.Namespace) -> int:
+    scenario = _apply_overrides(get_scenario(args.scenario), args)
+    results = run_bucket_size_sweep(
+        scenario, bucket_sizes=args.k, profile=args.profile, seed=args.seed
+    )
+    print(format_figure(results, f"Scenario {scenario.name}: bucket-size sweep"))
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
+    results = []
+    for name in ("E", "F", "G", "H"):
+        base = get_scenario(name)
+        for k in args.k:
+            results.append(runner.run(base.with_overrides(bucket_size=k)))
+    print(format_table2(results))
+    return 0
+
+
+def _cmd_analyze_snapshot(args: argparse.Namespace) -> int:
+    snapshot = RoutingTableSnapshot.load(args.snapshot)
+    analyzer = ConnectivityAnalyzer(
+        source_fraction=None if args.exact else args.sample_fraction,
+        target_fraction=args.sample_fraction,
+    )
+    report = analyzer.analyze_snapshot(snapshot.routing_tables)
+    print(f"snapshot time:        {snapshot.time}")
+    print(f"network size:         {snapshot.network_size}")
+    print(f"minimum connectivity: {report.minimum}")
+    print(f"average connectivity: {report.average:.2f}")
+    print(f"resilience r:         {report.resilience}")
+    print(f"strongly connected:   {report.strongly_connected}")
+    print(f"disconnected nodes:   {report.disconnected_count}")
+    print(f"symmetry ratio:       {report.symmetry_ratio:.3f}")
+    return 0
+
+
+def _cmd_export_dimacs(args: argparse.Namespace) -> int:
+    snapshot = RoutingTableSnapshot.load(args.snapshot)
+    graph = snapshot.to_connectivity_graph()
+    transformed = even_transform(graph).graph
+    write_dimacs(
+        transformed,
+        args.output,
+        comment=f"Even-transformed connectivity graph, t={snapshot.time}",
+    )
+    print(
+        f"wrote {transformed.number_of_vertices()} vertices / "
+        f"{transformed.number_of_edges()} arcs to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kademlia",
+        description="Kademlia connection-resilience reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one scenario (A-L)")
+    run_parser.add_argument("scenario", help="scenario name, e.g. E")
+    _add_common_run_options(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = subparsers.add_parser("sweep-k", help="bucket-size sweep of a scenario")
+    sweep_parser.add_argument("scenario", help="scenario name, e.g. E")
+    sweep_parser.add_argument(
+        "--k", type=int, nargs="+", default=list(PAPER_BUCKET_SIZES),
+        help="bucket sizes to sweep",
+    )
+    _add_common_run_options(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep_k)
+
+    table1_parser = subparsers.add_parser("table1", help="print Table 1 (loss scenarios)")
+    table1_parser.set_defaults(func=_cmd_table1)
+
+    table2_parser = subparsers.add_parser(
+        "table2", help="reproduce Table 2 (mean/RV of min connectivity)"
+    )
+    table2_parser.add_argument(
+        "--k", type=int, nargs="+", default=list(PAPER_BUCKET_SIZES),
+        help="bucket sizes to include",
+    )
+    _add_common_run_options(table2_parser)
+    table2_parser.set_defaults(func=_cmd_table2)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze-snapshot", help="analyze a routing-table snapshot JSON file"
+    )
+    analyze_parser.add_argument("snapshot", help="path to a snapshot JSON file")
+    analyze_parser.add_argument(
+        "--exact", action="store_true", help="exact (all-pairs) connectivity"
+    )
+    analyze_parser.add_argument(
+        "--sample-fraction", type=float, default=0.05,
+        help="source/target sampling fraction (ignored with --exact)",
+    )
+    analyze_parser.set_defaults(func=_cmd_analyze_snapshot)
+
+    dimacs_parser = subparsers.add_parser(
+        "export-dimacs",
+        help="export a snapshot's Even-transformed graph in DIMACS format",
+    )
+    dimacs_parser.add_argument("snapshot", help="path to a snapshot JSON file")
+    dimacs_parser.add_argument("output", help="output DIMACS file path")
+    dimacs_parser.set_defaults(func=_cmd_export_dimacs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

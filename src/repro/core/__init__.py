@@ -1,0 +1,53 @@
+"""Connectivity and resilience analysis — the paper's primary contribution.
+
+The pipeline mirrors Sections 4.2–4.5 of the paper:
+
+1. :mod:`repro.core.connectivity_graph` turns a routing-table snapshot into
+   a directed *connectivity graph* (one vertex per node, an edge ``(v, w)``
+   when ``w`` is in ``v``'s routing table, capacity 1 on every edge);
+2. Even's transformation (:mod:`repro.graph.transform`) reduces
+   vertex-connectivity queries to max-flow queries;
+3. :mod:`repro.core.vertex_connectivity` computes pairwise connectivity
+   ``kappa(v, w)`` and the global connectivity ``kappa(D)`` — exactly, or
+   with the paper's ``c * n`` lowest-out-degree source sampling;
+4. :mod:`repro.core.resilience` converts connectivity into the resilience
+   statement of Equation 2: ``kappa(D) > r >= a``;
+5. :class:`repro.core.analyzer.ConnectivityAnalyzer` packages the above into
+   the object the experiment runner calls at every snapshot, and
+   :mod:`repro.core.timeseries` collects the per-snapshot reports into the
+   time series shown in the paper's figures.
+"""
+
+from repro.core.analyzer import ConnectivityAnalyzer, ConnectivityReport
+from repro.core.connectivity_graph import (
+    build_connectivity_graph,
+    connectivity_graph_from_protocols,
+)
+from repro.core.resilience import (
+    ResilienceModel,
+    required_bucket_size,
+    required_connectivity,
+    resilience_of,
+)
+from repro.core.timeseries import ConnectivitySample, ConnectivityTimeSeries
+from repro.core.vertex_connectivity import (
+    ConnectivityStatistics,
+    global_vertex_connectivity,
+    pairwise_vertex_connectivity,
+)
+
+__all__ = [
+    "ConnectivityAnalyzer",
+    "ConnectivityReport",
+    "ConnectivitySample",
+    "ConnectivityStatistics",
+    "ConnectivityTimeSeries",
+    "ResilienceModel",
+    "build_connectivity_graph",
+    "connectivity_graph_from_protocols",
+    "global_vertex_connectivity",
+    "pairwise_vertex_connectivity",
+    "required_bucket_size",
+    "required_connectivity",
+    "resilience_of",
+]

@@ -1,0 +1,113 @@
+"""Resilience model (paper Section 4.5, Equation 2).
+
+A network is *r-resilient* when it keeps functioning — a path still exists
+between every pair of nodes — with up to ``r`` compromised nodes.  Since
+every compromised node can cut at most one of the ``kappa(D)`` node-disjoint
+paths between a pair, the requirement is
+
+    kappa(D) > r >= a
+
+where ``a`` is the number of nodes an attacker can subvert.  From this:
+
+* the resilience of a measured network is ``r = kappa(D) - 1``;
+* to tolerate ``a`` compromised nodes the network needs ``kappa(D) > a``;
+* and, per the paper's conclusion, the bucket size must satisfy ``k > r``
+  because the achievable connectivity tracks ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+def resilience_of(connectivity: int) -> int:
+    """Return the resilience ``r`` of a network with connectivity ``kappa``.
+
+    ``r = kappa - 1``; a network with connectivity 0 (some pair has no path)
+    has resilience -1 in the strict reading of the formula, which we clamp
+    to 0 compromised nodes tolerated — it cannot even tolerate zero failures
+    for every pair, but a negative count of tolerated nodes is meaningless
+    to report.
+    """
+    if connectivity < 0:
+        raise ValueError(f"connectivity must be non-negative, got {connectivity}")
+    return max(connectivity - 1, 0)
+
+
+def required_connectivity(attacker_budget: int) -> int:
+    """Smallest connectivity that tolerates ``attacker_budget`` compromised nodes.
+
+    ``kappa(D) > a`` means ``kappa(D) >= a + 1``.
+    """
+    if attacker_budget < 0:
+        raise ValueError(f"attacker budget must be non-negative, got {attacker_budget}")
+    return attacker_budget + 1
+
+
+def required_bucket_size(target_resilience: int) -> int:
+    """Smallest bucket size ``k`` recommended for a target resilience ``r``.
+
+    The paper's conclusion: the achievable connectivity strongly correlates
+    with ``k`` and the bucket size needs to be *greater* than ``r``
+    (``k > r``), i.e. at least ``r + 1``.  The paper additionally advises
+    ``k >= 10`` as the minimum for a connected network (Section 5.6), so the
+    returned value never drops below 10.
+    """
+    if target_resilience < 0:
+        raise ValueError(
+            f"target resilience must be non-negative, got {target_resilience}"
+        )
+    return max(target_resilience + 1, 10)
+
+
+@dataclass(frozen=True)
+class ResilienceModel:
+    """Convenience wrapper tying an attacker budget to network requirements.
+
+    Examples
+    --------
+    >>> model = ResilienceModel(attacker_budget=4)
+    >>> model.required_connectivity
+    5
+    >>> model.recommended_bucket_size
+    10
+    >>> model.is_satisfied_by(connectivity=6)
+    True
+    >>> model.is_satisfied_by(connectivity=4)
+    False
+    """
+
+    attacker_budget: int
+
+    def __post_init__(self) -> None:
+        if self.attacker_budget < 0:
+            raise ValueError(
+                f"attacker budget must be non-negative, got {self.attacker_budget}"
+            )
+
+    @property
+    def required_resilience(self) -> int:
+        """The resilience level ``r`` needed: at least the attacker budget."""
+        return self.attacker_budget
+
+    @property
+    def required_connectivity(self) -> int:
+        """The connectivity needed to tolerate the attacker budget."""
+        return required_connectivity(self.attacker_budget)
+
+    @property
+    def recommended_bucket_size(self) -> int:
+        """Bucket size recommendation derived from the paper's conclusion."""
+        return required_bucket_size(self.required_resilience)
+
+    def is_satisfied_by(self, connectivity: int) -> bool:
+        """True if a network with ``connectivity`` tolerates the attacker budget."""
+        return connectivity > self.attacker_budget
+
+    def margin(self, connectivity: int) -> int:
+        """How many extra compromised nodes beyond the budget could be tolerated.
+
+        Negative values quantify the shortfall.
+        """
+        return resilience_of(connectivity) - self.attacker_budget

@@ -1,0 +1,124 @@
+"""Connectivity time series — the data behind every figure of the paper.
+
+Each figure plots, against simulated time, the minimum and average
+connectivity (left axis) and the network size (right axis), for several
+parameter settings.  :class:`ConnectivityTimeSeries` stores one such curve
+(one parameter setting) and provides the aggregations used by Table 2 and
+Figure 10 (mean and relative variance of the minimum connectivity during the
+churn phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.statistics import mean, relative_variance
+from repro.core.analyzer import ConnectivityReport
+
+
+@dataclass(frozen=True)
+class ConnectivitySample:
+    """One snapshot's worth of measurements."""
+
+    time: float
+    network_size: int
+    report: ConnectivityReport
+
+    @property
+    def minimum(self) -> int:
+        """Minimum connectivity at this snapshot."""
+        return self.report.minimum
+
+    @property
+    def average(self) -> float:
+        """Average connectivity at this snapshot."""
+        return self.report.average
+
+
+@dataclass
+class ConnectivityTimeSeries:
+    """A labelled sequence of connectivity samples over simulated time."""
+
+    label: str
+    samples: List[ConnectivitySample] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def append(self, sample: ConnectivitySample) -> None:
+        """Add a sample (samples must be appended in time order)."""
+        if self.samples and sample.time < self.samples[-1].time:
+            raise ValueError(
+                f"samples must be time-ordered: {sample.time} < {self.samples[-1].time}"
+            )
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # ------------------------------------------------------------------
+    def times(self) -> List[float]:
+        """Snapshot times."""
+        return [sample.time for sample in self.samples]
+
+    def minimum_series(self) -> List[int]:
+        """The "Min" curve."""
+        return [sample.minimum for sample in self.samples]
+
+    def average_series(self) -> List[float]:
+        """The "Avg" curve."""
+        return [sample.average for sample in self.samples]
+
+    def network_size_series(self) -> List[int]:
+        """The network-size curve (right axis of the figures)."""
+        return [sample.network_size for sample in self.samples]
+
+    # ------------------------------------------------------------------
+    def window(self, start: float, end: Optional[float] = None) -> "ConnectivityTimeSeries":
+        """Return the sub-series with ``start <= time`` (and ``< end`` if given)."""
+        selected = [
+            sample
+            for sample in self.samples
+            if sample.time >= start and (end is None or sample.time < end)
+        ]
+        return ConnectivityTimeSeries(label=self.label, samples=selected)
+
+    def mean_minimum(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean of the minimum connectivity within a time window.
+
+        Table 2 and Figure 10 report this over the churn phase.
+        """
+        values = self.window(start, end).minimum_series()
+        return mean(values) if values else 0.0
+
+    def relative_variance_minimum(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> float:
+        """Relative variance (variance / mean) of the minimum connectivity.
+
+        The paper's Table 2 statistic; defined as 0 when the mean is 0
+        (the paper reports RV = 0.00 for the all-zero size-2500 / k=5 rows).
+        """
+        values = self.window(start, end).minimum_series()
+        return relative_variance(values)
+
+    def mean_average(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean of the average connectivity within a time window."""
+        values = self.window(start, end).average_series()
+        return mean(values) if values else 0.0
+
+    def final_sample(self) -> ConnectivitySample:
+        """Return the last sample (raises ``IndexError`` when empty)."""
+        return self.samples[-1]
+
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[Dict[str, float]]:
+        """Return plot-ready rows: time, min, avg, network size."""
+        return [
+            {
+                "time": sample.time,
+                "min": sample.minimum,
+                "avg": sample.average,
+                "network_size": sample.network_size,
+            }
+            for sample in self.samples
+        ]

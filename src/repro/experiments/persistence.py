@@ -1,0 +1,155 @@
+"""Persistence of experiment results.
+
+The paper's workflow separates the expensive simulation/evaluation from the
+analysis: snapshots and flow results are written to files, aggregated later.
+This module provides the same separation for our runs: an
+:class:`ExperimentResult` can be exported to a JSON document containing the
+scenario, phase schedule and the full connectivity time series, and loaded
+back for later reporting without re-running the simulation.
+
+Snapshots themselves (which can be large) are stored only when the result
+holds them and ``include_snapshots=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.analyzer import ConnectivityReport
+from repro.core.timeseries import ConnectivitySample, ConnectivityTimeSeries
+from repro.experiments.phases import PhaseSchedule
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenarios import Scenario
+from repro.experiments.snapshot import RoutingTableSnapshot
+from repro.simulator.transport import TransportStats
+
+PathLike = Union[str, Path]
+
+#: Format identifier written into every result document.
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult, include_snapshots: bool = False) -> Dict:
+    """Convert an :class:`ExperimentResult` into a JSON-serialisable dict."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "scenario": {
+            "name": result.scenario.name,
+            "description": result.scenario.description,
+            "size_class": result.scenario.size_class,
+            "churn": result.scenario.churn,
+            "traffic": result.scenario.traffic,
+            "loss": result.scenario.loss,
+            "bucket_size": result.scenario.bucket_size,
+            "alpha": result.scenario.alpha,
+            "bit_length": result.scenario.bit_length,
+            "staleness_limit": result.scenario.staleness_limit,
+        },
+        "profile_name": result.profile_name,
+        "seed": result.seed,
+        "joins": result.joins,
+        "leaves": result.leaves,
+        "wall_seconds": result.wall_seconds,
+        "phases": {
+            "setup_end": result.phases.setup_end,
+            "stabilization_end": result.phases.stabilization_end,
+            "simulation_end": result.phases.simulation_end,
+        },
+        "transport": {
+            "requests_sent": result.transport_stats.requests_sent,
+            "requests_lost": result.transport_stats.requests_lost,
+            "responses_lost": result.transport_stats.responses_lost,
+            "requests_to_dead_nodes": result.transport_stats.requests_to_dead_nodes,
+            "round_trips_ok": result.transport_stats.round_trips_ok,
+        },
+        "series": {
+            "label": result.series.label,
+            "samples": [
+                {
+                    "time": sample.time,
+                    "network_size": sample.network_size,
+                    "report": sample.report.as_dict(),
+                }
+                for sample in result.series.samples
+            ],
+        },
+    }
+    if include_snapshots and result.snapshots:
+        document["snapshots"] = [
+            json.loads(snapshot.to_json()) for snapshot in result.snapshots
+        ]
+    return document
+
+
+def result_from_dict(document: Dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    scenario_data = document["scenario"]
+    scenario = Scenario(
+        name=scenario_data["name"],
+        description=scenario_data["description"],
+        size_class=scenario_data["size_class"],
+        churn=scenario_data["churn"],
+        traffic=scenario_data["traffic"],
+        loss=scenario_data["loss"],
+        bucket_size=scenario_data["bucket_size"],
+        alpha=scenario_data["alpha"],
+        bit_length=scenario_data["bit_length"],
+        staleness_limit=scenario_data["staleness_limit"],
+    )
+    phases = PhaseSchedule(
+        setup_end=document["phases"]["setup_end"],
+        stabilization_end=document["phases"]["stabilization_end"],
+        simulation_end=document["phases"]["simulation_end"],
+    )
+    transport = TransportStats(
+        requests_sent=document["transport"]["requests_sent"],
+        requests_lost=document["transport"]["requests_lost"],
+        responses_lost=document["transport"]["responses_lost"],
+        requests_to_dead_nodes=document["transport"]["requests_to_dead_nodes"],
+        round_trips_ok=document["transport"]["round_trips_ok"],
+    )
+    series = ConnectivityTimeSeries(label=document["series"]["label"])
+    for sample in document["series"]["samples"]:
+        series.append(
+            ConnectivitySample(
+                time=sample["time"],
+                network_size=sample["network_size"],
+                report=ConnectivityReport(**sample["report"]),
+            )
+        )
+    snapshots: List[RoutingTableSnapshot] = []
+    for snapshot_doc in document.get("snapshots", []):
+        snapshots.append(RoutingTableSnapshot.from_json(json.dumps(snapshot_doc)))
+    return ExperimentResult(
+        scenario=scenario,
+        profile_name=document["profile_name"],
+        phases=phases,
+        series=series,
+        transport_stats=transport,
+        seed=document["seed"],
+        joins=document["joins"],
+        leaves=document["leaves"],
+        wall_seconds=document["wall_seconds"],
+        snapshots=snapshots,
+    )
+
+
+def save_result(
+    result: ExperimentResult, path: PathLike, include_snapshots: bool = False
+) -> None:
+    """Write ``result`` to ``path`` as JSON."""
+    document = result_to_dict(result, include_snapshots=include_snapshots)
+    Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Load a result previously written by :func:`save_result`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return result_from_dict(document)

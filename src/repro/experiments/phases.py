@@ -1,0 +1,73 @@
+"""Simulation phases (paper Section 5.4).
+
+Every simulation runs through three phases:
+
+* **setup** — nodes join at random times (0 to ``setup_end``);
+* **stabilisation** — the network runs without churn until
+  ``stabilization_end`` (the paper uses 90 minutes, enough for every node
+  to perform at least one bucket refresh);
+* **churn** — the churn scenario is applied from ``stabilization_end`` until
+  the end of the simulation.
+
+Table 2 and Figure 10 aggregate the minimum connectivity over the churn
+phase only; :meth:`PhaseSchedule.churn_window` provides that window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+SETUP = "setup"
+STABILIZATION = "stabilization"
+CHURN = "churn"
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """The three-phase timeline of one simulation."""
+
+    setup_end: float
+    stabilization_end: float
+    simulation_end: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.setup_end <= self.stabilization_end <= self.simulation_end:
+            raise ValueError(
+                "phase boundaries must satisfy 0 < setup_end <= stabilization_end"
+                f" <= simulation_end, got {self}"
+            )
+
+    def phase_of(self, time: float) -> str:
+        """Return the phase name active at simulated ``time``."""
+        if time < self.setup_end:
+            return SETUP
+        if time < self.stabilization_end:
+            return STABILIZATION
+        return CHURN
+
+    def churn_window(self) -> Tuple[float, float]:
+        """Return ``(start, end)`` of the churn phase."""
+        return self.stabilization_end, self.simulation_end
+
+    @property
+    def churn_duration(self) -> float:
+        """Length of the churn phase in simulated minutes."""
+        return self.simulation_end - self.stabilization_end
+
+    def snapshot_times(self, interval: float) -> list:
+        """Return the snapshot timestamps: every ``interval`` minutes plus the end.
+
+        The first snapshot is taken at ``interval`` (not at time 0, when the
+        network is still empty); the simulation end is always included so
+        the final state is observed.
+        """
+        if interval <= 0:
+            raise ValueError("snapshot interval must be positive")
+        times = []
+        t = interval
+        while t < self.simulation_end:
+            times.append(round(t, 6))
+            t += interval
+        times.append(self.simulation_end)
+        return times

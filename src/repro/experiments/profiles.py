@@ -1,0 +1,152 @@
+"""Scale profiles.
+
+The paper simulates 250- and 2500-node networks for up to 1400 simulated
+minutes and spends cluster-months on the max-flow computations.  A pure
+Python reproduction cannot do that in one run, so every experiment is
+parameterised by a :class:`ScaleProfile` that fixes the network sizes, the
+phase lengths and the sampling effort of the connectivity analysis.
+
+Three profiles ship with the library:
+
+``paper``
+    The original sizes and timings (250 / 2500 nodes, setup 30 min,
+    stabilisation until minute 120, 10 lookups + 1 dissemination per node
+    and minute, bucket refresh every 60 minutes, c = 2 % source sampling).
+    Provided for completeness; running it is a cluster-scale job.
+
+``bench``
+    The default for the benchmark harness: 50 / 150 nodes, the same phase
+    *structure* on a compressed time axis, proportionally scaled traffic
+    and refresh interval.  Preserves the qualitative shape of every result
+    (see EXPERIMENTS.md).
+
+``tiny``
+    Integration-test profile: 16 / 30 nodes and a very short time axis so
+    the full pipeline runs in seconds under pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+#: Number of nodes left alive at which a pure-removal (0/1) churn phase ends;
+#: the paper runs Simulations A–D until roughly ten nodes remain.
+MIN_REMAINING_NODES = 10
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """All scale-dependent knobs of an experiment."""
+
+    name: str
+    small_network_size: int
+    large_network_size: int
+    setup_minutes: float
+    stabilization_minutes: float
+    churn_minutes: float
+    snapshot_interval_minutes: float
+    lookups_per_node_per_minute: float
+    disseminations_per_node_per_minute: float
+    refresh_interval_minutes: float
+    refresh_all_buckets: bool
+    source_fraction: Optional[float]
+    target_fraction: float
+    average_pairs: int
+    min_remaining_nodes: int = MIN_REMAINING_NODES
+
+    # ------------------------------------------------------------------
+    def network_size(self, size_class: str) -> int:
+        """Return the node count for a size class (``"small"`` or ``"large"``)."""
+        if size_class == "small":
+            return self.small_network_size
+        if size_class == "large":
+            return self.large_network_size
+        raise ValueError(f"unknown size class {size_class!r}")
+
+    @property
+    def churn_start(self) -> float:
+        """Simulated minute at which the churn phase begins."""
+        return self.setup_minutes + self.stabilization_minutes
+
+    def simulation_end(self, churn_name: str, network_size: int) -> float:
+        """Return the end time of a simulation.
+
+        Pure-removal churn (``0/1``) runs until only
+        ``min_remaining_nodes`` nodes are left; every other scenario runs a
+        fixed-length churn phase (``churn_minutes``), including the
+        churn-free Simulation J which simply observes for the same span.
+        """
+        if churn_name == "0/1":
+            removable = max(network_size - self.min_remaining_nodes, 0)
+            return self.churn_start + removable
+        return self.churn_start + self.churn_minutes
+
+    def with_overrides(self, **changes) -> "ScaleProfile":
+        """Return a copy of the profile with the given fields replaced."""
+        return replace(self, **changes)
+
+
+PROFILES: Dict[str, ScaleProfile] = {
+    "paper": ScaleProfile(
+        name="paper",
+        small_network_size=250,
+        large_network_size=2500,
+        setup_minutes=30.0,
+        stabilization_minutes=90.0,
+        churn_minutes=1280.0,
+        snapshot_interval_minutes=10.0,
+        lookups_per_node_per_minute=10.0,
+        disseminations_per_node_per_minute=1.0,
+        refresh_interval_minutes=60.0,
+        refresh_all_buckets=True,
+        source_fraction=0.02,
+        target_fraction=0.02,
+        average_pairs=200,
+        min_remaining_nodes=10,
+    ),
+    "bench": ScaleProfile(
+        name="bench",
+        small_network_size=36,
+        large_network_size=96,
+        setup_minutes=10.0,
+        stabilization_minutes=20.0,
+        churn_minutes=28.0,
+        snapshot_interval_minutes=8.0,
+        lookups_per_node_per_minute=3.0,
+        disseminations_per_node_per_minute=0.3,
+        refresh_interval_minutes=15.0,
+        refresh_all_buckets=False,
+        source_fraction=0.06,
+        target_fraction=0.06,
+        average_pairs=32,
+        min_remaining_nodes=6,
+    ),
+    "tiny": ScaleProfile(
+        name="tiny",
+        small_network_size=16,
+        large_network_size=30,
+        setup_minutes=4.0,
+        stabilization_minutes=8.0,
+        churn_minutes=10.0,
+        snapshot_interval_minutes=4.0,
+        lookups_per_node_per_minute=3.0,
+        disseminations_per_node_per_minute=0.5,
+        refresh_interval_minutes=6.0,
+        refresh_all_buckets=False,
+        source_fraction=0.2,
+        target_fraction=0.2,
+        average_pairs=20,
+        min_remaining_nodes=4,
+    ),
+}
+
+
+def get_profile(name: str) -> ScaleProfile:
+    """Return a named profile; raises ``KeyError`` with the available names."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

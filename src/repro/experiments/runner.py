@@ -1,0 +1,229 @@
+"""Run one scenario end-to-end and collect the connectivity time series."""
+
+from __future__ import annotations
+
+import time as wallclock
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.churn.churn_model import get_churn_scenario
+from repro.churn.loss import get_loss_model
+from repro.churn.traffic import TrafficModel
+from repro.core.analyzer import ConnectivityAnalyzer
+from repro.core.timeseries import ConnectivitySample, ConnectivityTimeSeries
+from repro.experiments.phases import PhaseSchedule
+from repro.experiments.profiles import PROFILES, ScaleProfile, get_profile
+from repro.experiments.scenarios import Scenario
+from repro.experiments.simulation import KademliaSimulation
+from repro.experiments.snapshot import RoutingTableSnapshot
+from repro.simulator.random_source import RandomSource
+from repro.simulator.transport import TransportStats
+
+
+@dataclass
+class ExperimentResult:
+    """Everything recorded while running one scenario."""
+
+    scenario: Scenario
+    profile_name: str
+    phases: PhaseSchedule
+    series: ConnectivityTimeSeries
+    transport_stats: TransportStats
+    seed: int
+    joins: int
+    leaves: int
+    wall_seconds: float
+    snapshots: List[RoutingTableSnapshot] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def churn_mean_minimum(self) -> float:
+        """Mean of the minimum connectivity during the churn phase (Table 2)."""
+        start, end = self.phases.churn_window()
+        return self.series.mean_minimum(start, end + 1e-9)
+
+    def churn_relative_variance_minimum(self) -> float:
+        """Relative variance of the minimum connectivity during churn (Table 2)."""
+        start, end = self.phases.churn_window()
+        return self.series.relative_variance_minimum(start, end + 1e-9)
+
+    def churn_mean_average(self) -> float:
+        """Mean of the average connectivity during the churn phase."""
+        start, end = self.phases.churn_window()
+        return self.series.mean_average(start, end + 1e-9)
+
+    def stabilized_minimum(self) -> int:
+        """Minimum connectivity at the last snapshot before churn starts."""
+        pre_churn = self.series.window(0.0, self.phases.stabilization_end + 1e-9)
+        if not len(pre_churn):
+            return 0
+        return pre_churn.samples[-1].minimum
+
+    def final_network_size(self) -> int:
+        """Network size at the final snapshot."""
+        return self.series.final_sample().network_size if len(self.series) else 0
+
+    def summary(self) -> Dict[str, float]:
+        """Small dictionary used by reports and the CLI."""
+        return {
+            "scenario": self.scenario.name,
+            "k": self.scenario.bucket_size,
+            "alpha": self.scenario.alpha,
+            "churn": self.scenario.churn,
+            "loss": self.scenario.loss,
+            "staleness": self.scenario.staleness_limit,
+            "size_class": self.scenario.size_class,
+            "stabilized_min": self.stabilized_minimum(),
+            "churn_mean_min": self.churn_mean_minimum(),
+            "churn_rv_min": self.churn_relative_variance_minimum(),
+            "final_network_size": self.final_network_size(),
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class ExperimentRunner:
+    """Configure and execute scenario runs.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`ScaleProfile` or profile name (default ``"bench"``).
+    seed:
+        Root seed; each scenario run derives its own child universe from
+        the scenario name, so two runs of the same scenario with the same
+        seed are identical and different scenarios are independent.
+    keep_snapshots:
+        Store the raw routing-table snapshots on the result (memory-heavy;
+        off by default).
+    algorithm:
+        Max-flow algorithm forwarded to the connectivity analyzer.
+    """
+
+    def __init__(
+        self,
+        profile: ScaleProfile | str = "bench",
+        seed: int = 42,
+        keep_snapshots: bool = False,
+        algorithm: str = "dinic",
+    ) -> None:
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.seed = seed
+        self.keep_snapshots = keep_snapshots
+        self.algorithm = algorithm
+
+    # ------------------------------------------------------------------
+    def build_simulation(
+        self, scenario: Scenario, hardening=None
+    ) -> KademliaSimulation:
+        """Construct (but do not run) the simulation for ``scenario``.
+
+        ``hardening`` is an optional
+        :class:`repro.extensions.hardening.HardeningConfig`; when given, its
+        protocol factory and maintenance policies are attached to the
+        simulation (used by the ablation benchmarks and the hardening
+        examples).
+        """
+        profile = self.profile
+        config = scenario.kademlia_config(
+            refresh_interval_minutes=profile.refresh_interval_minutes,
+            refresh_all_buckets=profile.refresh_all_buckets,
+        )
+        traffic = (
+            TrafficModel(
+                enabled=True,
+                lookups_per_node_per_minute=profile.lookups_per_node_per_minute,
+                disseminations_per_node_per_minute=profile.disseminations_per_node_per_minute,
+            )
+            if scenario.traffic
+            else TrafficModel.disabled()
+        )
+        extra_kwargs = {}
+        if hardening is not None:
+            extra_kwargs = {
+                "protocol_factory": hardening.protocol_factory(),
+                "maintenance": hardening.maintenance_policies(),
+            }
+        return KademliaSimulation(
+            config=config,
+            loss=get_loss_model(scenario.loss),
+            traffic=traffic,
+            churn=get_churn_scenario(scenario.churn),
+            random_source=RandomSource(self.seed).spawn(scenario.name),
+            **extra_kwargs,
+        )
+
+    def phase_schedule(self, scenario: Scenario) -> PhaseSchedule:
+        """Return the phase schedule of ``scenario`` under the active profile."""
+        profile = self.profile
+        size = profile.network_size(scenario.size_class)
+        return PhaseSchedule(
+            setup_end=profile.setup_minutes,
+            stabilization_end=profile.churn_start,
+            simulation_end=profile.simulation_end(scenario.churn, size),
+        )
+
+    def build_analyzer(self) -> ConnectivityAnalyzer:
+        """Return the connectivity analyzer configured by the profile."""
+        profile = self.profile
+        return ConnectivityAnalyzer(
+            algorithm=self.algorithm,
+            source_fraction=profile.source_fraction,
+            target_fraction=profile.target_fraction,
+            average_pairs=profile.average_pairs,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario, hardening=None) -> ExperimentResult:
+        """Run ``scenario`` and return the collected measurements.
+
+        ``hardening`` optionally enables the extension mechanisms — see
+        :meth:`build_simulation`.
+        """
+        profile = self.profile
+        simulation = self.build_simulation(scenario, hardening=hardening)
+        phases = self.phase_schedule(scenario)
+        analyzer = self.build_analyzer()
+        size = profile.network_size(scenario.size_class)
+
+        series = ConnectivityTimeSeries(label=scenario.label())
+        stored_snapshots: List[RoutingTableSnapshot] = []
+
+        def _on_snapshot(snapshot: RoutingTableSnapshot) -> None:
+            report = analyzer.analyze_snapshot(snapshot.routing_tables)
+            series.append(
+                ConnectivitySample(
+                    time=snapshot.time,
+                    network_size=snapshot.network_size,
+                    report=report,
+                )
+            )
+            if self.keep_snapshots:
+                stored_snapshots.append(snapshot)
+
+        simulation.schedule_setup(size, profile.setup_minutes)
+        simulation.schedule_traffic(1.0, phases.simulation_end)
+        simulation.schedule_churn(phases.stabilization_end, phases.simulation_end)
+        simulation.schedule_snapshots(
+            phases.snapshot_times(profile.snapshot_interval_minutes), _on_snapshot
+        )
+
+        started = wallclock.perf_counter()
+        simulation.run_until(phases.simulation_end)
+        wall = wallclock.perf_counter() - started
+
+        return ExperimentResult(
+            scenario=scenario,
+            profile_name=profile.name,
+            phases=phases,
+            series=series,
+            transport_stats=simulation.transport.stats,
+            seed=self.seed,
+            joins=simulation.joins,
+            leaves=simulation.leaves,
+            wall_seconds=wall,
+            snapshots=stored_snapshots,
+        )
+
+    def run_many(self, scenarios: List[Scenario]) -> List[ExperimentResult]:
+        """Run several scenarios sequentially."""
+        return [self.run(scenario) for scenario in scenarios]

@@ -1,0 +1,214 @@
+"""Scenario registry — the paper's Simulations A to L.
+
+A :class:`Scenario` fixes one point in the paper's eight-dimensional
+parameter space (Section 5.3): network size class, churn, traffic, message
+loss, bucket size ``k``, parallelism ``alpha``, bit length ``b`` and
+staleness limit ``s``.  The named scenarios reproduce the table below; the
+figure benchmarks build variants by overriding the dimension that the
+figure sweeps (``k`` for Figures 2–9, ``alpha`` for Figure 10, ``s`` and the
+loss level for Figures 11–14).
+
+=====  =====  =======  =======  ======  ====================================
+Sim    size   churn    traffic  loss    notes
+=====  =====  =======  =======  ======  ====================================
+A      small  0/1      no       none    Figure 2, k swept
+B      large  0/1      no       none    Figure 3, k swept
+C      small  0/1      yes      none    Figure 4, k swept
+D      large  0/1      yes      none    Figure 5, k swept
+E      small  1/1      yes      none    Figure 6, k swept; Table 2
+F      large  1/1      yes      none    Figure 7, k swept; Table 2
+G      small  10/10    yes      none    Figure 8, k swept; Table 2
+H      large  10/10    yes      none    Figure 9, k swept; Table 2
+I      large  1/1,10/10 yes     none    Figure 11, s in {1, 5}, k = 20
+J      large  none     yes      varied  Figure 12, loss in {low,med,high}
+K      large  1/1      yes      varied  Figure 13, loss in {low,med,high}
+L      large  10/10    yes      varied  Figure 14, loss in {low,med,high}
+=====  =====  =======  =======  ======  ====================================
+
+Simulations with churn that are not specifically about ``s`` and have no
+message loss use ``s = 1`` (paper Section 5.3, "Kademlia Staleness Limit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.churn.churn_model import get_churn_scenario
+from repro.churn.loss import get_loss_model
+from repro.kademlia.config import KademliaConfig
+
+#: Bucket sizes swept by Figures 2–10.
+PAPER_BUCKET_SIZES = (5, 10, 20, 30)
+#: Parallelism values swept by Figure 10.
+PAPER_ALPHA_VALUES = (3, 5)
+#: Staleness limits swept by Figures 11–14.
+PAPER_STALENESS_VALUES = (1, 5)
+#: Loss scenarios swept by Figures 12–14.
+PAPER_LOSS_LEVELS = ("low", "medium", "high")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified simulation configuration."""
+
+    name: str
+    description: str
+    size_class: str = "small"
+    churn: str = "0/1"
+    traffic: bool = True
+    loss: str = "none"
+    bucket_size: int = 20
+    alpha: int = 3
+    bit_length: int = 160
+    staleness_limit: int = 1
+    #: Model fidelity switch, not a paper dimension: nodes fall back to their
+    #: configured bootstrap contact until they have reached the network once
+    #: (see KademliaConfig.bootstrap_reseed).  Disabled only by the
+    #: bootstrap-recovery ablation benchmark.
+    bootstrap_reseed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_class not in ("small", "large"):
+            raise ValueError(f"size_class must be 'small' or 'large', got {self.size_class!r}")
+        # Validate that the churn / loss names resolve.
+        get_churn_scenario(self.churn)
+        get_loss_model(self.loss)
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, **changes) -> "Scenario":
+        """Return a variant of this scenario with fields replaced.
+
+        The variant's name records the overrides, e.g. ``"E[k=5]"``.
+        """
+        variant = replace(self, **changes)
+        if changes:
+            suffix = ",".join(f"{key}={value}" for key, value in sorted(changes.items()))
+            variant = replace(variant, name=f"{self.name}[{suffix}]")
+        return variant
+
+    def kademlia_config(
+        self,
+        refresh_interval_minutes: float = 60.0,
+        refresh_all_buckets: bool = False,
+    ) -> KademliaConfig:
+        """Build the :class:`KademliaConfig` for this scenario."""
+        return KademliaConfig(
+            bit_length=self.bit_length,
+            bucket_size=self.bucket_size,
+            alpha=self.alpha,
+            staleness_limit=self.staleness_limit,
+            refresh_interval_minutes=refresh_interval_minutes,
+            refresh_all_buckets=refresh_all_buckets,
+            bootstrap_reseed=self.bootstrap_reseed,
+        )
+
+    def label(self) -> str:
+        """Short human-readable label used in report tables."""
+        traffic = "traffic" if self.traffic else "no-traffic"
+        return (
+            f"{self.name}: {self.size_class}, churn {self.churn}, {traffic}, "
+            f"loss {self.loss}, k={self.bucket_size}, alpha={self.alpha}, "
+            f"b={self.bit_length}, s={self.staleness_limit}"
+        )
+
+
+class ScenarioRegistry:
+    """Named collection of scenarios."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        """Add ``scenario``; duplicate names are rejected."""
+        if scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} is already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        """Return the named scenario."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; available: {sorted(self._scenarios)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Return all registered scenario names."""
+        return sorted(self._scenarios)
+
+    def __iter__(self):
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+SCENARIOS = ScenarioRegistry()
+
+SCENARIOS.register(Scenario(
+    name="A", description="small network, churn 0/1, without data traffic (Figure 2)",
+    size_class="small", churn="0/1", traffic=False, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="B", description="large network, churn 0/1, without data traffic (Figure 3)",
+    size_class="large", churn="0/1", traffic=False, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="C", description="small network, churn 0/1, with data traffic (Figure 4)",
+    size_class="small", churn="0/1", traffic=True, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="D", description="large network, churn 0/1, with data traffic (Figure 5)",
+    size_class="large", churn="0/1", traffic=True, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="E", description="small network, churn 1/1, with data traffic (Figure 6)",
+    size_class="small", churn="1/1", traffic=True, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="F", description="large network, churn 1/1, with data traffic (Figure 7)",
+    size_class="large", churn="1/1", traffic=True, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="G", description="small network, churn 10/10, with data traffic (Figure 8)",
+    size_class="small", churn="10/10", traffic=True, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="H", description="large network, churn 10/10, with data traffic (Figure 9)",
+    size_class="large", churn="10/10", traffic=True, loss="none", staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="I", description="staleness limit study without message loss (Figure 11), k=20",
+    size_class="large", churn="1/1", traffic=True, loss="none",
+    bucket_size=20, staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="J", description="message loss without churn (Figure 12), k=20",
+    size_class="large", churn="none", traffic=True, loss="low",
+    bucket_size=20, staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="K", description="message loss with churn 1/1 (Figure 13), k=20",
+    size_class="large", churn="1/1", traffic=True, loss="low",
+    bucket_size=20, staleness_limit=1,
+))
+SCENARIOS.register(Scenario(
+    name="L", description="message loss with churn 10/10 (Figure 14), k=20",
+    size_class="large", churn="10/10", traffic=True, loss="low",
+    bucket_size=20, staleness_limit=1,
+))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Return a registered scenario by name (A–L)."""
+    return SCENARIOS.get(name)
+
+
+def bucket_size_variants(
+    base: Scenario, bucket_sizes: Iterable[int] = PAPER_BUCKET_SIZES
+) -> List[Scenario]:
+    """Return one variant of ``base`` per bucket size (Figures 2–9)."""
+    return [base.with_overrides(bucket_size=k) for k in bucket_sizes]

@@ -1,0 +1,92 @@
+"""Routing-table snapshots.
+
+The paper persists the routing tables of all nodes at pre-defined time
+stamps and feeds those snapshot files into the graph transformation and
+max-flow pipeline (Section 5.2).  :class:`RoutingTableSnapshot` is the
+in-memory equivalent; it can be serialised to JSON for offline analysis
+through the CLI (``repro-kademlia analyze-snapshot``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.core.connectivity_graph import build_connectivity_graph
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RoutingTableSnapshot:
+    """Routing tables of all alive nodes at one simulated time."""
+
+    time: float
+    routing_tables: Dict[int, List[int]]
+
+    # ------------------------------------------------------------------
+    @property
+    def network_size(self) -> int:
+        """Number of alive nodes captured by the snapshot."""
+        return len(self.routing_tables)
+
+    def alive_nodes(self) -> List[int]:
+        """Return the ids of the captured nodes."""
+        return list(self.routing_tables)
+
+    def total_contacts(self) -> int:
+        """Total number of routing-table entries across all nodes."""
+        return sum(len(contacts) for contacts in self.routing_tables.values())
+
+    def to_connectivity_graph(self) -> DiGraph:
+        """Build the connectivity graph of this snapshot (Section 4.2)."""
+        return build_connectivity_graph(self.routing_tables)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls, time: float, tables: Mapping[int, Sequence[int]]
+    ) -> "RoutingTableSnapshot":
+        """Deep-copy ``tables`` into an immutable snapshot."""
+        return cls(
+            time=time,
+            routing_tables={
+                int(node_id): list(contacts) for node_id, contacts in tables.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        payload = {
+            "time": self.time,
+            "routing_tables": {
+                str(node_id): contacts
+                for node_id, contacts in self.routing_tables.items()
+            },
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RoutingTableSnapshot":
+        """Deserialise from :meth:`to_json` output."""
+        payload = json.loads(text)
+        return cls(
+            time=float(payload["time"]),
+            routing_tables={
+                int(node_id): [int(c) for c in contacts]
+                for node_id, contacts in payload["routing_tables"].items()
+            },
+        )
+
+    def save(self, path: PathLike) -> None:
+        """Write the snapshot to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RoutingTableSnapshot":
+        """Read a snapshot previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

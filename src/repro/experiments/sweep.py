@@ -1,0 +1,93 @@
+"""Parameter sweeps over scenarios.
+
+The paper's figures sweep one protocol parameter while holding a scenario
+fixed: bucket size ``k`` (Figures 2–9), parallelism ``alpha`` (Figure 10),
+staleness limit ``s`` and loss level (Figures 11–14).  The helpers here run
+those sweeps and return results keyed by the swept value, which is the form
+the report generators and benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.scenarios import (
+    PAPER_BUCKET_SIZES,
+    PAPER_LOSS_LEVELS,
+    PAPER_STALENESS_VALUES,
+    Scenario,
+)
+
+
+def run_scenario(
+    scenario: Scenario,
+    profile: ScaleProfile | str = "bench",
+    seed: int = 42,
+    algorithm: str = "dinic",
+) -> ExperimentResult:
+    """Run a single scenario with the given profile and seed."""
+    runner = ExperimentRunner(profile=profile, seed=seed, algorithm=algorithm)
+    return runner.run(scenario)
+
+
+def run_bucket_size_sweep(
+    base: Scenario,
+    bucket_sizes: Iterable[int] = PAPER_BUCKET_SIZES,
+    profile: ScaleProfile | str = "bench",
+    seed: int = 42,
+) -> Dict[int, ExperimentResult]:
+    """Run ``base`` once per bucket size (the k-sweep of Figures 2–9)."""
+    runner = ExperimentRunner(profile=profile, seed=seed)
+    return {
+        k: runner.run(base.with_overrides(bucket_size=k)) for k in bucket_sizes
+    }
+
+
+def run_alpha_sweep(
+    base: Scenario,
+    alphas: Iterable[int],
+    bucket_sizes: Iterable[int] = PAPER_BUCKET_SIZES,
+    profile: ScaleProfile | str = "bench",
+    seed: int = 42,
+) -> Dict[Tuple[int, int], ExperimentResult]:
+    """Run the (alpha, k) grid behind Figure 10; keys are ``(alpha, k)``."""
+    runner = ExperimentRunner(profile=profile, seed=seed)
+    results: Dict[Tuple[int, int], ExperimentResult] = {}
+    for alpha in alphas:
+        for k in bucket_sizes:
+            scenario = base.with_overrides(alpha=alpha, bucket_size=k)
+            results[(alpha, k)] = runner.run(scenario)
+    return results
+
+
+def run_staleness_sweep(
+    base: Scenario,
+    staleness_values: Iterable[int] = PAPER_STALENESS_VALUES,
+    profile: ScaleProfile | str = "bench",
+    seed: int = 42,
+) -> Dict[int, ExperimentResult]:
+    """Run ``base`` once per staleness limit (Figure 11)."""
+    runner = ExperimentRunner(profile=profile, seed=seed)
+    return {
+        s: runner.run(base.with_overrides(staleness_limit=s))
+        for s in staleness_values
+    }
+
+
+def run_loss_sweep(
+    base: Scenario,
+    loss_levels: Iterable[str] = PAPER_LOSS_LEVELS,
+    staleness_values: Iterable[int] = PAPER_STALENESS_VALUES,
+    profile: ScaleProfile | str = "bench",
+    seed: int = 42,
+) -> Dict[Tuple[str, int], ExperimentResult]:
+    """Run the (loss, s) grid behind Figures 12–14; keys are ``(loss, s)``."""
+    runner = ExperimentRunner(profile=profile, seed=seed)
+    results: Dict[Tuple[str, int], ExperimentResult] = {}
+    for loss in loss_levels:
+        for s in staleness_values:
+            scenario = base.with_overrides(loss=loss, staleness_limit=s)
+            results[(loss, s)] = runner.run(scenario)
+    return results

@@ -1,0 +1,55 @@
+"""Extensions beyond the paper's evaluation.
+
+The paper's conclusion sketches three directions for future work:
+
+* mechanisms that provide the connectivity improvements observed under
+  message loss *without* the negative effects of loss itself;
+* an extension of Kademlia that improves the minimum connectivity in all
+  scenarios;
+* a parameter that controls the connectivity independently of the bucket
+  size ``k``.
+
+This package implements concrete, simulatable versions of those ideas plus
+the node-disjoint lookup procedure of S/Kademlia (the paper's reference
+[1]), which *consumes* the connectivity this library measures:
+
+``rotation``
+    :class:`ContactRotationPolicy` — periodic eviction of the
+    least-recently-seen contact from full buckets, reproducing the
+    "freed-up entries" effect of churn and loss without losing messages.
+``supplemental``
+    :class:`SupplementalLinksProtocol` — keeps up to ``extra_links``
+    contacts that the bucket policy rejected, giving a connectivity control
+    knob that is independent of ``k``.
+``hardening``
+    :class:`HardeningConfig` — bundles the mechanisms above so the
+    experiment runner can A/B them against the unmodified protocol.
+``disjoint_lookup``
+    :func:`disjoint_find_node` — iterative lookups over ``d`` node-disjoint
+    paths.
+``adversarial``
+    :class:`MaliciousKademliaProtocol` — an eclipse-style adversary that
+    answers lookups with other compromised nodes only.
+``evaluation``
+    Study helpers used by the examples and ablation benchmarks.
+"""
+
+from repro.extensions.adversarial import MaliciousKademliaProtocol
+from repro.extensions.disjoint_lookup import DisjointPathResult, disjoint_find_node
+from repro.extensions.hardening import HardeningConfig
+from repro.extensions.rotation import ContactRotationPolicy, MaintenancePolicy
+from repro.extensions.supplemental import (
+    SupplementalLinksProtocol,
+    SupplementalPrunePolicy,
+)
+
+__all__ = [
+    "ContactRotationPolicy",
+    "DisjointPathResult",
+    "HardeningConfig",
+    "MaintenancePolicy",
+    "MaliciousKademliaProtocol",
+    "SupplementalLinksProtocol",
+    "SupplementalPrunePolicy",
+    "disjoint_find_node",
+]

@@ -1,0 +1,151 @@
+"""Iterative lookups over ``d`` node-disjoint paths (S/Kademlia).
+
+The paper motivates its connectivity measurements with the observation that
+``kappa(D)`` node-disjoint paths exist between any node pair (Menger's
+theorem, Section 4.3) and cites S/Kademlia [1], which *uses* disjoint paths
+to make lookups resilient against adversarial nodes.  This module provides
+that lookup procedure so the relationship can be closed experimentally:
+given a network with a certain connectivity, how many disjoint lookup paths
+are needed before lookups survive a given number of compromised nodes?
+
+The procedure follows S/Kademlia's design: the initiator splits its ``k``
+closest known contacts into ``d`` disjoint seed sets and runs one iterative
+lookup per seed set.  A shared "used" set guarantees that no node (other
+than the initiator) is queried by more than one path, which makes the query
+paths node-disjoint; an adversary therefore has to sit on *every* path to
+eclipse the lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from repro.kademlia.lookup import LookupResult
+from repro.kademlia.messages import FindNodeRequest, FindNodeResponse
+from repro.kademlia.node_id import sort_by_distance
+from repro.kademlia.protocol import KademliaProtocol
+
+
+@dataclass
+class DisjointPathResult:
+    """Outcome of one ``d``-path disjoint lookup.
+
+    Attributes
+    ----------
+    target_id:
+        The identifier that was looked up.
+    paths:
+        One :class:`LookupResult` per path, in seed order.
+    path_count:
+        The requested number of disjoint paths ``d``.
+    """
+
+    target_id: int
+    paths: List[LookupResult] = field(default_factory=list)
+    path_count: int = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def contacted(self) -> List[int]:
+        """Union of all successfully contacted nodes, closest first."""
+        merged: Set[int] = set()
+        for path in self.paths:
+            merged.update(path.contacted)
+        return sort_by_distance(merged, self.target_id)
+
+    @property
+    def succeeded(self) -> bool:
+        """True if at least one path contacted at least one node."""
+        return any(path.succeeded for path in self.paths)
+
+    @property
+    def queried(self) -> int:
+        """Total number of round-trips attempted across all paths."""
+        return sum(path.queried for path in self.paths)
+
+    @property
+    def failures(self) -> int:
+        """Total number of failed round-trips across all paths."""
+        return sum(path.failures for path in self.paths)
+
+    def reached(self, node_ids: Sequence[int]) -> bool:
+        """True if any of ``node_ids`` was successfully contacted."""
+        wanted = set(node_ids)
+        return any(wanted.intersection(path.contacted) for path in self.paths)
+
+
+def disjoint_find_node(
+    protocol: KademliaProtocol, target_id: int, path_count: int = 2
+) -> DisjointPathResult:
+    """Run an iterative FIND_NODE over ``path_count`` node-disjoint paths.
+
+    With ``path_count = 1`` the procedure degenerates to the standard
+    iterative lookup semantics (single shortlist, ``alpha``-wide batches).
+    """
+    if path_count <= 0:
+        raise ValueError(f"path_count must be positive, got {path_count}")
+    config = protocol.config
+    result = DisjointPathResult(target_id=target_id, path_count=path_count)
+
+    seeds = protocol.routing_table.closest_contacts(
+        target_id, config.bucket_size
+    )
+    # Deal the seeds round-robin so every path starts with contacts spread
+    # over the whole distance range rather than one path getting all the
+    # close ones.
+    seed_sets: List[Set[int]] = [set() for _ in range(path_count)]
+    for rank, node_id in enumerate(seeds):
+        seed_sets[rank % path_count].add(node_id)
+
+    used: Set[int] = {protocol.node_id}
+    for seed_set in seed_sets:
+        result.paths.append(
+            _single_disjoint_path(protocol, target_id, seed_set, used)
+        )
+    return result
+
+
+def _single_disjoint_path(
+    protocol: KademliaProtocol,
+    target_id: int,
+    seeds: Set[int],
+    used: Set[int],
+) -> LookupResult:
+    """One iterative lookup that never queries a node another path used."""
+    config = protocol.config
+    result = LookupResult(target_id=target_id)
+    candidates: Set[int] = set(seeds) - used
+    queried: Set[int] = set()
+    responded: Set[int] = set()
+
+    while True:
+        frontier = [
+            node_id
+            for node_id in sort_by_distance(candidates, target_id)
+            if node_id not in queried and node_id not in used
+        ]
+        if not frontier or len(responded) >= config.bucket_size:
+            break
+        batch = frontier[: config.alpha]
+        result.rounds += 1
+
+        for node_id in batch:
+            queried.add(node_id)
+            used.add(node_id)
+            result.queried += 1
+            ok, response = protocol.rpc(node_id, FindNodeRequest(target_id=target_id))
+            if not ok or not isinstance(response, FindNodeResponse):
+                result.failures += 1
+                continue
+            responded.add(node_id)
+            for contact_id in response.contacts:
+                if contact_id != protocol.node_id and contact_id not in used:
+                    candidates.add(contact_id)
+                    if config.learn_from_responses:
+                        protocol.note_contact(contact_id)
+            if len(responded) >= config.bucket_size:
+                break
+
+    result.contacted = sort_by_distance(responded, target_id)[: config.bucket_size]
+    return result

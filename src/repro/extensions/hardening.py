@@ -1,0 +1,101 @@
+"""Bundling of the connectivity-hardening mechanisms for the runner.
+
+A :class:`HardeningConfig` describes which of the extension mechanisms a
+simulation should run on top of the plain protocol:
+
+* ``rotation_fraction`` / ``rotation_interval_minutes`` — contact rotation
+  (:class:`~repro.extensions.rotation.ContactRotationPolicy`);
+* ``supplemental_links`` / ``supplemental_interval_minutes`` — the bounded
+  overflow list of rejected contacts
+  (:class:`~repro.extensions.supplemental.SupplementalLinksProtocol`).
+
+The config is consumed by :class:`~repro.experiments.runner.ExperimentRunner`
+(``runner.run(scenario, hardening=config)``), which forwards the protocol
+factory and maintenance policies to the simulation.  ``HardeningConfig()``
+with all defaults is the identity: plain protocol, no maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.extensions.rotation import ContactRotationPolicy, MaintenancePolicy
+from repro.extensions.supplemental import (
+    SupplementalLinksProtocol,
+    SupplementalPrunePolicy,
+)
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.protocol import KademliaProtocol
+
+ProtocolFactory = Callable[[int, KademliaConfig], KademliaProtocol]
+
+
+@dataclass(frozen=True)
+class HardeningConfig:
+    """Selection of connectivity-hardening mechanisms for one run."""
+
+    rotation_fraction: float = 0.0
+    rotation_interval_minutes: float = 10.0
+    supplemental_links: int = 0
+    supplemental_interval_minutes: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rotation_fraction <= 1.0:
+            raise ValueError(
+                f"rotation_fraction must be in [0, 1], got {self.rotation_fraction}"
+            )
+        if self.supplemental_links < 0:
+            raise ValueError(
+                f"supplemental_links must be non-negative, got {self.supplemental_links}"
+            )
+        if self.rotation_interval_minutes <= 0 or self.supplemental_interval_minutes <= 0:
+            raise ValueError("maintenance intervals must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_baseline(self) -> bool:
+        """True when no mechanism is enabled (plain Kademlia)."""
+        return self.rotation_fraction == 0.0 and self.supplemental_links == 0
+
+    def protocol_factory(self) -> ProtocolFactory:
+        """Return the protocol constructor the simulation should use."""
+        if self.supplemental_links > 0:
+            extra = self.supplemental_links
+
+            def factory(node_id: int, config: KademliaConfig) -> KademliaProtocol:
+                return SupplementalLinksProtocol(node_id, config, extra_links=extra)
+
+            return factory
+        return KademliaProtocol
+
+    def maintenance_policies(self) -> List[MaintenancePolicy]:
+        """Return the per-node maintenance policies to schedule."""
+        policies: List[MaintenancePolicy] = []
+        if self.rotation_fraction > 0.0:
+            policies.append(
+                ContactRotationPolicy(
+                    rotation_fraction=self.rotation_fraction,
+                    interval_minutes=self.rotation_interval_minutes,
+                )
+            )
+        if self.supplemental_links > 0:
+            policies.append(
+                SupplementalPrunePolicy(
+                    interval_minutes=self.supplemental_interval_minutes
+                )
+            )
+        return policies
+
+    def describe(self) -> str:
+        """Short human-readable label used by reports and benchmarks."""
+        parts = []
+        if self.rotation_fraction > 0.0:
+            parts.append(f"rotation={self.rotation_fraction:g}")
+        if self.supplemental_links > 0:
+            parts.append(f"extra_links={self.supplemental_links}")
+        return "baseline" if not parts else "+".join(parts)
+
+
+#: The identity configuration (plain Kademlia, no extensions).
+BASELINE = HardeningConfig()

@@ -1,0 +1,40 @@
+"""Directed-graph substrate used by the connectivity analysis.
+
+The paper's tool-chain used a Java graph representation plus the C max-flow
+solver HIPR.  This subpackage replaces both with pure-Python code:
+
+* :class:`repro.graph.digraph.DiGraph` — a compact adjacency-based directed
+  graph with per-edge capacities.
+* :mod:`repro.graph.maxflow` — max-flow solvers (highest-label push-relabel,
+  Dinic, Edmonds-Karp) sharing one residual-network representation.
+* :mod:`repro.graph.transform` — Even's vertex-splitting transformation that
+  turns vertex-connectivity queries into max-flow queries.
+* :mod:`repro.graph.io` — DIMACS and edge-list readers/writers.
+* :mod:`repro.graph.algorithms` — BFS/DFS, connected components, strongly
+  connected components and degree statistics.
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphError, NegativeCapacityError, VertexNotFoundError
+from repro.graph.maxflow import (
+    MaxFlowResult,
+    dinic_max_flow,
+    edmonds_karp_max_flow,
+    max_flow,
+    push_relabel_max_flow,
+)
+from repro.graph.transform.even_transform import EvenTransform, even_transform
+
+__all__ = [
+    "DiGraph",
+    "EvenTransform",
+    "GraphError",
+    "MaxFlowResult",
+    "NegativeCapacityError",
+    "VertexNotFoundError",
+    "dinic_max_flow",
+    "edmonds_karp_max_flow",
+    "even_transform",
+    "max_flow",
+    "push_relabel_max_flow",
+]

@@ -1,0 +1,23 @@
+"""Classic graph algorithms used by the analysis and the test oracles."""
+
+from repro.graph.algorithms.traversal import bfs_distances, bfs_order, dfs_order, is_reachable
+from repro.graph.algorithms.components import (
+    strongly_connected_components,
+    weakly_connected_components,
+    is_strongly_connected,
+    is_weakly_connected,
+)
+from repro.graph.algorithms.paths import shortest_path, vertex_disjoint_paths
+
+__all__ = [
+    "bfs_distances",
+    "bfs_order",
+    "dfs_order",
+    "is_reachable",
+    "is_strongly_connected",
+    "is_weakly_connected",
+    "shortest_path",
+    "strongly_connected_components",
+    "vertex_disjoint_paths",
+    "weakly_connected_components",
+]

@@ -1,0 +1,102 @@
+"""Connected-component algorithms.
+
+Whether a connectivity graph is strongly connected is a quick necessary
+condition for a non-zero vertex connectivity: the paper's "single digit
+number of disconnected nodes" (Section 5.5.1) shows up here as extra
+strongly connected components, and the analyzer uses that as a cheap
+pre-check before running any max-flow computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set
+
+from repro.graph.digraph import DiGraph
+
+Vertex = Hashable
+
+
+def weakly_connected_components(graph: DiGraph) -> List[Set[Vertex]]:
+    """Return the weakly connected components (ignoring edge direction)."""
+    remaining = set(graph.vertices())
+    components: List[Set[Vertex]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = {start}
+        stack = [start]
+        while stack:
+            vertex = stack.pop()
+            for neighbour in graph.successors(vertex) + graph.predecessors(vertex):
+                if neighbour not in component:
+                    component.add(neighbour)
+                    stack.append(neighbour)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Set[Vertex]]:
+    """Return strongly connected components (iterative Tarjan).
+
+    The implementation is iterative to cope with the deep recursion that
+    path-like graphs would otherwise cause.
+    """
+    index_counter = 0
+    indices: Dict[Vertex, int] = {}
+    lowlinks: Dict[Vertex, int] = {}
+    on_stack: Set[Vertex] = set()
+    stack: List[Vertex] = []
+    components: List[Set[Vertex]] = []
+
+    for root in graph.vertices():
+        if root in indices:
+            continue
+        work = [(root, iter(graph.successors(root)))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[vertex] = min(lowlinks[vertex], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[vertex])
+            if lowlinks[vertex] == indices[vertex]:
+                component: Set[Vertex] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == vertex:
+                        break
+                components.append(component)
+    return components
+
+
+def is_weakly_connected(graph: DiGraph) -> bool:
+    """Return True if the graph has at most one weakly connected component."""
+    if graph.number_of_vertices() == 0:
+        return True
+    return len(weakly_connected_components(graph)) == 1
+
+
+def is_strongly_connected(graph: DiGraph) -> bool:
+    """Return True if the graph has at most one strongly connected component."""
+    if graph.number_of_vertices() == 0:
+        return True
+    return len(strongly_connected_components(graph)) == 1

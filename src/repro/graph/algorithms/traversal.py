@@ -1,0 +1,71 @@
+"""Breadth-first and depth-first traversal helpers."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import VertexNotFoundError
+
+Vertex = Hashable
+
+
+def bfs_distances(graph: DiGraph, source: Vertex) -> Dict[Vertex, int]:
+    """Return hop distances from ``source`` to every reachable vertex."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    distances: Dict[Vertex, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        next_distance = distances[vertex] + 1
+        for successor in graph.successors(vertex):
+            if successor not in distances:
+                distances[successor] = next_distance
+                queue.append(successor)
+    return distances
+
+
+def bfs_order(graph: DiGraph, source: Vertex) -> List[Vertex]:
+    """Return vertices reachable from ``source`` in BFS visit order."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    visited = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for successor in graph.successors(vertex):
+            if successor not in visited:
+                visited.add(successor)
+                order.append(successor)
+                queue.append(successor)
+    return order
+
+
+def dfs_order(graph: DiGraph, source: Vertex) -> List[Vertex]:
+    """Return vertices reachable from ``source`` in (iterative) DFS order."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    visited = set()
+    order: List[Vertex] = []
+    stack = [source]
+    while stack:
+        vertex = stack.pop()
+        if vertex in visited:
+            continue
+        visited.add(vertex)
+        order.append(vertex)
+        # Reverse so that the first successor is visited first.
+        for successor in reversed(graph.successors(vertex)):
+            if successor not in visited:
+                stack.append(successor)
+    return order
+
+
+def is_reachable(graph: DiGraph, source: Vertex, target: Vertex) -> bool:
+    """Return True if there is a directed path from ``source`` to ``target``."""
+    if source == target:
+        return True
+    return target in bfs_distances(graph, source)

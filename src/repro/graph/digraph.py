@@ -1,0 +1,319 @@
+"""A compact directed graph with per-edge capacities.
+
+The connectivity graph of a Kademlia network (paper Section 4.2) is a
+directed graph with one vertex per network node and an edge ``(v, w)``
+whenever ``w`` appears in ``v``'s routing table.  Every edge carries a
+capacity of 1 so that max-flow computations on the (transformed) graph count
+vertex-disjoint paths.
+
+The class below is intentionally small and dependency-free: adjacency is a
+``dict`` of ``dict`` so that edge insertion, removal and capacity lookup are
+O(1), and the vertex set is stable under iteration order (insertion order),
+which keeps simulations deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.graph.errors import (
+    EdgeNotFoundError,
+    NegativeCapacityError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class DiGraph:
+    """A directed graph with optional per-edge capacities.
+
+    Parameters
+    ----------
+    allow_self_loops:
+        Whether self-loops may be inserted.  The connectivity analysis
+        requires graphs without self-loops (Even's transformation assumes
+        this), so the default is ``False``.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_edge("a", "b")
+    >>> g.add_edge("b", "c", capacity=2.0)
+    >>> g.number_of_vertices(), g.number_of_edges()
+    (3, 2)
+    >>> sorted(g.successors("a"))
+    ['b']
+    """
+
+    __slots__ = ("_succ", "_pred", "_allow_self_loops")
+
+    def __init__(self, allow_self_loops: bool = False) -> None:
+        self._succ: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._pred: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._allow_self_loops = allow_self_loops
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        capacity: float = 1.0,
+        allow_self_loops: bool = False,
+    ) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs."""
+        graph = cls(allow_self_loops=allow_self_loops)
+        for source, target in edges:
+            graph.add_edge(source, target, capacity=capacity)
+        return graph
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Dict[Vertex, Iterable[Vertex]],
+        capacity: float = 1.0,
+        allow_self_loops: bool = False,
+    ) -> "DiGraph":
+        """Build a graph from a mapping ``vertex -> iterable of successors``.
+
+        Vertices that appear only as keys (with no successors) are added as
+        isolated vertices, which matters for connectivity: a node with an
+        empty routing table must still appear in the connectivity graph.
+        """
+        graph = cls(allow_self_loops=allow_self_loops)
+        for source, targets in adjacency.items():
+            graph.add_vertex(source)
+            for target in targets:
+                graph.add_edge(source, target, capacity=capacity)
+        return graph
+
+    def copy(self) -> "DiGraph":
+        """Return an independent copy of this graph."""
+        clone = DiGraph(allow_self_loops=self._allow_self_loops)
+        for vertex in self._succ:
+            clone.add_vertex(vertex)
+        for source, targets in self._succ.items():
+            for target, capacity in targets.items():
+                clone.add_edge(source, target, capacity=capacity)
+        return clone
+
+    def reverse(self) -> "DiGraph":
+        """Return a copy of the graph with all edges reversed."""
+        reversed_graph = DiGraph(allow_self_loops=self._allow_self_loops)
+        for vertex in self._succ:
+            reversed_graph.add_vertex(vertex)
+        for source, targets in self._succ.items():
+            for target, capacity in targets.items():
+                reversed_graph.add_edge(target, source, capacity=capacity)
+        return reversed_graph
+
+    def to_undirected_edges(self) -> List[Edge]:
+        """Return the set of undirected edges (each unordered pair once)."""
+        seen = set()
+        result: List[Edge] = []
+        for source, targets in self._succ.items():
+            for target in targets:
+                key = frozenset((source, target))
+                if key in seen:
+                    continue
+                seen.add(key)
+                result.append((source, target))
+        return result
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add ``vertex`` to the graph (no-op if already present)."""
+        if vertex not in self._succ:
+            self._succ[vertex] = {}
+            self._pred[vertex] = {}
+
+    def add_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Add every vertex from ``vertices``."""
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_edge(self, source: Vertex, target: Vertex, capacity: float = 1.0) -> None:
+        """Insert the directed edge ``(source, target)``.
+
+        Inserting an edge that already exists overwrites its capacity (the
+        graph has no parallel edges).  Missing endpoints are added
+        automatically.
+        """
+        if source == target and not self._allow_self_loops:
+            raise SelfLoopError(source)
+        if capacity < 0:
+            raise NegativeCapacityError(source, target, capacity)
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._succ[source][target] = capacity
+        self._pred[target][source] = capacity
+
+    def remove_edge(self, source: Vertex, target: Vertex) -> None:
+        """Remove the directed edge ``(source, target)``."""
+        if source not in self._succ or target not in self._succ[source]:
+            raise EdgeNotFoundError(source, target)
+        del self._succ[source][target]
+        del self._pred[target][source]
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all incident edges."""
+        if vertex not in self._succ:
+            raise VertexNotFoundError(vertex)
+        for target in list(self._succ[vertex]):
+            del self._pred[target][vertex]
+        for source in list(self._pred[vertex]):
+            del self._succ[source][vertex]
+        del self._succ[vertex]
+        del self._pred[vertex]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._succ)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return True if ``vertex`` is in the graph."""
+        return vertex in self._succ
+
+    def has_edge(self, source: Vertex, target: Vertex) -> bool:
+        """Return True if the directed edge ``(source, target)`` exists."""
+        return source in self._succ and target in self._succ[source]
+
+    def capacity(self, source: Vertex, target: Vertex) -> float:
+        """Return the capacity of edge ``(source, target)``."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        return self._succ[source][target]
+
+    def vertices(self) -> List[Vertex]:
+        """Return the list of vertices in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Iterate over edges as ``(source, target, capacity)`` triples."""
+        for source, targets in self._succ.items():
+            for target, capacity in targets.items():
+                yield (source, target, capacity)
+
+    def successors(self, vertex: Vertex) -> List[Vertex]:
+        """Return the out-neighbours of ``vertex``."""
+        if vertex not in self._succ:
+            raise VertexNotFoundError(vertex)
+        return list(self._succ[vertex])
+
+    def predecessors(self, vertex: Vertex) -> List[Vertex]:
+        """Return the in-neighbours of ``vertex``."""
+        if vertex not in self._pred:
+            raise VertexNotFoundError(vertex)
+        return list(self._pred[vertex])
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Return the number of outgoing edges of ``vertex``."""
+        if vertex not in self._succ:
+            raise VertexNotFoundError(vertex)
+        return len(self._succ[vertex])
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Return the number of incoming edges of ``vertex``."""
+        if vertex not in self._pred:
+            raise VertexNotFoundError(vertex)
+        return len(self._pred[vertex])
+
+    def number_of_vertices(self) -> int:
+        """Return the number of vertices."""
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        """Return the number of directed edges."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def is_complete(self) -> bool:
+        """Return True if every ordered pair of distinct vertices is an edge.
+
+        The paper (Section 4.4) treats complete graphs specially: the vertex
+        connectivity of a complete graph on ``n`` vertices is ``n - 1``.
+        """
+        n = self.number_of_vertices()
+        return self.number_of_edges() == n * (n - 1)
+
+    def non_adjacent_pairs(self) -> Iterator[Edge]:
+        """Yield ordered pairs ``(v, w)`` of distinct vertices with no edge v->w."""
+        for v in self._succ:
+            out = self._succ[v]
+            for w in self._succ:
+                if v is w or v == w:
+                    continue
+                if w not in out:
+                    yield (v, w)
+
+    def min_out_degree(self) -> int:
+        """Return the smallest out-degree (0 for an empty graph)."""
+        if not self._succ:
+            return 0
+        return min(len(targets) for targets in self._succ.values())
+
+    def min_in_degree(self) -> int:
+        """Return the smallest in-degree (0 for an empty graph)."""
+        if not self._pred:
+            return 0
+        return min(len(sources) for sources in self._pred.values())
+
+    def degree_statistics(self) -> Dict[str, float]:
+        """Return simple degree statistics used by the analysis reports."""
+        n = self.number_of_vertices()
+        if n == 0:
+            return {
+                "min_out_degree": 0,
+                "max_out_degree": 0,
+                "mean_out_degree": 0.0,
+                "min_in_degree": 0,
+                "max_in_degree": 0,
+                "mean_in_degree": 0.0,
+            }
+        out_degrees = [len(t) for t in self._succ.values()]
+        in_degrees = [len(s) for s in self._pred.values()]
+        return {
+            "min_out_degree": min(out_degrees),
+            "max_out_degree": max(out_degrees),
+            "mean_out_degree": sum(out_degrees) / n,
+            "min_in_degree": min(in_degrees),
+            "max_in_degree": max(in_degrees),
+            "mean_in_degree": sum(in_degrees) / n,
+        }
+
+    def symmetry_ratio(self) -> float:
+        """Fraction of edges whose reverse edge also exists.
+
+        The paper observes (Section 5.2) that Kademlia connectivity graphs
+        are "very close to being undirected"; this metric quantifies that
+        claim for a concrete snapshot.  Returns 1.0 for an empty graph.
+        """
+        total = self.number_of_edges()
+        if total == 0:
+            return 1.0
+        symmetric = sum(
+            1
+            for source, targets in self._succ.items()
+            for target in targets
+            if source in self._succ.get(target, {})
+        )
+        return symmetric / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiGraph(vertices={self.number_of_vertices()}, "
+            f"edges={self.number_of_edges()})"
+        )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the graph subpackage."""
+
+
+class GraphError(Exception):
+    """Base class for all graph-related errors."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, source, target):
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class NegativeCapacityError(GraphError, ValueError):
+    """Raised when an edge is given a negative capacity."""
+
+    def __init__(self, source, target, capacity):
+        super().__init__(
+            f"edge ({source!r}, {target!r}) has negative capacity {capacity!r}"
+        )
+        self.source = source
+        self.target = target
+        self.capacity = capacity
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Raised when a self-loop is added to a graph that forbids them.
+
+    Even's transformation (Section 4.3 of the paper) assumes the input
+    connectivity graph has neither self-loops nor parallel edges, so the
+    graph type guards against self-loops by default.
+    """
+
+    def __init__(self, vertex):
+        super().__init__(f"self-loop on vertex {vertex!r} is not allowed")
+        self.vertex = vertex

@@ -1,0 +1,126 @@
+"""Synthetic graph generators.
+
+These are used by tests, benchmarks and examples to produce graphs with a
+known connectivity: complete graphs (kappa = n - 1), directed cycles
+(kappa = 1), circulant graphs (kappa = 2d for offsets 1..d in both
+directions), random Erdos-Renyi digraphs, and the 9-vertex example graph of
+the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.graph.digraph import DiGraph
+
+
+def complete_graph(n: int) -> DiGraph:
+    """Return the complete directed graph on vertices ``0..n-1``."""
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                graph.add_edge(i, j)
+    return graph
+
+
+def directed_cycle(n: int) -> DiGraph:
+    """Return a directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` (kappa = 1)."""
+    if n < 2:
+        raise ValueError("a cycle needs at least two vertices")
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    return graph
+
+
+def bidirectional_cycle(n: int) -> DiGraph:
+    """Return a cycle with edges in both directions (kappa = 2 for n >= 3)."""
+    graph = directed_cycle(n)
+    for i in range(n):
+        graph.add_edge((i + 1) % n, i)
+    return graph
+
+
+def circulant_graph(n: int, offsets: Sequence[int]) -> DiGraph:
+    """Return the circulant graph C_n(offsets) with symmetric edges.
+
+    Each vertex ``i`` is connected (both directions) to ``i +/- o`` for every
+    offset ``o``.  For offsets ``1..d`` with ``2d < n`` the vertex
+    connectivity is ``2d``, making circulants a convenient family of graphs
+    with a *known* connectivity for property-based tests.
+    """
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        for offset in offsets:
+            graph.add_edge(i, (i + offset) % n)
+            graph.add_edge(i, (i - offset) % n)
+    return graph
+
+
+def random_digraph(
+    n: int, edge_probability: float, rng: Optional[random.Random] = None
+) -> DiGraph:
+    """Return an Erdos-Renyi directed graph G(n, p) without self-loops."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = rng or random.Random()
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < edge_probability:
+                graph.add_edge(i, j)
+    return graph
+
+
+def random_regular_out_digraph(
+    n: int, out_degree: int, rng: Optional[random.Random] = None
+) -> DiGraph:
+    """Return a digraph where every vertex has exactly ``out_degree`` random successors.
+
+    This mimics the structure of a Kademlia connectivity graph with full
+    buckets: the out-degree is capped by the routing-table capacity while
+    in-degrees vary.
+    """
+    if out_degree >= n:
+        raise ValueError("out_degree must be smaller than n")
+    rng = rng or random.Random()
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        for j in rng.sample(others, out_degree):
+            graph.add_edge(i, j)
+    return graph
+
+
+def figure1_example_graph() -> DiGraph:
+    """Return the 9-vertex example graph of the paper's Figure 1a.
+
+    The graph is constructed so that the maximum flow from ``a`` to ``i`` is
+    3 while the vertex connectivity ``kappa(a, i)`` is 1: all paths from
+    ``a`` to ``i`` run through the cut vertex ``e``.
+    """
+    graph = DiGraph()
+    edges = [
+        ("a", "b"),
+        ("a", "c"),
+        ("a", "d"),
+        ("b", "e"),
+        ("c", "e"),
+        ("d", "e"),
+        ("e", "f"),
+        ("e", "g"),
+        ("e", "h"),
+        ("f", "i"),
+        ("g", "i"),
+        ("h", "i"),
+    ]
+    for source, target in edges:
+        graph.add_edge(source, target)
+    return graph

@@ -1,0 +1,6 @@
+"""Graph serialisation: DIMACS max-flow format and plain edge lists."""
+
+from repro.graph.io.dimacs import read_dimacs, write_dimacs
+from repro.graph.io.edgelist import read_edgelist, write_edgelist
+
+__all__ = ["read_dimacs", "read_edgelist", "write_dimacs", "write_edgelist"]

@@ -1,0 +1,163 @@
+"""DIMACS maximum-flow file format.
+
+The paper converts every transformed connectivity graph to the DIMACS
+max-flow format so HIPR can read it (Section 5.2).  We keep the format as an
+interchange option: snapshots can be exported for inspection with external
+solvers and the CLI exposes ``repro-kademlia export-dimacs``.
+
+Format summary (http://dimacs.rutgers.edu/ max-flow challenge):
+
+```
+c  comment lines
+p max <n> <m>          problem line: number of vertices and arcs
+n <id> s               source designation (1-based vertex id)
+n <id> t               sink designation
+a <tail> <head> <cap>  one line per arc
+```
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Hashable, Optional, TextIO, Tuple, Union
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphError
+
+Vertex = Hashable
+PathLike = Union[str, Path]
+
+
+class DimacsFormatError(GraphError, ValueError):
+    """Raised when a DIMACS file cannot be parsed."""
+
+
+def write_dimacs(
+    graph: DiGraph,
+    destination: Union[PathLike, TextIO],
+    source: Optional[Vertex] = None,
+    sink: Optional[Vertex] = None,
+    comment: Optional[str] = None,
+) -> Dict[Vertex, int]:
+    """Write ``graph`` in DIMACS max-flow format.
+
+    Returns the mapping from graph vertices to the 1-based DIMACS vertex ids
+    used in the file, so callers can relate solver output back to vertices.
+    """
+    index: Dict[Vertex, int] = {
+        vertex: i + 1 for i, vertex in enumerate(graph.vertices())
+    }
+
+    def _write(stream: TextIO) -> None:
+        if comment:
+            for line in comment.splitlines():
+                stream.write(f"c {line}\n")
+        stream.write(
+            f"p max {graph.number_of_vertices()} {graph.number_of_edges()}\n"
+        )
+        if source is not None:
+            stream.write(f"n {index[source]} s\n")
+        if sink is not None:
+            stream.write(f"n {index[sink]} t\n")
+        for tail, head, capacity in graph.edges():
+            cap = int(capacity) if float(capacity).is_integer() else capacity
+            stream.write(f"a {index[tail]} {index[head]} {cap}\n")
+
+    if hasattr(destination, "write"):
+        _write(destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as stream:
+            _write(stream)
+    return index
+
+
+def read_dimacs(
+    source: Union[PathLike, TextIO],
+) -> Tuple[DiGraph, Optional[int], Optional[int]]:
+    """Read a DIMACS max-flow file.
+
+    Returns ``(graph, source_id, sink_id)`` where the graph vertices are the
+    1-based integer ids from the file and source/sink are ``None`` when the
+    file does not designate them.
+    """
+    if hasattr(source, "read"):
+        stream: TextIO = source  # type: ignore[assignment]
+        return _parse(stream)
+    with open(source, "r", encoding="utf-8") as stream:
+        return _parse(stream)
+
+
+def _parse(stream: TextIO) -> Tuple[DiGraph, Optional[int], Optional[int]]:
+    graph = DiGraph()
+    declared_vertices: Optional[int] = None
+    declared_arcs: Optional[int] = None
+    seen_arcs = 0
+    flow_source: Optional[int] = None
+    flow_sink: Optional[int] = None
+
+    for line_number, raw_line in enumerate(stream, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        kind = fields[0]
+        if kind == "p":
+            if len(fields) != 4 or fields[1] != "max":
+                raise DimacsFormatError(
+                    f"line {line_number}: malformed problem line {line!r}"
+                )
+            declared_vertices = int(fields[2])
+            declared_arcs = int(fields[3])
+            graph.add_vertices(range(1, declared_vertices + 1))
+        elif kind == "n":
+            if len(fields) != 3:
+                raise DimacsFormatError(
+                    f"line {line_number}: malformed node designation {line!r}"
+                )
+            node_id = int(fields[1])
+            if fields[2] == "s":
+                flow_source = node_id
+            elif fields[2] == "t":
+                flow_sink = node_id
+            else:
+                raise DimacsFormatError(
+                    f"line {line_number}: unknown designation {fields[2]!r}"
+                )
+        elif kind == "a":
+            if declared_vertices is None:
+                raise DimacsFormatError(
+                    f"line {line_number}: arc before problem line"
+                )
+            if len(fields) != 4:
+                raise DimacsFormatError(
+                    f"line {line_number}: malformed arc line {line!r}"
+                )
+            tail, head = int(fields[1]), int(fields[2])
+            capacity = float(fields[3])
+            graph.add_edge(tail, head, capacity=capacity)
+            seen_arcs += 1
+        else:
+            raise DimacsFormatError(
+                f"line {line_number}: unknown record type {kind!r}"
+            )
+
+    if declared_vertices is None:
+        raise DimacsFormatError("missing problem line ('p max n m')")
+    if declared_arcs is not None and declared_arcs != seen_arcs:
+        raise DimacsFormatError(
+            f"problem line declares {declared_arcs} arcs but file has {seen_arcs}"
+        )
+    return graph, flow_source, flow_sink
+
+
+def dimacs_string(
+    graph: DiGraph,
+    source: Optional[Vertex] = None,
+    sink: Optional[Vertex] = None,
+    comment: Optional[str] = None,
+) -> str:
+    """Return the DIMACS representation of ``graph`` as a string."""
+    buffer = io.StringIO()
+    write_dimacs(graph, buffer, source=source, sink=sink, comment=comment)
+    return buffer.getvalue()

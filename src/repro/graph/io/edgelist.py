@@ -1,0 +1,63 @@
+"""Plain-text edge-list serialisation.
+
+One line per edge: ``<source> <target> [capacity]``.  Vertex labels are kept
+as strings on read; this format is used by the snapshot export helpers and
+the examples because it round-trips through standard Unix tooling easily.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+
+def write_edgelist(graph: DiGraph, destination: Union[PathLike, TextIO]) -> None:
+    """Write ``graph`` as a whitespace-separated edge list."""
+
+    def _write(stream: TextIO) -> None:
+        for vertex in graph.vertices():
+            if graph.out_degree(vertex) == 0 and graph.in_degree(vertex) == 0:
+                # Isolated vertices need an explicit record to round-trip.
+                stream.write(f"# vertex {vertex}\n")
+        for source, target, capacity in graph.edges():
+            stream.write(f"{source} {target} {capacity}\n")
+
+    if hasattr(destination, "write"):
+        _write(destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as stream:
+            _write(stream)
+
+
+def read_edgelist(source: Union[PathLike, TextIO]) -> DiGraph:
+    """Read an edge list written by :func:`write_edgelist`.
+
+    Vertex labels are returned as strings.
+    """
+
+    def _parse(stream: TextIO) -> DiGraph:
+        graph = DiGraph()
+        for raw_line in stream:
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                fields = line[1:].split()
+                if len(fields) == 2 and fields[0] == "vertex":
+                    graph.add_vertex(fields[1])
+                continue
+            fields = line.split()
+            if len(fields) not in (2, 3):
+                raise ValueError(f"malformed edge-list line: {line!r}")
+            capacity = float(fields[2]) if len(fields) == 3 else 1.0
+            graph.add_edge(fields[0], fields[1], capacity=capacity)
+        return graph
+
+    if hasattr(source, "read"):
+        return _parse(source)  # type: ignore[arg-type]
+    with open(source, "r", encoding="utf-8") as stream:
+        return _parse(stream)

@@ -1,0 +1,28 @@
+"""Maximum-flow solvers.
+
+The paper uses HIPR, a C implementation of the highest-label ("hi-level")
+push-relabel algorithm of Cherkassky & Goldberg, to compute the maximum flow
+between vertex pairs of the transformed connectivity graph.  This package
+provides a pure-Python reimplementation of that algorithm together with two
+classic baselines (Dinic and Edmonds-Karp) so that results can be
+cross-checked and the algorithm choice can be ablated.
+
+All solvers share the :class:`repro.graph.maxflow.residual.ResidualNetwork`
+representation and return a :class:`MaxFlowResult`.
+"""
+
+from repro.graph.maxflow.base import MaxFlowResult, SOLVERS, max_flow
+from repro.graph.maxflow.dinic import dinic_max_flow
+from repro.graph.maxflow.edmonds_karp import edmonds_karp_max_flow
+from repro.graph.maxflow.push_relabel import push_relabel_max_flow
+from repro.graph.maxflow.residual import ResidualNetwork
+
+__all__ = [
+    "MaxFlowResult",
+    "ResidualNetwork",
+    "SOLVERS",
+    "dinic_max_flow",
+    "edmonds_karp_max_flow",
+    "max_flow",
+    "push_relabel_max_flow",
+]

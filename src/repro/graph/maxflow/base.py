@@ -1,0 +1,92 @@
+"""Common result type and solver dispatch for max-flow computations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.graph.digraph import DiGraph
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class MaxFlowResult:
+    """Outcome of a single max-flow computation.
+
+    Attributes
+    ----------
+    value:
+        The maximum flow value from ``source`` to ``target``.
+    source, target:
+        The query endpoints (original graph vertices).
+    algorithm:
+        Name of the solver that produced the result.
+    augmentations:
+        Number of augmenting paths / relabel passes, for diagnostics.
+    """
+
+    value: float
+    source: Vertex
+    target: Vertex
+    algorithm: str
+    augmentations: int = 0
+
+    def as_int(self) -> int:
+        """Return the flow value rounded to the nearest integer.
+
+        Connectivity graphs have unit capacities, so flows are integral;
+        rounding guards against floating-point noise.
+        """
+        return int(round(self.value))
+
+
+SolverFunc = Callable[..., MaxFlowResult]
+
+#: Registry of available solvers, keyed by name.  Populated by the solver
+#: modules at import time (see :mod:`repro.graph.maxflow.__init__`).
+SOLVERS: Dict[str, SolverFunc] = {}
+
+
+def register_solver(name: str) -> Callable[[SolverFunc], SolverFunc]:
+    """Class decorator registering a solver function under ``name``."""
+
+    def decorator(func: SolverFunc) -> SolverFunc:
+        SOLVERS[name] = func
+        return func
+
+    return decorator
+
+
+def max_flow(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    algorithm: str = "push_relabel",
+    cutoff: Optional[float] = None,
+) -> MaxFlowResult:
+    """Compute the max flow from ``source`` to ``target`` using ``algorithm``.
+
+    Parameters
+    ----------
+    graph:
+        The capacitated directed graph.
+    source, target:
+        Query endpoints; must be distinct vertices of ``graph``.
+    algorithm:
+        One of ``"push_relabel"`` (default, the HIPR-equivalent),
+        ``"dinic"`` or ``"edmonds_karp"``.
+    cutoff:
+        Optional early-termination threshold: solvers that support it stop
+        as soon as the flow value reaches ``cutoff``.  The global
+        connectivity search uses this to avoid computing flows larger than
+        the current minimum.
+    """
+    if algorithm not in SOLVERS:
+        raise ValueError(
+            f"unknown max-flow algorithm {algorithm!r}; "
+            f"available: {sorted(SOLVERS)}"
+        )
+    if source == target:
+        raise ValueError("source and target must be distinct")
+    return SOLVERS[algorithm](graph, source, target, cutoff=cutoff)

@@ -1,0 +1,114 @@
+"""Dinic's blocking-flow maximum-flow algorithm.
+
+Dinic's algorithm is used as a baseline and as the default engine for the
+global-connectivity search because it supports early termination via
+``cutoff``: the running minimum of the max flows bounds how much flow we
+actually need to find for the next vertex pair (if the flow reaches the
+current minimum the pair cannot lower the graph connectivity further).
+
+On unit-capacity graphs — which is exactly what Even's transformation
+produces — Dinic runs in :math:`O(E \\sqrt{V})`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, List, Optional
+
+from repro.graph.digraph import DiGraph
+from repro.graph.maxflow.base import MaxFlowResult, register_solver
+from repro.graph.maxflow.residual import ResidualNetwork
+
+Vertex = Hashable
+_INF = float("inf")
+
+
+def _build_level_graph(
+    network: ResidualNetwork, source: int, sink: int, levels: List[int]
+) -> bool:
+    """BFS from ``source`` filling ``levels``; True if ``sink`` is reachable."""
+    for i in range(network.n):
+        levels[i] = -1
+    levels[source] = 0
+    queue = deque([source])
+    heads = network.heads
+    caps = network.caps
+    adjacency = network.adjacency
+    while queue:
+        u = queue.popleft()
+        for arc in adjacency[u]:
+            v = heads[arc]
+            if caps[arc] > 1e-12 and levels[v] < 0:
+                levels[v] = levels[u] + 1
+                queue.append(v)
+    return levels[sink] >= 0
+
+
+def _send_flow(
+    network: ResidualNetwork,
+    levels: List[int],
+    iterators: List[int],
+    u: int,
+    sink: int,
+    pushed: float,
+) -> float:
+    """DFS step of Dinic: push up to ``pushed`` units from ``u`` toward sink."""
+    if u == sink:
+        return pushed
+    heads = network.heads
+    caps = network.caps
+    adjacency = network.adjacency
+    arcs = adjacency[u]
+    while iterators[u] < len(arcs):
+        arc = arcs[iterators[u]]
+        v = heads[arc]
+        if caps[arc] > 1e-12 and levels[v] == levels[u] + 1:
+            flow = _send_flow(
+                network, levels, iterators, v, sink, min(pushed, caps[arc])
+            )
+            if flow > 1e-12:
+                caps[arc] -= flow
+                caps[arc ^ 1] += flow
+                return flow
+        iterators[u] += 1
+    return 0.0
+
+
+def dinic_on_network(
+    network: ResidualNetwork,
+    source: int,
+    sink: int,
+    cutoff: Optional[float] = None,
+) -> float:
+    """Run Dinic on dense vertex indices; mutates the network in place."""
+    if network.n == 0 or source == sink:
+        return 0.0
+    total = 0.0
+    levels = [-1] * network.n
+    while _build_level_graph(network, source, sink, levels):
+        iterators = [0] * network.n
+        while True:
+            flow = _send_flow(network, levels, iterators, source, sink, _INF)
+            if flow <= 1e-12:
+                break
+            total += flow
+            if cutoff is not None and total >= cutoff:
+                return total
+        if cutoff is not None and total >= cutoff:
+            break
+    return total
+
+
+@register_solver("dinic")
+def dinic_max_flow(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    cutoff: Optional[float] = None,
+) -> MaxFlowResult:
+    """Compute the maximum flow from ``source`` to ``target`` with Dinic."""
+    network = ResidualNetwork(graph)
+    value = dinic_on_network(
+        network, network.index_of(source), network.index_of(target), cutoff=cutoff
+    )
+    return MaxFlowResult(value=value, source=source, target=target, algorithm="dinic")

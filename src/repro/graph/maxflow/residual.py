@@ -1,0 +1,113 @@
+"""Residual-network representation shared by every max-flow solver.
+
+Vertices of the input :class:`~repro.graph.digraph.DiGraph` are mapped to
+dense integer indices so the solvers can use flat lists instead of hash maps
+in their inner loops.  Edges are stored in a single arc array where the arc
+``i`` and its reverse arc ``i ^ 1`` are adjacent — the standard trick that
+makes pushing flow on the residual edge O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import VertexNotFoundError
+
+Vertex = Hashable
+
+
+class ResidualNetwork:
+    """Arc-list residual network built from a :class:`DiGraph`.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    heads:
+        ``heads[a]`` is the head vertex index of arc ``a``.
+    caps:
+        ``caps[a]`` is the residual capacity of arc ``a``.
+    adjacency:
+        ``adjacency[v]`` is the list of arc indices leaving ``v``.
+    """
+
+    __slots__ = (
+        "n",
+        "heads",
+        "caps",
+        "adjacency",
+        "_index_of",
+        "_vertex_of",
+        "_initial_caps",
+    )
+
+    def __init__(self, graph: DiGraph) -> None:
+        vertices = graph.vertices()
+        self.n: int = len(vertices)
+        self._index_of: Dict[Vertex, int] = {v: i for i, v in enumerate(vertices)}
+        self._vertex_of: List[Vertex] = vertices
+        self.heads: List[int] = []
+        self.caps: List[float] = []
+        self.adjacency: List[List[int]] = [[] for _ in range(self.n)]
+        for source, target, capacity in graph.edges():
+            self._add_arc(self._index_of[source], self._index_of[target], capacity)
+        self._initial_caps: List[float] = list(self.caps)
+
+    # ------------------------------------------------------------------
+    def _add_arc(self, u: int, v: int, capacity: float) -> None:
+        """Add forward arc u->v with ``capacity`` and reverse arc v->u with 0."""
+        self.adjacency[u].append(len(self.heads))
+        self.heads.append(v)
+        self.caps.append(capacity)
+        self.adjacency[v].append(len(self.heads))
+        self.heads.append(u)
+        self.caps.append(0.0)
+
+    # ------------------------------------------------------------------
+    def index_of(self, vertex: Vertex) -> int:
+        """Return the dense index of ``vertex``."""
+        try:
+            return self._index_of[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def vertex_of(self, index: int) -> Vertex:
+        """Return the original vertex for a dense index."""
+        return self._vertex_of[index]
+
+    def reset(self) -> None:
+        """Restore all residual capacities to their initial values.
+
+        Solvers mutate ``caps`` in place; resetting lets one network object
+        be reused for many source/target pairs, which is exactly the access
+        pattern of the global-connectivity computation (one transformed graph,
+        many max-flow queries).
+        """
+        self.caps[:] = self._initial_caps
+
+    def flow_on_arc(self, arc: int) -> float:
+        """Return the flow currently routed through forward arc ``arc``."""
+        return self._initial_caps[arc] - self.caps[arc]
+
+    def arc_count(self) -> int:
+        """Return the number of arcs (forward + reverse)."""
+        return len(self.heads)
+
+    def min_cut_reachable(self, source_index: int) -> List[int]:
+        """Vertices reachable from ``source_index`` in the residual network.
+
+        After a max-flow computation the reachable set defines the source
+        side of a minimum cut, which tests use to verify the max-flow
+        min-cut theorem.
+        """
+        seen = [False] * self.n
+        seen[source_index] = True
+        stack = [source_index]
+        while stack:
+            u = stack.pop()
+            for arc in self.adjacency[u]:
+                if self.caps[arc] > 1e-12 and not seen[self.heads[arc]]:
+                    seen[self.heads[arc]] = True
+                    stack.append(self.heads[arc])
+        return [i for i, flag in enumerate(seen) if flag]

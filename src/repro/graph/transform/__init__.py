@@ -1,0 +1,10 @@
+"""Graph transformations.
+
+Currently this package contains Even's vertex-splitting transformation,
+which reduces vertex-connectivity queries to max-flow queries
+(paper Section 4.3, Figure 1).
+"""
+
+from repro.graph.transform.even_transform import EvenTransform, even_transform
+
+__all__ = ["EvenTransform", "even_transform"]

@@ -1,0 +1,114 @@
+"""Even's vertex-splitting transformation.
+
+Menger's theorem equates the vertex connectivity ``kappa(v, w)`` of two
+non-adjacent vertices with the maximum number of pairwise vertex-disjoint
+paths from ``v`` to ``w``.  Max-flow algorithms, however, bound *edge*
+usage, not vertex usage.  Even's transformation (paper Section 4.3) closes
+that gap:
+
+* every vertex ``v`` of the original graph ``D(V, E)`` is split into an
+  *incoming* vertex ``v'`` and an *outgoing* vertex ``v''``;
+* all edges that pointed to ``v`` now point to ``v'``;
+* all edges that left ``v`` now leave ``v''``;
+* an internal edge ``(v', v'')`` with capacity 1 is inserted.
+
+The resulting graph ``D'`` has ``2n`` vertices and ``m + n`` edges, and the
+maximum flow from ``v''`` to ``w'`` equals ``kappa(v, w)`` for non-adjacent
+``v`` and ``w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from repro.graph.digraph import DiGraph
+
+Vertex = Hashable
+
+#: Suffixes used to derive split-vertex names when the original vertices are
+#: strings; arbitrary hashables are wrapped in tuples instead (see
+#: :func:`split_names`).
+IN_SUFFIX = "'"
+OUT_SUFFIX = "''"
+
+
+def split_names(vertex: Vertex) -> Tuple[Vertex, Vertex]:
+    """Return the ``(incoming, outgoing)`` names for a split vertex.
+
+    String vertices get readable primed names matching the paper's notation
+    (``a`` becomes ``a'`` and ``a''``); all other vertex types are wrapped in
+    ``(vertex, "in")`` / ``(vertex, "out")`` tuples, which keeps the mapping
+    collision-free for integer node identifiers.
+    """
+    if isinstance(vertex, str):
+        return vertex + IN_SUFFIX, vertex + OUT_SUFFIX
+    return (vertex, "in"), (vertex, "out")
+
+
+@dataclass(frozen=True)
+class EvenTransform:
+    """Result of Even's transformation.
+
+    Attributes
+    ----------
+    graph:
+        The transformed graph ``D'`` with ``2n`` vertices and ``m + n`` edges.
+    incoming:
+        Mapping from original vertex to its incoming copy ``v'``.
+    outgoing:
+        Mapping from original vertex to its outgoing copy ``v''``.
+    """
+
+    graph: DiGraph
+    incoming: Dict[Vertex, Vertex]
+    outgoing: Dict[Vertex, Vertex]
+
+    def flow_endpoints(self, source: Vertex, target: Vertex) -> Tuple[Vertex, Vertex]:
+        """Return the max-flow query endpoints for original pair (source, target).
+
+        The flow must start at the *outgoing* copy of ``source`` (so that
+        ``source``'s own internal unit edge does not constrain the flow) and
+        end at the *incoming* copy of ``target``.
+        """
+        return self.outgoing[source], self.incoming[target]
+
+    def original_vertices(self) -> list:
+        """Return the original vertex set (insertion order preserved)."""
+        return list(self.incoming)
+
+
+def even_transform(graph: DiGraph, internal_capacity: float = 1.0) -> EvenTransform:
+    """Apply Even's vertex-splitting transformation to ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The original connectivity graph.  Must not contain self-loops
+        (enforced by :class:`DiGraph` by default).
+    internal_capacity:
+        Capacity of the internal ``(v', v'')`` edge.  The paper always uses
+        1; other values are occasionally useful in tests (e.g. to model
+        vertices that may be traversed more than once).
+
+    Returns
+    -------
+    EvenTransform
+        The transformed graph plus the vertex-name mappings.
+    """
+    transformed = DiGraph()
+    incoming: Dict[Vertex, Vertex] = {}
+    outgoing: Dict[Vertex, Vertex] = {}
+
+    for vertex in graph.vertices():
+        v_in, v_out = split_names(vertex)
+        incoming[vertex] = v_in
+        outgoing[vertex] = v_out
+        transformed.add_vertex(v_in)
+        transformed.add_vertex(v_out)
+        transformed.add_edge(v_in, v_out, capacity=internal_capacity)
+
+    for source, target, capacity in graph.edges():
+        transformed.add_edge(outgoing[source], incoming[target], capacity=capacity)
+
+    return EvenTransform(graph=transformed, incoming=incoming, outgoing=outgoing)

@@ -1,0 +1,43 @@
+"""Routing-table contact records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Contact:
+    """One entry of a k-bucket.
+
+    Attributes
+    ----------
+    node_id:
+        The contact's Kademlia identifier.
+    last_seen:
+        Simulated time of the last successful round-trip with this contact.
+    consecutive_failures:
+        Number of failed round-trips in a row since the last success; once
+        this reaches the staleness limit ``s`` the contact is removed from
+        the routing table.
+    added_at:
+        Simulated time at which the contact first entered the table.
+    """
+
+    node_id: int
+    last_seen: float = 0.0
+    consecutive_failures: int = 0
+    added_at: float = 0.0
+
+    def record_success(self, time: float) -> None:
+        """Note a successful round-trip: reset the failure streak."""
+        self.last_seen = time
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> int:
+        """Note a failed round-trip; returns the new failure streak length."""
+        self.consecutive_failures += 1
+        return self.consecutive_failures
+
+    def is_stale(self, staleness_limit: int) -> bool:
+        """True if the failure streak has reached the staleness limit."""
+        return self.consecutive_failures >= staleness_limit

@@ -1,0 +1,130 @@
+"""A single k-bucket.
+
+Contacts are kept in least-recently-seen order (head = oldest), the order
+the original Kademlia paper prescribes.  A full bucket prefers its existing
+contacts: a new contact is only admitted if the bucket has room or if an
+existing contact has already been detected as stale (failure streak at or
+above the staleness limit).  Stale contacts are otherwise removed when the
+owning node's communication with them keeps failing — which is exactly the
+mechanism behind the paper's observation that churn and message loss "free
+up entries in the k-buckets" and thereby *increase* connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kademlia.contact import Contact
+
+
+class KBucket:
+    """Bounded, least-recently-seen-ordered set of contacts."""
+
+    __slots__ = ("index", "capacity", "_contacts")
+
+    def __init__(self, index: int, capacity: int) -> None:
+        self.index = index
+        self.capacity = capacity
+        self._contacts: Dict[int, Contact] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._contacts
+
+    @property
+    def is_full(self) -> bool:
+        """True if the bucket holds ``capacity`` contacts."""
+        return len(self._contacts) >= self.capacity
+
+    def contact_ids(self) -> List[int]:
+        """Return contact ids in least-recently-seen order."""
+        return list(self._contacts)
+
+    def contacts(self) -> List[Contact]:
+        """Return contact records in least-recently-seen order."""
+        return list(self._contacts.values())
+
+    def get(self, node_id: int) -> Optional[Contact]:
+        """Return the contact record for ``node_id`` (None if absent)."""
+        return self._contacts.get(node_id)
+
+    def oldest(self) -> Optional[Contact]:
+        """Return the least-recently-seen contact (None if empty)."""
+        if not self._contacts:
+            return None
+        return next(iter(self._contacts.values()))
+
+    # ------------------------------------------------------------------
+    def touch(self, node_id: int, time: float) -> None:
+        """Move ``node_id`` to the most-recently-seen position."""
+        contact = self._contacts.pop(node_id)
+        contact.record_success(time)
+        self._contacts[node_id] = contact
+
+    def add(self, node_id: int, time: float, staleness_limit: int) -> bool:
+        """Try to insert ``node_id``; returns True if it is now in the bucket.
+
+        Insertion policy:
+
+        1. already present → refresh its position and success state;
+        2. bucket has room → append as most-recently-seen;
+        3. bucket full but some contact is already stale → evict the stale
+           contact (preferring the least recently seen one) and insert;
+        4. bucket full of non-stale contacts → reject the new contact.
+        """
+        if node_id in self._contacts:
+            self.touch(node_id, time)
+            return True
+        if not self.is_full:
+            self._contacts[node_id] = Contact(
+                node_id=node_id, last_seen=time, added_at=time
+            )
+            return True
+        stale_id = self._first_stale(staleness_limit)
+        if stale_id is not None:
+            del self._contacts[stale_id]
+            self._contacts[node_id] = Contact(
+                node_id=node_id, last_seen=time, added_at=time
+            )
+            return True
+        return False
+
+    def remove(self, node_id: int) -> bool:
+        """Remove ``node_id`` from the bucket; True if it was present."""
+        if node_id in self._contacts:
+            del self._contacts[node_id]
+            return True
+        return False
+
+    def record_failure(self, node_id: int, staleness_limit: int) -> bool:
+        """Record a failed round-trip with ``node_id``.
+
+        Returns True if the contact crossed the staleness limit and was
+        removed from the bucket.
+        """
+        contact = self._contacts.get(node_id)
+        if contact is None:
+            return False
+        contact.record_failure()
+        if contact.is_stale(staleness_limit):
+            del self._contacts[node_id]
+            return True
+        return False
+
+    def record_success(self, node_id: int, time: float) -> bool:
+        """Record a successful round-trip with ``node_id`` (if present)."""
+        if node_id not in self._contacts:
+            return False
+        self.touch(node_id, time)
+        return True
+
+    # ------------------------------------------------------------------
+    def _first_stale(self, staleness_limit: int) -> Optional[int]:
+        """Return the id of the least-recently-seen stale contact, if any."""
+        for node_id, contact in self._contacts.items():
+            if contact.is_stale(staleness_limit):
+                return node_id
+        return None

@@ -1,0 +1,114 @@
+"""Iterative node lookup.
+
+The lookup procedure (paper Section 4.1): given a target identifier, a node
+queries the ``alpha`` contacts from its routing table closest to the target;
+each response contributes the responder's own list of closest contacts,
+which are then queried in turn, so the requester iteratively gets closer to
+the target.  The procedure ends when ``k`` nodes have been successfully
+contacted or no progress can be made.
+
+Routing-table maintenance happens as a side effect, and this side effect is
+what the paper's connectivity results hinge on:
+
+* the *responder* of every successful round-trip is added to (or refreshed
+  in) the requester's routing table;
+* the *requester* is added to the responder's table when the request is
+  handled (see :meth:`KademliaProtocol.handle_request`);
+* every failed round-trip increments the contacted node's failure streak in
+  the requester's table, removing it once the streak reaches the staleness
+  limit ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, TYPE_CHECKING
+
+from repro.kademlia.messages import FindNodeRequest, FindNodeResponse
+from repro.kademlia.node_id import sort_by_distance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.kademlia.protocol import KademliaProtocol
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one iterative lookup.
+
+    Attributes
+    ----------
+    target_id:
+        The identifier that was looked up.
+    contacted:
+        Nodes that answered, sorted by XOR distance to the target (closest
+        first), at most ``k`` entries.
+    queried:
+        Total number of round-trips attempted.
+    failures:
+        Number of failed round-trips.
+    rounds:
+        Number of parallel query rounds performed.
+    """
+
+    target_id: int
+    contacted: List[int] = field(default_factory=list)
+    queried: int = 0
+    failures: int = 0
+    rounds: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """True if at least one node answered."""
+        return bool(self.contacted)
+
+    def closest(self) -> int:
+        """Return the contacted node closest to the target.
+
+        Raises ``ValueError`` when nothing was contacted.
+        """
+        if not self.contacted:
+            raise ValueError("lookup contacted no nodes")
+        return self.contacted[0]
+
+
+def iterative_find_node(protocol: "KademliaProtocol", target_id: int) -> LookupResult:
+    """Run the iterative FIND_NODE procedure from ``protocol`` for ``target_id``."""
+    config = protocol.config
+    result = LookupResult(target_id=target_id)
+
+    candidates: Set[int] = set(
+        protocol.routing_table.closest_contacts(target_id, config.bucket_size)
+    )
+    queried: Set[int] = set()
+    responded: Set[int] = set()
+
+    while True:
+        # Closest known candidates that have not been queried yet.
+        frontier = [
+            node_id
+            for node_id in sort_by_distance(candidates, target_id)
+            if node_id not in queried
+        ]
+        if not frontier or len(responded) >= config.bucket_size:
+            break
+        batch = frontier[: config.alpha]
+        result.rounds += 1
+
+        for node_id in batch:
+            queried.add(node_id)
+            result.queried += 1
+            ok, response = protocol.rpc(node_id, FindNodeRequest(target_id=target_id))
+            if not ok or not isinstance(response, FindNodeResponse):
+                result.failures += 1
+                continue
+            responded.add(node_id)
+            for contact_id in response.contacts:
+                if contact_id != protocol.node_id:
+                    candidates.add(contact_id)
+                    if config.learn_from_responses:
+                        protocol.note_contact(contact_id)
+            if len(responded) >= config.bucket_size:
+                break
+
+    result.contacted = sort_by_distance(responded, target_id)[: config.bucket_size]
+    return result

@@ -1,0 +1,75 @@
+"""Kademlia RPC message types.
+
+The four RPCs of the original protocol — PING, FIND_NODE, FIND_VALUE and
+STORE — plus their responses.  Messages are plain frozen dataclasses; the
+transport passes them by reference (the simulation never serialises them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """Liveness probe."""
+
+
+@dataclass(frozen=True)
+class PongResponse:
+    """Answer to a :class:`PingRequest`."""
+
+    responder_id: int
+
+
+@dataclass(frozen=True)
+class FindNodeRequest:
+    """Ask for the ``k`` contacts closest to ``target_id``."""
+
+    target_id: int
+
+
+@dataclass(frozen=True)
+class FindNodeResponse:
+    """Contacts closest to the requested target, from the responder's table."""
+
+    responder_id: int
+    contacts: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StoreRequest:
+    """Ask the receiver to store a key/value pair."""
+
+    key_id: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class StoreResponse:
+    """Acknowledgement of a :class:`StoreRequest`."""
+
+    responder_id: int
+    stored: bool
+
+
+@dataclass(frozen=True)
+class FindValueRequest:
+    """Ask for the value stored under ``key_id`` (or the closest contacts)."""
+
+    key_id: int
+
+
+@dataclass(frozen=True)
+class FindValueResponse:
+    """Either the value (if the responder stores it) or the closest contacts."""
+
+    responder_id: int
+    value: Optional[Any]
+    contacts: Tuple[int, ...]
+
+    @property
+    def found(self) -> bool:
+        """True if the responder returned the value itself."""
+        return self.value is not None

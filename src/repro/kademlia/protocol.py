@@ -1,0 +1,245 @@
+"""The Kademlia protocol handler attached to every simulation node."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.lookup import LookupResult, iterative_find_node
+from repro.kademlia.messages import (
+    FindNodeRequest,
+    FindNodeResponse,
+    FindValueRequest,
+    FindValueResponse,
+    PingRequest,
+    PongResponse,
+    StoreRequest,
+    StoreResponse,
+)
+from repro.kademlia.routing_table import RoutingTable
+from repro.kademlia.storage import DataStore
+from repro.simulator.protocol import Protocol
+from repro.simulator.transport import Transport
+
+Clock = Callable[[], float]
+
+
+class KademliaProtocol(Protocol):
+    """Kademlia state machine for one node.
+
+    The protocol is *bound* to a transport and a simulated clock after
+    construction (``bind``); the experiment runner owns both.  All
+    client-side operations (``join``, ``lookup``, ``disseminate``,
+    ``bucket_refresh``) run synchronously at the simulated instant at which
+    the runner invokes them — see the design note in
+    :mod:`repro.simulator.__init__`.
+    """
+
+    protocol_name = "kademlia"
+
+    def __init__(self, node_id: int, config: KademliaConfig) -> None:
+        super().__init__(node_id)
+        self.config = config
+        self.routing_table = RoutingTable(node_id, config)
+        self.storage = DataStore()
+        self.transport: Optional[Transport] = None
+        self._clock: Clock = lambda: 0.0
+        self.bootstrap_id: Optional[int] = None
+        self._ever_connected = False
+        self.lookups_performed = 0
+        self.disseminations_performed = 0
+        self.refreshes_performed = 0
+        self.reseeds_performed = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, transport: Transport, clock: Clock) -> None:
+        """Attach the transport and the simulated clock."""
+        self.transport = transport
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._clock()
+
+    @property
+    def ever_connected(self) -> bool:
+        """True once this node has completed one successful outgoing round-trip."""
+        return self._ever_connected
+
+    def note_contact(self, node_id: int) -> bool:
+        """Record a (successful) interaction with ``node_id`` in the routing table."""
+        if node_id == self.node_id:
+            return False
+        return self.routing_table.add_contact(node_id, self.now)
+
+    def rpc(self, target_id: int, request: Any) -> Tuple[bool, Any]:
+        """Send one request/response round-trip and do the table bookkeeping.
+
+        A successful round-trip refreshes (or inserts) the responder in the
+        routing table and marks this node as having reached the network; a
+        failed one increments the responder's failure streak, evicting it
+        once the streak hits the staleness limit ``s``.
+        """
+        self._require_bound()
+        ok, response = self.transport.rpc(self.node_id, target_id, request)
+        if ok:
+            self._ever_connected = True
+            self.note_contact(target_id)
+        else:
+            self.routing_table.record_failure(target_id)
+        return ok, response
+
+    def _reseed_if_isolated(self) -> bool:
+        """Re-insert the configured bootstrap contact when cut off.
+
+        Two situations require falling back to the configured bootstrap
+        address, which deployed Kademlia nodes keep outside the routing
+        table:
+
+        * the routing table has emptied out (every contact evicted after
+          failed round-trips, e.g. under heavy message loss with ``s = 1``);
+        * the node has never completed a successful outgoing round-trip —
+          its initial join failed, so whatever contacts it has accumulated
+          since (other newcomers that bootstrapped *from* it) may form an
+          island that is invisible to the rest of the network.
+
+        Without this fallback either situation is permanent: the node (or
+        its island) can never re-discover the main network, because lookups
+        only traverse already-known contacts.  The paper's simulations rely
+        on the corresponding recovery — joining nodes "are not able to
+        achieve connectivity immediately" (Section 5.8.2) but every node is
+        connected once the network stabilises.
+        """
+        if not self.config.bootstrap_reseed:
+            return False
+        if self._ever_connected and self.routing_table.contact_count() > 0:
+            return False
+        if self.bootstrap_id is None or self.bootstrap_id == self.node_id:
+            return False
+        if self.note_contact(self.bootstrap_id):
+            self.reseeds_performed += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Server side: handling incoming RPCs
+    # ------------------------------------------------------------------
+    def handle_request(self, sender_id: int, request: Any) -> Optional[Any]:
+        """Dispatch an incoming RPC and return the response payload.
+
+        Every received request also updates the routing table with the
+        sender — "when a Kademlia node receives any message from another
+        node, it updates the appropriate k-bucket for the sender's node id".
+        """
+        self.note_contact(sender_id)
+
+        if isinstance(request, PingRequest):
+            return PongResponse(responder_id=self.node_id)
+        if isinstance(request, FindNodeRequest):
+            closest = self.routing_table.closest_contacts(
+                request.target_id, self.config.bucket_size
+            )
+            return FindNodeResponse(
+                responder_id=self.node_id, contacts=tuple(closest)
+            )
+        if isinstance(request, StoreRequest):
+            self.storage.put(request.key_id, request.value, time=self.now)
+            return StoreResponse(responder_id=self.node_id, stored=True)
+        if isinstance(request, FindValueRequest):
+            value = self.storage.get(request.key_id)
+            closest = self.routing_table.closest_contacts(
+                request.key_id, self.config.bucket_size
+            )
+            return FindValueResponse(
+                responder_id=self.node_id, value=value, contacts=tuple(closest)
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Client side: operations initiated by this node
+    # ------------------------------------------------------------------
+    def ping(self, target_id: int) -> bool:
+        """Ping ``target_id``; update the routing table with the outcome."""
+        ok, _response = self.rpc(target_id, PingRequest())
+        return ok
+
+    def join(self, bootstrap_id: Optional[int]) -> LookupResult:
+        """Join the network via ``bootstrap_id``.
+
+        The very first node of a network has no bootstrap node; it simply
+        starts with an empty routing table.  Every other node inserts the
+        bootstrap contact and performs a lookup for its own identifier,
+        which populates its routing table and announces it to the nodes on
+        the lookup path (paper Section 5.3).
+        """
+        self._require_bound()
+        if bootstrap_id is not None and bootstrap_id != self.node_id:
+            self.bootstrap_id = bootstrap_id
+            self.note_contact(bootstrap_id)
+        result = self.lookup(self.node_id)
+        return result
+
+    def lookup(self, target_id: int) -> LookupResult:
+        """Perform one iterative FIND_NODE lookup."""
+        self._require_bound()
+        self._reseed_if_isolated()
+        self.lookups_performed += 1
+        return iterative_find_node(self, target_id)
+
+    def disseminate(self, key_id: int, value: Any) -> Tuple[LookupResult, int]:
+        """Store ``value`` on the ``k`` nodes closest to ``key_id``.
+
+        Returns the locating lookup's result and the number of nodes that
+        acknowledged the STORE.
+        """
+        self._require_bound()
+        self.disseminations_performed += 1
+        locate = self.lookup(key_id)
+        stored = 0
+        for node_id in locate.contacted:
+            ok, response = self.rpc(node_id, StoreRequest(key_id=key_id, value=value))
+            if ok and isinstance(response, StoreResponse) and response.stored:
+                stored += 1
+        return locate, stored
+
+    def retrieve(self, key_id: int) -> Optional[Any]:
+        """Look up the value stored under ``key_id`` (None if not found)."""
+        self._require_bound()
+        if self.storage.has(key_id):
+            return self.storage.get(key_id)
+        locate = self.lookup(key_id)
+        for node_id in locate.contacted:
+            ok, response = self.rpc(node_id, FindValueRequest(key_id=key_id))
+            if ok and isinstance(response, FindValueResponse) and response.found:
+                return response.value
+        return None
+
+    def bucket_refresh(self, rng: random.Random) -> int:
+        """Perform the periodic maintenance refresh (paper: every 60 minutes).
+
+        Looks up a random identifier in the range of each refreshed bucket so
+        the node can "learn about previously unknown contacts and stale
+        contacts in its routing table".  Returns the number of lookups done.
+        """
+        self._require_bound()
+        self._reseed_if_isolated()
+        self.refreshes_performed += 1
+        targets = self.routing_table.refresh_targets(rng)
+        for target in targets:
+            iterative_find_node(self, target)
+        return len(targets)
+
+    # ------------------------------------------------------------------
+    def routing_table_snapshot(self) -> List[int]:
+        """Return the current contact ids (the node's row of the snapshot)."""
+        return self.routing_table.contact_ids()
+
+    def _require_bound(self) -> None:
+        if self.transport is None:
+            raise RuntimeError(
+                "protocol is not bound to a transport; call bind() first"
+            )

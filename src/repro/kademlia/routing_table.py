@@ -1,0 +1,150 @@
+"""The Kademlia routing table: ``b`` k-buckets indexed by XOR distance."""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional
+
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.kbucket import KBucket
+from repro.kademlia.node_id import bucket_index, random_id_in_bucket, sort_by_distance
+
+
+class RoutingTable:
+    """Per-node routing state.
+
+    The table owns ``bit_length`` buckets; bucket ``i`` covers contacts at
+    XOR distance ``[2**i, 2**(i+1))`` from the owner, so the highest-index
+    bucket covers half the identifier space, the next one a quarter, and so
+    on (paper Section 4.1).
+
+    ``closest_contacts`` is the hottest function of the whole simulation
+    (it runs for every FIND_NODE request a node answers), so the flat list
+    of contact ids is cached and only rebuilt when the table's *membership*
+    changes — reordering inside a bucket does not invalidate it.
+    """
+
+    def __init__(self, owner_id: int, config: KademliaConfig) -> None:
+        self.owner_id = owner_id
+        self.config = config
+        self._buckets: Dict[int, KBucket] = {}
+        self._contacts_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    def bucket_for(self, node_id: int) -> KBucket:
+        """Return (creating lazily) the bucket that covers ``node_id``."""
+        index = bucket_index(self.owner_id, node_id)
+        if index not in self._buckets:
+            self._buckets[index] = KBucket(index, self.config.bucket_size)
+        return self._buckets[index]
+
+    def buckets(self) -> List[KBucket]:
+        """Return the non-empty (or previously used) buckets, by index."""
+        return [self._buckets[index] for index in sorted(self._buckets)]
+
+    # ------------------------------------------------------------------
+    def add_contact(self, node_id: int, time: float) -> bool:
+        """Try to add ``node_id``; returns True if it is in the table afterwards."""
+        if node_id == self.owner_id:
+            return False
+        bucket = self.bucket_for(node_id)
+        already_present = node_id in bucket
+        added = bucket.add(node_id, time, self.config.staleness_limit)
+        if added and not already_present:
+            self._contacts_cache = None
+        return added
+
+    def remove_contact(self, node_id: int) -> bool:
+        """Remove ``node_id`` from the table; True if it was present."""
+        if node_id == self.owner_id:
+            return False
+        removed = self.bucket_for(node_id).remove(node_id)
+        if removed:
+            self._contacts_cache = None
+        return removed
+
+    def record_failure(self, node_id: int) -> bool:
+        """Record a failed round-trip; True if the contact was dropped as stale."""
+        if node_id == self.owner_id:
+            return False
+        dropped = self.bucket_for(node_id).record_failure(
+            node_id, self.config.staleness_limit
+        )
+        if dropped:
+            self._contacts_cache = None
+        return dropped
+
+    def record_success(self, node_id: int, time: float) -> bool:
+        """Record a successful round-trip with an existing contact."""
+        if node_id == self.owner_id:
+            return False
+        return self.bucket_for(node_id).record_success(node_id, time)
+
+    # ------------------------------------------------------------------
+    def contains(self, node_id: int) -> bool:
+        """True if ``node_id`` is currently in the table."""
+        if node_id == self.owner_id:
+            return False
+        return node_id in self.bucket_for(node_id)
+
+    def contact_ids(self) -> List[int]:
+        """Return every contact id in the table (all buckets)."""
+        if self._contacts_cache is None:
+            ids: List[int] = []
+            for index in sorted(self._buckets):
+                ids.extend(self._buckets[index].contact_ids())
+            self._contacts_cache = ids
+        return list(self._contacts_cache)
+
+    def contact_count(self) -> int:
+        """Return the number of contacts currently stored."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def closest_contacts(self, target_id: int, count: Optional[int] = None) -> List[int]:
+        """Return up to ``count`` contact ids closest to ``target_id``.
+
+        ``count`` defaults to the bucket size ``k`` — the reply size of a
+        FIND_NODE RPC.
+        """
+        count = self.config.bucket_size if count is None else count
+        if self._contacts_cache is None:
+            self.contact_ids()
+        contacts = self._contacts_cache
+        if len(contacts) <= count:
+            return sort_by_distance(contacts, target_id)
+        smallest = heapq.nsmallest(count, contacts, key=lambda c: c ^ target_id)
+        return smallest
+
+    # ------------------------------------------------------------------
+    def refresh_targets(self, rng: random.Random) -> List[int]:
+        """Return the lookup targets of one maintenance bucket refresh.
+
+        One random identifier per refreshed bucket.  With
+        ``config.refresh_all_buckets`` every bucket range is refreshed (the
+        paper's description); otherwise only buckets that currently hold
+        contacts are refreshed, plus one random identifier over the whole
+        space so an almost-empty table still explores.
+        """
+        targets: List[int] = []
+        if self.config.refresh_all_buckets:
+            indices = range(self.config.bit_length)
+        else:
+            indices = sorted(self._buckets)
+        for index in indices:
+            targets.append(
+                random_id_in_bucket(
+                    self.owner_id, index, self.config.bit_length, rng
+                )
+            )
+        if not self.config.refresh_all_buckets:
+            targets.append(rng.randrange(self.config.id_space_size))
+        return targets
+
+    def occupancy_by_bucket(self) -> Dict[int, int]:
+        """Return ``bucket index -> contact count`` for non-empty buckets."""
+        return {
+            index: len(bucket)
+            for index, bucket in sorted(self._buckets.items())
+            if len(bucket) > 0
+        }

@@ -1,0 +1,87 @@
+"""PeerSim-style periodic controls and observers.
+
+A *control* is a piece of code executed at fixed simulated-time intervals,
+outside of any protocol: churn generation, traffic generation and snapshot
+observation are all controls.  This mirrors PeerSim's ``Control`` interface,
+which the paper's simulation setup uses for the same purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.simulator.engine import Simulator
+
+
+class PeriodicControl:
+    """Executes a callback every ``interval`` simulated minutes.
+
+    Parameters
+    ----------
+    simulator:
+        The event engine to schedule on.
+    interval:
+        Minutes between invocations.
+    callback:
+        Zero-argument callable to run.
+    start:
+        Absolute time of the first invocation (default: one interval from
+        the current time).
+    end:
+        No invocations are scheduled after this time (default: run forever,
+        bounded by the experiment's ``run_until``).
+    name:
+        Label used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        name: str = "control",
+    ) -> None:
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self.name = name
+        self.invocations = 0
+        self._active = True
+
+        def _wrapped() -> None:
+            if self._active:
+                self.callback()
+                self.invocations += 1
+
+        simulator.schedule_periodic(
+            interval, _wrapped, start=start, end=end, label=name
+        )
+
+    def stop(self) -> None:
+        """Disable the control; already-scheduled ticks become no-ops."""
+        self._active = False
+
+
+class ObserverRegistry:
+    """A list of observation callbacks invoked with the current time.
+
+    The experiment runner registers one observer per measurement (network
+    size, routing-table snapshot) and triggers them at snapshot times.
+    """
+
+    def __init__(self) -> None:
+        self._observers: List[Callable[[float], None]] = []
+
+    def register(self, observer: Callable[[float], None]) -> None:
+        """Add ``observer``; it will be called with the simulated time."""
+        self._observers.append(observer)
+
+    def notify(self, time: float) -> None:
+        """Invoke every registered observer."""
+        for observer in self._observers:
+            observer(time)
+
+    def __len__(self) -> int:
+        return len(self._observers)

@@ -1,0 +1,126 @@
+"""The discrete-event simulation loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simulator.errors import SchedulingError
+from repro.simulator.events import Event, EventQueue
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator.
+
+    Time is a float measured in **simulated minutes** to match the paper's
+    figures.  Events fire in ``(time, scheduling order)`` order.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(5.0, lambda: fired.append(sim.now))
+    >>> sim.run_until(10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in minutes."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        return self._queue.push(time, callback, label=label)
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` simulated minutes."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, label=label)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        label: str = "",
+    ) -> None:
+        """Schedule ``callback`` every ``interval`` minutes.
+
+        The first invocation happens at ``start`` (default: now + interval);
+        rescheduling stops once the next invocation would be after ``end``.
+        """
+        if interval <= 0:
+            raise SchedulingError(f"non-positive interval {interval}")
+        first = self._now + interval if start is None else start
+
+        def _tick() -> None:
+            callback()
+            next_time = self._now + interval
+            if end is None or next_time <= end:
+                self._queue.push(next_time, _tick, label=label)
+
+        if end is None or first <= end:
+            self.schedule_at(first, _tick, label=label)
+
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: float) -> None:
+        """Execute events up to and including ``end_time``; advance the clock."""
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            event = self._queue.pop()
+            if event is None:
+                break
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+        self._now = max(self._now, end_time)
+
+    def run_all(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` is reached)."""
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue.pop()
+            if event is None:
+                break
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            executed += 1
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock."""
+        self._queue.clear()
+        self._now = float(start_time)
+        self._events_processed = 0

@@ -1,0 +1,17 @@
+"""Exceptions raised by the simulation engine."""
+
+
+class SimulationError(Exception):
+    """Base class for simulation errors."""
+
+
+class SchedulingError(SimulationError, ValueError):
+    """Raised when an event is scheduled in the past or with a bad interval."""
+
+
+class NodeNotFoundError(SimulationError, KeyError):
+    """Raised when a node id is not registered in the network."""
+
+    def __init__(self, node_id):
+        super().__init__(f"node {node_id!r} is not in the network")
+        self.node_id = node_id

@@ -1,0 +1,37 @@
+"""Protocol interface — the PeerSim "EDProtocol" equivalent.
+
+A protocol instance is attached to exactly one :class:`SimNode` and handles
+the request messages delivered to that node by the transport.  The Kademlia
+implementation in :mod:`repro.kademlia.protocol` is the only production
+protocol, but tests register lightweight fake protocols to exercise the
+transport in isolation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+
+class Protocol(abc.ABC):
+    """Base class for node protocols."""
+
+    #: Name under which the protocol registers itself on its node.
+    protocol_name: str = "protocol"
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    @abc.abstractmethod
+    def handle_request(self, sender_id: int, request: Any) -> Optional[Any]:
+        """Handle a request from ``sender_id`` and return the response payload.
+
+        Returning ``None`` models a node that received the request but sends
+        no answer (the requester will treat it as a failed round-trip).
+        """
+
+    def on_join(self, time: float) -> None:
+        """Hook invoked when the owning node joins the network."""
+
+    def on_leave(self, time: float) -> None:
+        """Hook invoked when the owning node leaves the network."""

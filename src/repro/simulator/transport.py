@@ -1,0 +1,135 @@
+"""Message transport with per-message loss.
+
+The paper's message-loss model (Table 1) specifies the probability that a
+*one-way* message is lost; a request/response round-trip fails when either
+direction is lost.  The transport applies exactly that model:
+
+* the request leg is drawn first — if it is lost the target never sees the
+  request and the requester observes a failed round-trip;
+* otherwise the target's protocol handles the request (all of its side
+  effects happen, e.g. it learns about the requester), and the response leg
+  is drawn — if the response is lost the requester still observes a failure
+  even though the target processed the request.
+
+Requests to dead or unknown nodes always fail, which is how churn manifests
+to the protocol layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.simulator.network import Network
+
+
+@dataclass
+class TransportStats:
+    """Counters describing the traffic a simulation produced."""
+
+    requests_sent: int = 0
+    requests_lost: int = 0
+    responses_lost: int = 0
+    requests_to_dead_nodes: int = 0
+    round_trips_ok: int = 0
+
+    @property
+    def round_trips_failed(self) -> int:
+        """Total failed round-trips, from any cause."""
+        return self.requests_lost + self.responses_lost + self.requests_to_dead_nodes
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.requests_sent = 0
+        self.requests_lost = 0
+        self.responses_lost = 0
+        self.requests_to_dead_nodes = 0
+        self.round_trips_ok = 0
+
+
+class Transport:
+    """Synchronous request/response transport with Bernoulli message loss.
+
+    Parameters
+    ----------
+    network:
+        The node registry used to resolve target ids.
+    loss_probability:
+        Probability that a single one-way message is lost (paper Table 1,
+        column ``Ploss(1-way)``).
+    rng:
+        Random stream used for the loss draws.
+    protocol_name:
+        Name of the protocol each request is dispatched to.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+        protocol_name: str = "kademlia",
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.network = network
+        self.loss_probability = loss_probability
+        self.rng = rng or random.Random()
+        self.protocol_name = protocol_name
+        self.stats = TransportStats()
+
+    # ------------------------------------------------------------------
+    def one_way_lost(self) -> bool:
+        """Draw whether a single one-way message is lost."""
+        if self.loss_probability <= 0.0:
+            return False
+        return self.rng.random() < self.loss_probability
+
+    def rpc(
+        self, sender_id: int, target_id: int, request: Any
+    ) -> Tuple[bool, Optional[Any]]:
+        """Perform a request/response round-trip.
+
+        Returns ``(success, response)``.  ``success`` is False when the
+        target is dead/unknown, the request leg was lost, the target chose
+        not to answer, or the response leg was lost.
+        """
+        self.stats.requests_sent += 1
+
+        if not self.network.contains(target_id) or not self.network.is_alive(target_id):
+            self.stats.requests_to_dead_nodes += 1
+            return False, None
+
+        if self.one_way_lost():
+            self.stats.requests_lost += 1
+            return False, None
+
+        target = self.network.get(target_id)
+        protocol = target.protocols.get(self.protocol_name)
+        if protocol is None:
+            self.stats.requests_to_dead_nodes += 1
+            return False, None
+        response = protocol.handle_request(sender_id, request)
+        if response is None:
+            self.stats.responses_lost += 1
+            return False, None
+
+        if self.one_way_lost():
+            self.stats.responses_lost += 1
+            return False, None
+
+        self.stats.round_trips_ok += 1
+        return True, response
+
+    # ------------------------------------------------------------------
+    def two_way_loss_probability(self) -> float:
+        """Probability that a request/response round-trip fails due to loss.
+
+        Matches the paper's ``Ploss(2-way)`` column:
+        ``1 - (1 - p)**2`` for one-way probability ``p``.
+        """
+        p = self.loss_probability
+        return 1.0 - (1.0 - p) ** 2

@@ -1,0 +1,93 @@
+"""Tests for the structural graph metrics."""
+
+import random
+
+import pytest
+
+from repro.analysis.graph_metrics import (
+    DegreeDistribution,
+    compute_graph_metrics,
+    routing_table_occupancy,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import bidirectional_cycle, complete_graph, directed_cycle
+
+
+class TestDegreeDistribution:
+    def test_summary_values(self):
+        dist = DegreeDistribution.from_degrees([1, 2, 3, 4, 5])
+        assert dist.minimum == 1
+        assert dist.maximum == 5
+        assert dist.average == 3.0
+        assert dist.median == 3.0
+
+    def test_empty_sequence(self):
+        dist = DegreeDistribution.from_degrees([])
+        assert dist.minimum == 0 and dist.average == 0.0
+
+    def test_percentiles_ordered(self):
+        dist = DegreeDistribution.from_degrees(list(range(100)))
+        assert dist.percentile_5 <= dist.median <= dist.percentile_95
+
+
+class TestGraphMetrics:
+    def test_complete_graph(self):
+        metrics = compute_graph_metrics(complete_graph(6))
+        assert metrics.vertex_count == 6
+        assert metrics.edge_count == 30
+        assert metrics.in_degrees.minimum == 5
+        assert metrics.out_degrees.maximum == 5
+        assert metrics.reciprocity == 1.0
+        assert metrics.strongly_connected_components == 1
+        assert metrics.largest_scc_fraction == 1.0
+        assert metrics.estimated_average_path_length == pytest.approx(1.0)
+
+    def test_directed_cycle_path_length(self):
+        metrics = compute_graph_metrics(directed_cycle(6))
+        # Distances 1..5 from each source, mean 3.
+        assert metrics.estimated_average_path_length == pytest.approx(3.0)
+        assert metrics.reciprocity == 0.0
+
+    def test_disconnected_graph(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 1)])
+        graph.add_vertex(3)
+        metrics = compute_graph_metrics(graph)
+        assert metrics.strongly_connected_components == 2
+        assert metrics.largest_scc_fraction == pytest.approx(2 / 3)
+        assert metrics.in_degrees.minimum == 0
+
+    def test_empty_graph(self):
+        metrics = compute_graph_metrics(DiGraph())
+        assert metrics.vertex_count == 0
+        assert metrics.estimated_average_path_length is None
+        assert metrics.largest_scc_fraction == 0.0
+
+    def test_as_dict_keys(self):
+        data = compute_graph_metrics(bidirectional_cycle(5)).as_dict()
+        assert data["reciprocity"] == 1.0
+        assert data["vertex_count"] == 5
+        assert "estimated_average_path_length" in data
+
+    def test_sampled_path_length_reproducible(self):
+        graph = complete_graph(30)
+        a = compute_graph_metrics(graph, path_length_samples=5, rng=random.Random(1))
+        b = compute_graph_metrics(graph, path_length_samples=5, rng=random.Random(1))
+        assert a.estimated_average_path_length == b.estimated_average_path_length
+
+
+class TestRoutingTableOccupancy:
+    def test_occupancy(self):
+        tables = {1: [2, 3, 4], 2: [1], 3: []}
+        stats = routing_table_occupancy(tables, bucket_capacity=2)
+        assert stats["nodes"] == 3
+        assert stats["mean_contacts"] == pytest.approx(4 / 3)
+        assert stats["min_contacts"] == 0
+        assert stats["max_contacts"] == 3
+        assert stats["mean_buckets_worth"] == pytest.approx(2 / 3)
+
+    def test_empty_tables(self):
+        assert routing_table_occupancy({}, bucket_capacity=5)["nodes"] == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            routing_table_occupancy({1: []}, bucket_capacity=0)

@@ -1,0 +1,89 @@
+"""Tests for statistics helpers and text figure rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.figures import format_table, render_ascii_chart, render_series_table
+from repro.analysis.statistics import (
+    mean,
+    population_variance,
+    relative_variance,
+    sample_variance,
+    standard_deviation,
+    summarize,
+)
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_population_variance(self):
+        assert population_variance([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            population_variance([])
+
+    def test_sample_variance(self):
+        assert sample_variance([1, 2, 3]) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            sample_variance([1])
+
+    def test_standard_deviation(self):
+        assert standard_deviation([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_relative_variance_definition(self):
+        """RV = variance / mean (paper Table 2)."""
+        values = [1.0, 3.0]
+        assert relative_variance(values) == pytest.approx(1.0 / 2.0)
+
+    def test_relative_variance_zero_mean_and_empty(self):
+        assert relative_variance([]) == 0.0
+        assert relative_variance([0, 0, 0]) == 0.0
+
+    def test_summarize(self):
+        summary = summarize([1, 2, 3])
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1 and summary["max"] == 3
+        assert summarize([])["count"] == 0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+    def test_relative_variance_non_negative_for_positive_values(self, values):
+        assert relative_variance(values) >= 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    def test_mean_within_bounds(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+class TestFigureRendering:
+    def test_render_series_table_alignment(self):
+        text = render_series_table([1.0, 2.0], {"Min": [3, 4], "Avg": [5, 6]})
+        lines = text.splitlines()
+        assert "time (min)" in lines[0]
+        assert "Min" in lines[0] and "Avg" in lines[0]
+        assert len(lines) == 4
+
+    def test_render_series_table_length_mismatch(self):
+        with pytest.raises(ValueError, match="has 1 values for 2 times"):
+            render_series_table([1.0, 2.0], {"Min": [3]})
+
+    def test_render_ascii_chart(self):
+        chart = render_ascii_chart([1, 2, 3, 4], height=4, label="demo")
+        assert chart.splitlines()[0] == "demo"
+        assert "█" in chart
+
+    def test_render_ascii_chart_empty_and_invalid(self):
+        assert "empty series" in render_ascii_chart([], label="x")
+        with pytest.raises(ValueError):
+            render_ascii_chart([1], height=0)
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("a")

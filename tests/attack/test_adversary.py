@@ -1,0 +1,103 @@
+"""Tests for the adversary strategies."""
+
+import random
+
+import pytest
+
+from repro.attack.adversary import (
+    Adversary,
+    highest_degree_strategy,
+    lowest_degree_strategy,
+    min_cut_strategy,
+    random_strategy,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import bidirectional_cycle, circulant_graph, figure1_example_graph
+
+
+class TestStrategies:
+    def test_random_strategy_respects_budget(self, circulant12):
+        targets = random_strategy(circulant12, 5, random.Random(0))
+        assert len(targets) == 5
+        assert len(set(targets)) == 5
+        assert all(circulant12.has_vertex(v) for v in targets)
+
+    def test_random_strategy_budget_larger_than_graph(self, ring10):
+        targets = random_strategy(ring10, 50, random.Random(0))
+        assert len(targets) == 10
+
+    def test_highest_degree_picks_hubs(self):
+        graph = DiGraph()
+        for leaf in range(1, 6):
+            graph.add_edge(0, leaf)
+            graph.add_edge(leaf, 0)
+        targets = highest_degree_strategy(graph, 1, random.Random(0))
+        assert targets == [0]
+
+    def test_lowest_degree_picks_leaves(self):
+        graph = DiGraph()
+        for leaf in range(1, 6):
+            graph.add_edge(0, leaf)
+            graph.add_edge(leaf, 0)
+        graph.add_edge(1, 2)
+        targets = lowest_degree_strategy(graph, 1, random.Random(0))
+        assert targets[0] not in (0, 1, 2)
+
+    def test_min_cut_strategy_disconnects_barbell(self):
+        """Two triangles joined through one articulation chain: the cut is a single vertex."""
+        graph = DiGraph()
+        undirected_edges = [
+            ("a", "b"), ("b", "c"), ("c", "a"),          # triangle 1
+            ("d", "f"), ("f", "g"), ("g", "d"),          # triangle 2
+            ("c", "e"), ("e", "d"),                       # bridge through e
+        ]
+        for u, v in undirected_edges:
+            graph.add_edge(u, v)
+            graph.add_edge(v, u)
+        targets = min_cut_strategy(graph, 3, random.Random(0))
+        assert len(targets) == 1
+        reduced = graph.copy()
+        reduced.remove_vertex(targets[0])
+        from repro.graph.algorithms.components import is_strongly_connected
+        assert not is_strongly_connected(reduced)
+
+    def test_min_cut_strategy_on_cycle(self, ring10):
+        """A bidirectional cycle has vertex connectivity 2: the cut has 2 nodes."""
+        targets = min_cut_strategy(ring10, 5, random.Random(0))
+        assert len(targets) == 2
+        reduced = ring10.copy()
+        for vertex in targets:
+            reduced.remove_vertex(vertex)
+        from repro.graph.algorithms.components import is_strongly_connected
+        assert not is_strongly_connected(reduced)
+
+    def test_min_cut_strategy_tiny_graph_falls_back(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 1)])
+        assert min_cut_strategy(graph, 1, random.Random(0)) == []
+
+
+class TestAdversary:
+    def test_named_strategies(self, circulant12):
+        for name in ("random", "highest-degree", "lowest-degree", "min-cut"):
+            adversary = Adversary(budget=2, strategy=name, seed=1)
+            targets = adversary.choose_targets(circulant12)
+            assert len(targets) <= 2
+            assert adversary.strategy_name == name
+
+    def test_custom_callable_strategy(self, circulant12):
+        adversary = Adversary(budget=2, strategy=lambda g, b, r: g.vertices()[:b])
+        assert adversary.choose_targets(circulant12) == [0, 1]
+
+    def test_zero_budget(self, circulant12):
+        assert Adversary(budget=0).choose_targets(circulant12) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Adversary(budget=-1)
+        with pytest.raises(ValueError):
+            Adversary(budget=1, strategy="nuclear")
+        with pytest.raises(TypeError):
+            Adversary(budget=1, strategy=42)
+
+    def test_empty_graph(self):
+        assert Adversary(budget=3).choose_targets(DiGraph()) == []

@@ -1,0 +1,93 @@
+"""Tests for the attack evaluation and the empirical Equation-2 validation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attack.adversary import Adversary
+from repro.attack.evaluation import AttackOutcome, evaluate_attack, resilience_curve
+from repro.core.vertex_connectivity import global_vertex_connectivity
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import bidirectional_cycle, circulant_graph, complete_graph
+
+
+class TestEvaluateAttack:
+    def test_attack_below_connectivity_never_disconnects(self, circulant12):
+        """Equation 2: budgets below kappa cannot disconnect the survivors."""
+        kappa = global_vertex_connectivity(circulant12)  # 4
+        for strategy in ("random", "highest-degree", "lowest-degree", "min-cut"):
+            adversary = Adversary(budget=kappa - 1, strategy=strategy, seed=3)
+            outcome = evaluate_attack(circulant12, adversary,
+                                      pre_attack_connectivity=kappa)
+            assert outcome.connected, strategy
+            assert outcome.predicted_safe
+            assert outcome.prediction_held
+
+    def test_min_cut_attack_at_connectivity_disconnects(self, ring10):
+        """Spending exactly kappa nodes on a minimum cut splits the cycle."""
+        kappa = global_vertex_connectivity(ring10)  # 2
+        adversary = Adversary(budget=kappa, strategy="min-cut", seed=0)
+        outcome = evaluate_attack(ring10, adversary, pre_attack_connectivity=kappa)
+        assert not outcome.predicted_safe
+        assert not outcome.connected
+        assert outcome.largest_component_fraction < 1.0
+        assert outcome.prediction_held  # "unsafe" predictions are never falsified
+
+    def test_survivor_counts(self, circulant12):
+        adversary = Adversary(budget=3, strategy="random", seed=5)
+        outcome = evaluate_attack(circulant12, adversary)
+        assert outcome.survivors == 12 - 3
+        assert len(outcome.compromised) == 3
+        assert outcome.predicted_safe is None
+        assert outcome.prediction_held is None
+
+    def test_attack_wiping_out_network(self):
+        graph = complete_graph(3)
+        outcome = evaluate_attack(graph, Adversary(budget=3, strategy="random"))
+        assert outcome.survivors == 0
+        assert not outcome.connected
+
+    def test_single_survivor_counts_as_connected(self):
+        graph = complete_graph(3)
+        outcome = evaluate_attack(graph, Adversary(budget=2, strategy="random"))
+        assert outcome.survivors == 1
+        assert outcome.connected
+
+
+class TestResilienceCurve:
+    def test_curve_shape(self, circulant12):
+        rows = resilience_curve(circulant12, budgets=[0, 1, 3, 6], strategy="random",
+                                trials=4, seed=2)
+        assert [row["budget"] for row in rows] == [0, 1, 3, 6]
+        # Below the connectivity (4) survival is guaranteed.
+        assert rows[0]["survival_rate"] == 1.0
+        assert rows[1]["survival_rate"] == 1.0
+        assert rows[2]["survival_rate"] == 1.0
+        assert all(row["connectivity"] == 4 for row in rows)
+        assert rows[0]["predicted_safe"] and not rows[3]["predicted_safe"]
+
+    def test_min_cut_curve_collapses_at_kappa(self, ring10):
+        rows = resilience_curve(ring10, budgets=[1, 2], strategy="min-cut", trials=2)
+        assert rows[0]["survival_rate"] == 1.0
+        assert rows[1]["survival_rate"] < 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=4, max_value=10), st.integers(min_value=0, max_value=10_000))
+def test_equation2_holds_on_random_regular_graphs(n, seed):
+    """Property: for random graphs, any attack with budget < kappa leaves the
+    survivors strongly connected (Equation 2)."""
+    rng = random.Random(seed)
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < 0.5:
+                graph.add_edge(i, j)
+    kappa = global_vertex_connectivity(graph)
+    if kappa <= 1:
+        return
+    adversary = Adversary(budget=kappa - 1, strategy="random", seed=seed)
+    outcome = evaluate_attack(graph, adversary, pre_attack_connectivity=kappa)
+    assert outcome.connected

@@ -1,0 +1,57 @@
+"""Tests for the churn scenarios."""
+
+import random
+
+import pytest
+
+from repro.churn.churn_model import (
+    CHURN_SCENARIOS,
+    JOIN,
+    LEAVE,
+    ChurnScenario,
+    get_churn_scenario,
+)
+
+
+class TestChurnScenario:
+    def test_registry_contains_paper_scenarios(self):
+        assert set(CHURN_SCENARIOS) == {"none", "0/1", "1/1", "10/10"}
+        assert CHURN_SCENARIOS["10/10"].joins_per_minute == 10
+        assert CHURN_SCENARIOS["0/1"].joins_per_minute == 0
+        assert CHURN_SCENARIOS["0/1"].leaves_per_minute == 1
+
+    def test_is_active(self):
+        assert not CHURN_SCENARIOS["none"].is_active
+        assert CHURN_SCENARIOS["1/1"].is_active
+
+    def test_parse(self):
+        scenario = ChurnScenario.parse("3/7")
+        assert scenario.joins_per_minute == 3
+        assert scenario.leaves_per_minute == 7
+        with pytest.raises(ValueError):
+            ChurnScenario.parse("3-7")
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnScenario("bad", -1, 0)
+
+    def test_get_churn_scenario_falls_back_to_parse(self):
+        assert get_churn_scenario("1/1") is CHURN_SCENARIOS["1/1"]
+        assert get_churn_scenario("2/5").leaves_per_minute == 5
+
+    def test_minute_actions_counts(self):
+        rng = random.Random(0)
+        actions = CHURN_SCENARIOS["10/10"].minute_actions(120.0, rng)
+        kinds = [kind for _, kind in actions]
+        assert kinds.count(JOIN) == 10
+        assert kinds.count(LEAVE) == 10
+
+    def test_minute_actions_within_window_and_sorted(self):
+        rng = random.Random(1)
+        actions = CHURN_SCENARIOS["10/10"].minute_actions(50.0, rng)
+        times = [time for time, _ in actions]
+        assert all(50.0 <= t < 51.0 for t in times)
+        assert times == sorted(times)
+
+    def test_no_churn_produces_no_actions(self):
+        assert CHURN_SCENARIOS["none"].minute_actions(0.0, random.Random(0)) == []

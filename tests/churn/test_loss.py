@@ -1,0 +1,38 @@
+"""Tests for the message-loss scenarios (paper Table 1)."""
+
+import pytest
+
+from repro.churn.loss import LOSS_SCENARIOS, MessageLossModel, get_loss_model
+
+
+class TestLossScenarios:
+    def test_table1_one_way_values(self):
+        assert LOSS_SCENARIOS["none"].one_way_probability == 0.0
+        assert LOSS_SCENARIOS["low"].one_way_probability == pytest.approx(0.025)
+        assert LOSS_SCENARIOS["medium"].one_way_probability == pytest.approx(0.134)
+        assert LOSS_SCENARIOS["high"].one_way_probability == pytest.approx(0.293)
+
+    def test_table1_two_way_values(self):
+        """The derived two-way probabilities match Table 1 (5 %, 25 %, 50 %)."""
+        assert LOSS_SCENARIOS["none"].two_way_probability == 0.0
+        assert LOSS_SCENARIOS["low"].two_way_probability == pytest.approx(0.05, abs=0.002)
+        assert LOSS_SCENARIOS["medium"].two_way_probability == pytest.approx(0.25, abs=0.002)
+        assert LOSS_SCENARIOS["high"].two_way_probability == pytest.approx(0.50, abs=0.002)
+
+    def test_from_two_way_inverse(self):
+        model = MessageLossModel.from_two_way("custom", 0.25)
+        assert model.two_way_probability == pytest.approx(0.25)
+        assert model.one_way_probability == pytest.approx(0.134, abs=0.001)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            MessageLossModel("bad", 1.0)
+        with pytest.raises(ValueError):
+            MessageLossModel("bad", -0.1)
+        with pytest.raises(ValueError):
+            MessageLossModel.from_two_way("bad", 1.0)
+
+    def test_get_loss_model(self):
+        assert get_loss_model("high").name == "high"
+        with pytest.raises(KeyError, match="unknown loss scenario"):
+            get_loss_model("extreme")

@@ -1,0 +1,89 @@
+"""Tests for the traffic model and the bootstrap procedure."""
+
+import random
+
+import pytest
+
+from repro.churn.bootstrap import BootstrapSchedule, RandomBootstrapPolicy
+from repro.churn.traffic import DISSEMINATE, LOOKUP, TrafficModel
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+
+
+class TestTrafficModel:
+    def test_paper_default_rates(self):
+        model = TrafficModel.paper_default()
+        assert model.enabled
+        assert model.lookups_per_node_per_minute == 10.0
+        assert model.disseminations_per_node_per_minute == 1.0
+
+    def test_disabled_model_produces_no_actions(self):
+        model = TrafficModel.disabled()
+        assert model.minute_actions(5.0, random.Random(0)) == []
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficModel(lookups_per_node_per_minute=-1)
+        with pytest.raises(ValueError):
+            TrafficModel(disseminations_per_node_per_minute=-1)
+
+    def test_integer_rates_exact_counts(self):
+        model = TrafficModel(lookups_per_node_per_minute=3,
+                             disseminations_per_node_per_minute=1)
+        actions = model.minute_actions(0.0, random.Random(0))
+        kinds = [kind for _, kind in actions]
+        assert kinds.count(LOOKUP) == 3
+        assert kinds.count(DISSEMINATE) == 1
+
+    def test_actions_sorted_and_in_window(self):
+        model = TrafficModel(lookups_per_node_per_minute=5)
+        actions = model.minute_actions(30.0, random.Random(3))
+        times = [time for time, _ in actions]
+        assert times == sorted(times)
+        assert all(30.0 <= t < 31.0 for t in times)
+
+    def test_fractional_rate_expected_count(self):
+        """A rate of 0.5 produces the action in roughly half of the minutes."""
+        model = TrafficModel(lookups_per_node_per_minute=0.5,
+                             disseminations_per_node_per_minute=0.0)
+        rng = random.Random(11)
+        total = sum(len(model.minute_actions(float(m), rng)) for m in range(2000))
+        assert total == pytest.approx(1000, rel=0.1)
+
+
+class TestBootstrap:
+    def test_uniform_schedule_properties(self):
+        rng = random.Random(0)
+        schedule = BootstrapSchedule.uniform(100, 30.0, rng)
+        assert len(schedule) == 100
+        assert schedule.join_times == sorted(schedule.join_times)
+        assert all(0.0 <= t < 30.0 for t in schedule.join_times)
+
+    def test_uniform_schedule_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            BootstrapSchedule.uniform(0, 30.0, rng)
+        with pytest.raises(ValueError):
+            BootstrapSchedule.uniform(5, 0.0, rng)
+
+    def test_random_policy_returns_none_for_first_node(self):
+        policy = RandomBootstrapPolicy(random.Random(0))
+        assert policy.select(Network(), joining_id=1) is None
+
+    def test_random_policy_excludes_joining_node(self):
+        network = Network()
+        network.add_node(SimNode(1))
+        policy = RandomBootstrapPolicy(random.Random(0))
+        assert policy.select(network, joining_id=1) is None
+        network.add_node(SimNode(2))
+        for _ in range(10):
+            assert policy.select(network, joining_id=2) == 1
+
+    def test_random_policy_only_alive_nodes(self):
+        network = Network()
+        network.add_node(SimNode(1))
+        network.add_node(SimNode(2))
+        network.remove_node(1, time=0.0)
+        policy = RandomBootstrapPolicy(random.Random(0))
+        for _ in range(10):
+            assert policy.select(network, joining_id=3) == 2

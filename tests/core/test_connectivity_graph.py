@@ -1,0 +1,63 @@
+"""Tests for connectivity-graph construction."""
+
+from repro.core.connectivity_graph import (
+    build_connectivity_graph,
+    connectivity_graph_from_protocols,
+    disconnected_vertices,
+)
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.protocol import KademliaProtocol
+
+
+class TestBuildConnectivityGraph:
+    def test_vertices_match_alive_nodes(self):
+        graph = build_connectivity_graph({1: [2], 2: [1], 3: []})
+        assert sorted(graph.vertices()) == [1, 2, 3]
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+        assert graph.out_degree(3) == 0
+
+    def test_edges_to_departed_nodes_dropped(self):
+        """Contacts pointing at nodes outside the alive set are ignored."""
+        graph = build_connectivity_graph({1: [2, 99], 2: [1]})
+        assert not graph.has_vertex(99)
+        assert graph.out_degree(1) == 1
+
+    def test_explicit_alive_set_filters_vertices(self):
+        tables = {1: [2, 3], 2: [1], 3: [1]}
+        graph = build_connectivity_graph(tables, alive_nodes=[1, 2])
+        assert sorted(graph.vertices()) == [1, 2]
+        assert not graph.has_edge(1, 3)
+
+    def test_self_references_ignored(self):
+        graph = build_connectivity_graph({1: [1, 2], 2: []})
+        assert not graph.has_edge(1, 1)
+        assert graph.has_edge(1, 2)
+
+    def test_unit_capacities(self):
+        graph = build_connectivity_graph({1: [2], 2: [1]})
+        assert graph.capacity(1, 2) == 1.0
+
+    def test_empty_snapshot(self):
+        graph = build_connectivity_graph({})
+        assert graph.number_of_vertices() == 0
+
+    def test_from_protocols(self):
+        config = KademliaConfig(bit_length=16, bucket_size=4)
+        protocols = [KademliaProtocol(node_id, config) for node_id in (1, 2, 3)]
+        protocols[0].routing_table.add_contact(2, 0.0)
+        protocols[1].routing_table.add_contact(3, 0.0)
+        graph = connectivity_graph_from_protocols(protocols)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 3)
+        assert graph.number_of_vertices() == 3
+
+
+class TestDisconnectedVertices:
+    def test_detects_sinks_and_sources(self):
+        graph = build_connectivity_graph({1: [2], 2: [1], 3: [1], 4: []})
+        # 3 has in-degree 0 (nobody lists it); 4 has out-degree 0 and in-degree 0.
+        assert set(disconnected_vertices(graph)) == {3, 4}
+
+    def test_none_for_mutual_knowledge(self):
+        graph = build_connectivity_graph({1: [2], 2: [1]})
+        assert disconnected_vertices(graph) == []

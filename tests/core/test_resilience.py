@@ -1,0 +1,68 @@
+"""Tests for the resilience model (paper Equation 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.resilience import (
+    ResilienceModel,
+    required_bucket_size,
+    required_connectivity,
+    resilience_of,
+)
+
+
+class TestResilienceFunctions:
+    def test_resilience_of_positive_connectivity(self):
+        assert resilience_of(5) == 4
+        assert resilience_of(1) == 0
+
+    def test_resilience_of_zero_clamped(self):
+        assert resilience_of(0) == 0
+
+    def test_resilience_of_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resilience_of(-1)
+
+    def test_required_connectivity(self):
+        assert required_connectivity(0) == 1
+        assert required_connectivity(4) == 5
+        with pytest.raises(ValueError):
+            required_connectivity(-1)
+
+    def test_required_bucket_size_floor_of_ten(self):
+        """k > r, but never below the paper's advised minimum of 10."""
+        assert required_bucket_size(3) == 10
+        assert required_bucket_size(9) == 10
+        assert required_bucket_size(15) == 16
+        with pytest.raises(ValueError):
+            required_bucket_size(-1)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_equation2_consistency(self, kappa):
+        """kappa > r = kappa - 1 >= a for any a <= r."""
+        r = resilience_of(kappa)
+        assert kappa > r
+        assert required_connectivity(r) <= kappa
+
+
+class TestResilienceModel:
+    def test_requirements(self):
+        model = ResilienceModel(attacker_budget=4)
+        assert model.required_resilience == 4
+        assert model.required_connectivity == 5
+        assert model.recommended_bucket_size == 10
+
+    def test_large_budget_bucket_recommendation(self):
+        model = ResilienceModel(attacker_budget=24)
+        assert model.recommended_bucket_size == 25
+
+    def test_satisfaction(self):
+        model = ResilienceModel(attacker_budget=4)
+        assert model.is_satisfied_by(5)
+        assert not model.is_satisfied_by(4)
+        assert model.margin(7) == 2
+        assert model.margin(3) == -2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceModel(attacker_budget=-1)

@@ -1,0 +1,174 @@
+"""Tests for pairwise and global vertex connectivity."""
+
+import random
+
+import pytest
+
+from repro.core.vertex_connectivity import (
+    PairFlowEvaluator,
+    connectivity_statistics,
+    global_vertex_connectivity,
+    lowest_in_degree_vertices,
+    lowest_out_degree_vertices,
+    pairwise_vertex_connectivity,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    bidirectional_cycle,
+    circulant_graph,
+    complete_graph,
+    directed_cycle,
+    figure1_example_graph,
+)
+
+ALGORITHMS = ("dinic", "push_relabel", "edmonds_karp")
+
+
+class TestPairwiseConnectivity:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_figure1_kappa_is_one(self, algorithm):
+        """Paper Figure 1: kappa(a, i) = 1 although the edge max flow is 3."""
+        graph = figure1_example_graph()
+        assert pairwise_vertex_connectivity(graph, "a", "i", algorithm=algorithm) == 1
+
+    def test_bidirectional_cycle_kappa_two(self, ring10):
+        assert pairwise_vertex_connectivity(ring10, 0, 5) == 2
+
+    def test_circulant_kappa_four(self, circulant12):
+        assert pairwise_vertex_connectivity(circulant12, 0, 6) == 4
+
+    def test_unreachable_pair_is_zero(self):
+        graph = DiGraph.from_edges([(1, 2), (3, 4)])
+        assert pairwise_vertex_connectivity(graph, 1, 4) == 0
+
+    def test_adjacent_pair_rejected(self, ring10):
+        with pytest.raises(ValueError, match="adjacent"):
+            pairwise_vertex_connectivity(ring10, 0, 1)
+
+    def test_identical_pair_rejected(self, ring10):
+        with pytest.raises(ValueError, match="distinct"):
+            pairwise_vertex_connectivity(ring10, 0, 0)
+
+    def test_unknown_algorithm(self, ring10):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            pairwise_vertex_connectivity(ring10, 0, 5, algorithm="nope")
+
+
+class TestGlobalConnectivity:
+    def test_directed_cycle_is_one(self):
+        assert global_vertex_connectivity(directed_cycle(7)) == 1
+
+    def test_bidirectional_cycle_is_two(self, ring10):
+        assert global_vertex_connectivity(ring10) == 2
+
+    def test_circulant_is_four(self, circulant12):
+        assert global_vertex_connectivity(circulant12) == 4
+
+    def test_complete_graph_is_n_minus_one(self):
+        assert global_vertex_connectivity(complete_graph(6)) == 5
+
+    def test_graph_with_cut_vertex_is_one(self):
+        """Two triangles joined at a single shared vertex have kappa = 1."""
+        graph = DiGraph()
+        for a, b in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]:
+            graph.add_edge(a, b)
+            graph.add_edge(b, a)
+        assert global_vertex_connectivity(graph) == 1
+
+    def test_disconnected_graph_is_zero(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 1), (3, 4), (4, 3)])
+        assert global_vertex_connectivity(graph) == 0
+
+    def test_isolated_vertex_forces_zero(self, circulant12):
+        circulant12.add_vertex(99)
+        assert global_vertex_connectivity(circulant12) == 0
+
+    def test_single_vertex_and_empty(self):
+        assert global_vertex_connectivity(DiGraph()) == 0
+        lone = DiGraph()
+        lone.add_vertex(1)
+        assert global_vertex_connectivity(lone) == 0
+
+    def test_sampling_matches_exact_on_structured_graphs(self, circulant12, ring10):
+        for graph, expected in ((circulant12, 4), (ring10, 2)):
+            sampled = global_vertex_connectivity(
+                graph, sample_fraction=0.25, rng=random.Random(0)
+            )
+            assert sampled == expected
+
+
+class TestConnectivityStatistics:
+    def test_average_at_least_minimum(self, circulant12):
+        stats = connectivity_statistics(circulant12)
+        assert stats.minimum == 4
+        assert stats.average >= stats.minimum
+        assert stats.exact
+        assert stats.pairs_evaluated > 0
+
+    def test_complete_graph_fast_path(self):
+        stats = connectivity_statistics(complete_graph(5))
+        assert stats.minimum == 4 and stats.average == 4.0
+        assert stats.pairs_evaluated == 0
+
+    def test_zero_out_degree_vertex(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 1)])
+        graph.add_vertex(3)  # never added to anyone's table
+        stats = connectivity_statistics(graph)
+        assert stats.minimum == 0
+
+    def test_invalid_sample_fraction(self, ring10):
+        with pytest.raises(ValueError):
+            connectivity_statistics(ring10, sample_fraction=-0.5)
+
+    def test_cutoff_mode_preserves_minimum(self, circulant12):
+        exact = connectivity_statistics(circulant12)
+        capped = connectivity_statistics(circulant12, use_cutoff=True)
+        assert capped.minimum == exact.minimum
+
+    def test_min_pair_reported(self, figure1_graph):
+        stats = connectivity_statistics(figure1_graph)
+        assert stats.minimum == 0
+        assert stats.min_pair is not None
+
+
+class TestPairFlowEvaluator:
+    def test_kappa_matches_pairwise_function(self, circulant12):
+        evaluator = PairFlowEvaluator(circulant12)
+        assert evaluator.kappa(0, 6) == pairwise_vertex_connectivity(circulant12, 0, 6)
+
+    def test_kappa_rejects_adjacent_and_identical(self, circulant12):
+        evaluator = PairFlowEvaluator(circulant12)
+        with pytest.raises(ValueError):
+            evaluator.kappa(0, 1)
+        with pytest.raises(ValueError):
+            evaluator.kappa(0, 0)
+
+    def test_minimum_over_full_vertex_set_is_exact(self, ring10):
+        evaluator = PairFlowEvaluator(ring10)
+        vertices = ring10.vertices()
+        minimum, pairs = evaluator.minimum_over(vertices, vertices, use_cutoff=True)
+        assert minimum == 2
+        assert pairs > 0
+
+    def test_minimum_over_detects_zero_out_degree(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 1)])
+        graph.add_vertex(3)
+        evaluator = PairFlowEvaluator(graph)
+        minimum, _ = evaluator.minimum_over([3], [1, 2, 3])
+        assert minimum == 0
+
+    def test_average_over_random_pairs(self, circulant12):
+        evaluator = PairFlowEvaluator(circulant12)
+        average, evaluated = evaluator.average_over_random_pairs(20, random.Random(0))
+        assert evaluated == 20
+        assert average >= 4.0
+
+    def test_average_over_complete_graph_has_no_pairs(self):
+        evaluator = PairFlowEvaluator(complete_graph(4))
+        average, evaluated = evaluator.average_over_random_pairs(10, random.Random(0))
+        assert evaluated == 0
+        assert average == 0.0
+
+    def test_degree_helpers(self, figure1_graph):
+        assert lowest_out_degree_vertices(figure1_graph, 1) == ["i"]
+        assert lowest_in_degree_vertices(figure1_graph, 1) == ["a"]

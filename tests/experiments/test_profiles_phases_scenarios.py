@@ -1,0 +1,129 @@
+"""Tests for scale profiles, the phase schedule and the scenario registry."""
+
+import pytest
+
+from repro.experiments.phases import CHURN, SETUP, STABILIZATION, PhaseSchedule
+from repro.experiments.profiles import PROFILES, get_profile
+from repro.experiments.scenarios import (
+    PAPER_BUCKET_SIZES,
+    SCENARIOS,
+    Scenario,
+    ScenarioRegistry,
+    bucket_size_variants,
+    get_scenario,
+)
+
+
+class TestProfiles:
+    def test_registry_contains_expected_profiles(self):
+        assert set(PROFILES) == {"paper", "bench", "tiny"}
+
+    def test_paper_profile_matches_paper_numbers(self):
+        paper = get_profile("paper")
+        assert paper.small_network_size == 250
+        assert paper.large_network_size == 2500
+        assert paper.setup_minutes == 30.0
+        assert paper.churn_start == 120.0
+        assert paper.lookups_per_node_per_minute == 10.0
+        assert paper.refresh_interval_minutes == 60.0
+        assert paper.source_fraction == 0.02
+
+    def test_network_size_lookup(self):
+        bench = get_profile("bench")
+        assert bench.network_size("small") < bench.network_size("large")
+        with pytest.raises(ValueError):
+            bench.network_size("medium")
+
+    def test_simulation_end_for_zero_one_churn_depends_on_size(self):
+        paper = get_profile("paper")
+        assert paper.simulation_end("0/1", 250) == 120.0 + 240.0
+        assert paper.simulation_end("0/1", 2500) == 120.0 + 2490.0
+
+    def test_simulation_end_for_steady_churn_is_fixed(self):
+        paper = get_profile("paper")
+        assert paper.simulation_end("1/1", 250) == 120.0 + 1280.0
+        assert paper.simulation_end("none", 2500) == 120.0 + 1280.0
+
+    def test_with_overrides(self):
+        bench = get_profile("bench").with_overrides(small_network_size=10)
+        assert bench.small_network_size == 10
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            get_profile("huge")
+
+
+class TestPhaseSchedule:
+    def test_phase_classification(self):
+        phases = PhaseSchedule(setup_end=30, stabilization_end=120, simulation_end=400)
+        assert phases.phase_of(5) == SETUP
+        assert phases.phase_of(60) == STABILIZATION
+        assert phases.phase_of(130) == CHURN
+        assert phases.churn_window() == (120, 400)
+        assert phases.churn_duration == 280
+
+    def test_invalid_boundaries(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule(setup_end=0, stabilization_end=10, simulation_end=20)
+        with pytest.raises(ValueError):
+            PhaseSchedule(setup_end=30, stabilization_end=20, simulation_end=40)
+
+    def test_snapshot_times_include_end(self):
+        phases = PhaseSchedule(setup_end=10, stabilization_end=30, simulation_end=65)
+        times = phases.snapshot_times(20.0)
+        assert times == [20.0, 40.0, 60.0, 65.0]
+        with pytest.raises(ValueError):
+            phases.snapshot_times(0)
+
+
+class TestScenarios:
+    def test_registry_contains_a_through_l(self):
+        assert SCENARIOS.names() == list("ABCDEFGHIJKL")
+
+    def test_scenario_dimensions_match_paper(self):
+        assert get_scenario("A").traffic is False
+        assert get_scenario("C").traffic is True
+        assert get_scenario("B").size_class == "large"
+        assert get_scenario("E").churn == "1/1"
+        assert get_scenario("G").churn == "10/10"
+        assert get_scenario("J").churn == "none"
+        assert get_scenario("L").churn == "10/10"
+        # Simulations with churn, no loss, not about s: staleness limit 1.
+        for name in "ABCDEFGH":
+            assert get_scenario(name).staleness_limit == 1
+
+    def test_with_overrides_renames(self):
+        scenario = get_scenario("E").with_overrides(bucket_size=5)
+        assert scenario.bucket_size == 5
+        assert scenario.name == "E[bucket_size=5]"
+        assert get_scenario("E").bucket_size == 20  # original untouched
+
+    def test_kademlia_config_derivation(self):
+        scenario = get_scenario("E").with_overrides(bucket_size=10, alpha=5)
+        config = scenario.kademlia_config(refresh_interval_minutes=15.0)
+        assert config.bucket_size == 10
+        assert config.alpha == 5
+        assert config.refresh_interval_minutes == 15.0
+
+    def test_invalid_scenario_fields(self):
+        with pytest.raises(ValueError):
+            Scenario(name="X", description="bad size", size_class="medium")
+        with pytest.raises(KeyError):
+            Scenario(name="X", description="bad loss", loss="extreme")
+
+    def test_bucket_size_variants(self):
+        variants = bucket_size_variants(get_scenario("E"))
+        assert [v.bucket_size for v in variants] == list(PAPER_BUCKET_SIZES)
+
+    def test_registry_rejects_duplicates(self):
+        registry = ScenarioRegistry()
+        registry.register(Scenario(name="X", description="one"))
+        with pytest.raises(ValueError):
+            registry.register(Scenario(name="X", description="two"))
+        with pytest.raises(KeyError):
+            registry.get("Y")
+
+    def test_label_mentions_all_dimensions(self):
+        label = get_scenario("E").label()
+        for token in ("churn 1/1", "k=20", "alpha=3", "b=160", "s=1"):
+            assert token in label

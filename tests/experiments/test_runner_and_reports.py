@@ -1,0 +1,146 @@
+"""Integration tests: the experiment runner, sweeps and report generators.
+
+These run real (tiny-profile) simulations, so they are the slowest tests in
+the suite; they validate the full pipeline the benchmarks rely on.
+"""
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+from repro.experiments.report import (
+    figure10_rows,
+    figure_series,
+    figure_times,
+    format_figure,
+    format_figure10,
+    format_summaries,
+    format_table1,
+    format_table2,
+    summary_rows,
+    table1_rows,
+    table2_rows,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import get_scenario
+from repro.experiments.sweep import (
+    run_bucket_size_sweep,
+    run_loss_sweep,
+    run_scenario,
+    run_staleness_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    """One shared tiny-profile run of Simulation E."""
+    runner = ExperimentRunner(profile="tiny", seed=3)
+    return runner.run(get_scenario("E").with_overrides(bucket_size=5))
+
+
+class TestExperimentRunner:
+    def test_series_covers_all_phases(self, tiny_result):
+        phases = tiny_result.phases
+        times = tiny_result.series.times()
+        assert times[-1] == phases.simulation_end
+        assert any(t <= phases.setup_end for t in times)
+        assert any(t > phases.stabilization_end for t in times)
+
+    def test_network_size_tracks_scenario(self, tiny_result):
+        profile = get_profile("tiny")
+        sizes = tiny_result.series.network_size_series()
+        # Churn 1/1 keeps the size at the small-profile value once set up.
+        assert max(sizes) == profile.small_network_size
+        assert tiny_result.final_network_size() == profile.small_network_size
+
+    def test_summary_fields(self, tiny_result):
+        summary = tiny_result.summary()
+        assert summary["scenario"].startswith("E")
+        assert summary["k"] == 5
+        assert summary["churn"] == "1/1"
+        assert summary["churn_mean_min"] >= 0
+        assert summary["churn_rv_min"] >= 0
+
+    def test_transport_saw_traffic(self, tiny_result):
+        assert tiny_result.transport_stats.requests_sent > 0
+        assert tiny_result.joins >= get_profile("tiny").small_network_size
+
+    def test_reproducibility(self):
+        scenario = get_scenario("E").with_overrides(bucket_size=5)
+        first = ExperimentRunner(profile="tiny", seed=11).run(scenario)
+        second = ExperimentRunner(profile="tiny", seed=11).run(scenario)
+        assert first.series.minimum_series() == second.series.minimum_series()
+        assert first.series.average_series() == second.series.average_series()
+
+    def test_keep_snapshots_option(self):
+        runner = ExperimentRunner(profile="tiny", seed=2, keep_snapshots=True)
+        result = runner.run(get_scenario("J").with_overrides(bucket_size=5))
+        assert len(result.snapshots) == len(result.series)
+        assert result.snapshots[0].network_size == result.series.samples[0].network_size
+
+    def test_zero_one_churn_shrinks_network(self):
+        runner = ExperimentRunner(profile="tiny", seed=4)
+        result = runner.run(get_scenario("C").with_overrides(bucket_size=5))
+        sizes = result.series.network_size_series()
+        assert sizes[-1] < max(sizes)
+        assert sizes[-1] <= get_profile("tiny").min_remaining_nodes + 1
+
+
+class TestSweeps:
+    def test_run_scenario_helper(self):
+        result = run_scenario(get_scenario("E").with_overrides(bucket_size=5),
+                              profile="tiny", seed=5)
+        assert result.scenario.bucket_size == 5
+
+    def test_bucket_size_sweep_keys(self):
+        results = run_bucket_size_sweep(get_scenario("E"), bucket_sizes=(3, 5),
+                                        profile="tiny", seed=5)
+        assert sorted(results) == [3, 5]
+        assert results[3].scenario.bucket_size == 3
+
+    def test_staleness_sweep(self):
+        results = run_staleness_sweep(get_scenario("I"), staleness_values=(1, 5),
+                                      profile="tiny", seed=5)
+        assert sorted(results) == [1, 5]
+        assert results[5].scenario.staleness_limit == 5
+
+    def test_loss_sweep(self):
+        results = run_loss_sweep(get_scenario("J"), loss_levels=("low",),
+                                 staleness_values=(1,), profile="tiny", seed=5)
+        assert list(results) == [("low", 1)]
+        assert results[("low", 1)].scenario.loss == "low"
+
+
+class TestReports:
+    def test_table1_matches_paper(self):
+        rows = table1_rows()
+        assert [row["loss"] for row in rows] == ["none", "low", "medium", "high"]
+        assert [row["p_loss_two_way"] for row in rows] == [0.0, 4.9, 25.0, 50.0]
+        text = format_table1()
+        assert "Ploss(2-way)" in text
+
+    def test_table2_rows_and_formatting(self, tiny_result):
+        rows = table2_rows([tiny_result])
+        assert rows[0]["k"] == 5
+        assert rows[0]["churn"] == "1/1"
+        assert "Mean" in format_table2([tiny_result])
+
+    def test_figure_series_structure(self, tiny_result):
+        results = {5: tiny_result}
+        series = figure_series(results)
+        assert set(series) == {"Avg (5)", "Min (5)", "Network size"}
+        assert len(series["Min (5)"]) == len(figure_times(results))
+        text = format_figure(results, "Figure test")
+        assert text.startswith("Figure test")
+
+    def test_figure10_rows(self, tiny_result):
+        rows = figure10_rows({("1/1", 3, 5): tiny_result})
+        assert rows[0]["churn"] == "1/1"
+        assert rows[0]["alpha"] == 3
+        assert rows[0]["k"] == 5
+        text = format_figure10({("1/1", 3, 5): tiny_result}, "Figure 10")
+        assert "Mean min connectivity" in text
+
+    def test_summaries(self, tiny_result):
+        rows = summary_rows([tiny_result])
+        assert rows[0]["scenario"].startswith("E")
+        assert "stabilized_min" in format_summaries([tiny_result])

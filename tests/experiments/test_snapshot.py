@@ -1,0 +1,34 @@
+"""Tests for routing-table snapshots."""
+
+from repro.experiments.snapshot import RoutingTableSnapshot
+
+
+class TestRoutingTableSnapshot:
+    def test_capture_copies_tables(self):
+        tables = {1: [2, 3], 2: [1]}
+        snapshot = RoutingTableSnapshot.capture(5.0, tables)
+        tables[1].append(99)
+        assert snapshot.routing_tables[1] == [2, 3]
+        assert snapshot.network_size == 2
+        assert snapshot.total_contacts() == 3
+        assert sorted(snapshot.alive_nodes()) == [1, 2]
+
+    def test_json_round_trip(self):
+        snapshot = RoutingTableSnapshot.capture(7.5, {10: [20], 20: [10, 30]})
+        restored = RoutingTableSnapshot.from_json(snapshot.to_json())
+        assert restored.time == 7.5
+        assert restored.routing_tables == {10: [20], 20: [10, 30]}
+
+    def test_file_round_trip(self, tmp_path):
+        snapshot = RoutingTableSnapshot.capture(1.0, {1: [2], 2: []})
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        restored = RoutingTableSnapshot.load(path)
+        assert restored.routing_tables == snapshot.routing_tables
+
+    def test_to_connectivity_graph(self):
+        snapshot = RoutingTableSnapshot.capture(0.0, {1: [2], 2: [1], 3: [1]})
+        graph = snapshot.to_connectivity_graph()
+        assert graph.number_of_vertices() == 3
+        assert graph.has_edge(3, 1)
+        assert not graph.has_edge(1, 3)

@@ -1,0 +1,147 @@
+"""Tests for the eclipse adversary and the extension study harnesses."""
+
+import random
+
+import pytest
+
+from repro.extensions.adversarial import MaliciousKademliaProtocol
+from repro.extensions.evaluation import (
+    DISJOINT_STUDY_CONFIG,
+    build_static_testbed,
+    disjoint_path_study,
+    hardening_study,
+    hardening_summary,
+)
+from repro.extensions.hardening import HardeningConfig
+from repro.experiments.scenarios import get_scenario
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.messages import (
+    FindNodeRequest,
+    FindValueRequest,
+    PingRequest,
+    PongResponse,
+    StoreRequest,
+)
+from repro.kademlia.protocol import KademliaProtocol
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+from repro.simulator.transport import Transport
+
+
+def build_malicious(node_id=5, accomplices=(7, 9)):
+    config = KademliaConfig(bit_length=16, bucket_size=4, staleness_limit=1)
+    network = Network()
+    transport = Transport(network, loss_probability=0.0, rng=random.Random(0))
+    node = SimNode(node_id)
+    protocol = MaliciousKademliaProtocol(node_id, config, accomplices=accomplices)
+    protocol.bind(transport, lambda: 0.0)
+    node.register_protocol(KademliaProtocol.protocol_name, protocol)
+    network.add_node(node)
+    return protocol
+
+
+class TestMaliciousProtocol:
+    def test_find_node_returns_accomplices_only(self):
+        protocol = build_malicious(accomplices=(7, 9))
+        protocol.routing_table.add_contact(2, 0.0)  # an honest contact it knows
+        response = protocol.handle_request(1, FindNodeRequest(target_id=2))
+        assert set(response.contacts) <= {7, 9}
+        assert protocol.poisoned_responses == 1
+
+    def test_find_value_never_returns_the_value(self):
+        protocol = build_malicious()
+        protocol.storage.put(3, "secret", time=0.0)
+        response = protocol.handle_request(1, FindValueRequest(key_id=3))
+        assert response.value is None
+        assert set(response.contacts) <= protocol.accomplices
+
+    def test_store_is_acknowledged_but_dropped(self):
+        protocol = build_malicious()
+        response = protocol.handle_request(1, StoreRequest(key_id=3, value="x"))
+        assert response.stored
+        assert not protocol.storage.has(3)
+        assert protocol.dropped_stores == 1
+
+    def test_ping_is_answered_normally(self):
+        protocol = build_malicious()
+        response = protocol.handle_request(1, PingRequest())
+        assert isinstance(response, PongResponse)
+
+    def test_inactive_adversary_behaves_honestly(self):
+        protocol = build_malicious(accomplices=(7,))
+        protocol.active = False
+        protocol.routing_table.add_contact(2, 0.0)
+        response = protocol.handle_request(1, FindNodeRequest(target_id=2))
+        assert 2 in response.contacts
+
+    def test_own_id_never_advertised_as_accomplice(self):
+        protocol = build_malicious(node_id=5, accomplices=(5, 7))
+        assert 5 not in protocol.accomplices
+
+
+class TestStaticTestbed:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            build_static_testbed(1)
+        with pytest.raises(ValueError):
+            build_static_testbed(4, compromised_count=4)
+
+    def test_builds_connected_population(self):
+        testbed = build_static_testbed(20, compromised_count=3, seed=5)
+        assert len(testbed.protocols) == 20
+        assert len(testbed.compromised) == 3
+        assert len(testbed.honest_ids) == 17
+        # Every node ended up knowing at least one other node.
+        assert all(
+            protocol.routing_table.contact_count() > 0
+            for protocol in testbed.protocols.values()
+        )
+
+    def test_compromised_nodes_start_inactive(self):
+        testbed = build_static_testbed(16, compromised_count=2, seed=1)
+        assert all(
+            not testbed.protocols[node_id].active for node_id in testbed.compromised
+        )
+
+    def test_closest_honest_excludes_compromised(self):
+        testbed = build_static_testbed(16, compromised_count=4, seed=2)
+        closest = testbed.closest_honest(target_id=123, count=5)
+        assert not set(closest) & set(testbed.compromised)
+
+
+class TestDisjointPathStudy:
+    def test_rejects_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            disjoint_path_study(compromised_fraction=1.0)
+
+    def test_reports_one_row_per_path_count(self):
+        rows = disjoint_path_study(
+            node_count=60,
+            compromised_fraction=0.2,
+            path_counts=(1, 2),
+            lookups=6,
+            seed=3,
+            config=DISJOINT_STUDY_CONFIG,
+        )
+        assert [row.path_count for row in rows] == [1, 2]
+        for row in rows:
+            assert row.lookups == 6
+            assert 0.0 <= row.owner_hit_rate <= 1.0
+            assert row.replica_hit_rate >= row.owner_hit_rate - 1e-9
+            assert row.mean_queried > 0
+
+
+class TestHardeningStudy:
+    def test_runs_each_configuration(self):
+        configs = {
+            "baseline": HardeningConfig(),
+            "extra": HardeningConfig(supplemental_links=4,
+                                     supplemental_interval_minutes=4.0),
+        }
+        scenario = get_scenario("E").with_overrides(bucket_size=5)
+        results = hardening_study(scenario, configs, profile="tiny", seed=3)
+        assert set(results) == {"baseline", "extra"}
+        rows = hardening_summary(results)
+        assert {row["configuration"] for row in rows} == {"baseline", "extra"}
+        for row in rows:
+            assert row["final_network_size"] > 0

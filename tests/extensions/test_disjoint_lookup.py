@@ -1,0 +1,98 @@
+"""Tests for the node-disjoint multi-path lookup."""
+
+import random
+
+import pytest
+
+from repro.extensions.disjoint_lookup import disjoint_find_node
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.protocol import KademliaProtocol
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+from repro.simulator.transport import Transport
+
+
+def build_full_mesh(node_ids, bucket_size=8, alpha=2):
+    """Every node knows every other node — lookups always succeed."""
+    config = KademliaConfig(bit_length=16, bucket_size=bucket_size, alpha=alpha,
+                            staleness_limit=1)
+    network = Network()
+    transport = Transport(network, loss_probability=0.0, rng=random.Random(0))
+    protocols = {}
+    for node_id in node_ids:
+        node = SimNode(node_id)
+        protocol = KademliaProtocol(node_id, config)
+        protocol.bind(transport, lambda: 0.0)
+        node.register_protocol(KademliaProtocol.protocol_name, protocol)
+        network.add_node(node)
+        protocols[node_id] = protocol
+    for a in node_ids:
+        for b in node_ids:
+            if a != b:
+                protocols[a].routing_table.add_contact(b, 0.0)
+    return network, protocols
+
+
+class TestDisjointFindNode:
+    def test_rejects_non_positive_path_count(self):
+        _, protocols = build_full_mesh([1, 2])
+        with pytest.raises(ValueError):
+            disjoint_find_node(protocols[1], 2, path_count=0)
+
+    def test_single_path_reaches_target(self):
+        node_ids = list(range(1, 12))
+        _, protocols = build_full_mesh(node_ids)
+        result = disjoint_find_node(protocols[1], 11, path_count=1)
+        assert result.path_count == 1
+        assert len(result.paths) == 1
+        assert 11 in result.contacted
+        assert result.succeeded
+
+    def test_paths_query_disjoint_node_sets(self):
+        node_ids = list(range(1, 30))
+        _, protocols = build_full_mesh(node_ids, bucket_size=6)
+        result = disjoint_find_node(protocols[1], 29, path_count=3)
+        assert len(result.paths) == 3
+        seen = set()
+        for path in result.paths:
+            contacted = set(path.contacted)
+            assert not contacted & seen, "paths must not share queried nodes"
+            seen |= contacted
+        # The initiator itself is never queried.
+        assert 1 not in seen
+
+    def test_result_aggregates_are_consistent(self):
+        node_ids = list(range(1, 20))
+        _, protocols = build_full_mesh(node_ids, bucket_size=4)
+        result = disjoint_find_node(protocols[1], 19, path_count=2)
+        assert result.queried == sum(p.queried for p in result.paths)
+        assert result.failures == sum(p.failures for p in result.paths)
+        assert set(result.contacted) == {
+            node for path in result.paths for node in path.contacted
+        }
+
+    def test_reached_checks_any_path(self):
+        node_ids = list(range(1, 16))
+        _, protocols = build_full_mesh(node_ids)
+        result = disjoint_find_node(protocols[1], 15, path_count=2)
+        assert result.reached([15])
+        assert not result.reached([999])
+
+    def test_more_paths_than_seeds_still_works(self):
+        _, protocols = build_full_mesh([1, 2, 3])
+        result = disjoint_find_node(protocols[1], 3, path_count=5)
+        assert len(result.paths) == 5
+        assert result.succeeded
+
+    def test_empty_routing_table_yields_empty_result(self):
+        config = KademliaConfig(bit_length=16, bucket_size=4, staleness_limit=1)
+        network = Network()
+        transport = Transport(network, loss_probability=0.0, rng=random.Random(0))
+        node = SimNode(1)
+        protocol = KademliaProtocol(1, config)
+        protocol.bind(transport, lambda: 0.0)
+        node.register_protocol(KademliaProtocol.protocol_name, protocol)
+        network.add_node(node)
+        result = disjoint_find_node(protocol, 5, path_count=2)
+        assert not result.succeeded
+        assert result.queried == 0

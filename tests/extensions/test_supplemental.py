@@ -1,0 +1,139 @@
+"""Tests for the supplemental-links protocol and its prune policy."""
+
+import random
+
+import pytest
+
+from repro.extensions.supplemental import (
+    SupplementalLinksProtocol,
+    SupplementalPrunePolicy,
+)
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.messages import FindNodeRequest
+from repro.kademlia.protocol import KademliaProtocol
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+from repro.simulator.transport import Transport
+
+
+def build_network(node_ids, extra_links=4, bucket_size=2):
+    config = KademliaConfig(bit_length=16, bucket_size=bucket_size, alpha=2,
+                            staleness_limit=1)
+    network = Network()
+    transport = Transport(network, loss_probability=0.0, rng=random.Random(0))
+    protocols = {}
+    for node_id in node_ids:
+        node = SimNode(node_id)
+        protocol = SupplementalLinksProtocol(node_id, config, extra_links=extra_links)
+        protocol.bind(transport, lambda: 0.0)
+        node.register_protocol(KademliaProtocol.protocol_name, protocol)
+        network.add_node(node)
+        protocols[node_id] = protocol
+    return network, protocols
+
+
+class TestSupplementalLinks:
+    def test_rejects_negative_extra_links(self):
+        with pytest.raises(ValueError):
+            SupplementalLinksProtocol(1, KademliaConfig(bit_length=8), extra_links=-1)
+
+    def test_rejected_contact_lands_in_overflow_list(self):
+        _, protocols = build_network([1, 2, 3, 6], bucket_size=1)
+        protocol = protocols[1]
+        # ids 2 and 3 share node 1's bucket of capacity 1: the second add is
+        # rejected by the bucket policy and must end up as a supplemental link.
+        assert protocol.note_contact(2)
+        assert protocol.note_contact(3)
+        assert protocol.routing_table.contains(2)
+        assert not protocol.routing_table.contains(3)
+        assert protocol.supplemental_ids() == [3]
+
+    def test_overflow_list_is_bounded(self):
+        _, protocols = build_network([1], extra_links=2, bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)          # fills bucket 1
+        for contact in (3, 6, 7):         # 3 overflows; 6 fills bucket 2; 7 overflows
+            protocol.note_contact(contact)
+        assert len(protocol.supplemental_ids()) <= 2
+
+    def test_snapshot_includes_supplemental_links(self):
+        _, protocols = build_network([1, 2, 3], bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)
+        protocol.note_contact(3)
+        snapshot = protocol.routing_table_snapshot()
+        assert set(snapshot) == {2, 3}
+
+    def test_promotion_removes_from_overflow(self):
+        _, protocols = build_network([1, 2, 3], bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)
+        protocol.note_contact(3)          # rejected -> overflow
+        protocol.routing_table.remove_contact(2)
+        protocol.note_contact(3)          # bucket now has room -> promoted
+        assert protocol.routing_table.contains(3)
+        assert 3 not in protocol.supplemental_ids()
+
+    def test_find_node_response_offers_supplemental_contacts(self):
+        _, protocols = build_network([1, 2, 3, 9], bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)
+        protocol.note_contact(3)          # supplemental
+        response = protocol.handle_request(9, FindNodeRequest(target_id=3))
+        assert 3 in response.contacts
+
+    def test_failed_round_trips_prune_supplemental_links(self):
+        network, protocols = build_network([1, 2, 3], bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)
+        protocol.note_contact(3)          # supplemental
+        network.remove_node(3, time=0.0)
+        assert not protocol.ping(3)
+        # staleness limit 1: one failure drops the supplemental link.
+        assert 3 not in protocol.supplemental_ids()
+
+    def test_successful_round_trip_refreshes_supplemental_link(self):
+        _, protocols = build_network([1, 2, 3], bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)
+        protocol.note_contact(3)
+        assert protocol.ping(3)
+        assert 3 in protocol.supplemental_ids()
+
+    def test_zero_extra_links_behaves_like_plain_protocol(self):
+        _, protocols = build_network([1, 2, 3], extra_links=0, bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)
+        assert not protocol.note_contact(3)
+        assert protocol.supplemental_ids() == []
+
+
+class TestSupplementalPrunePolicy:
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SupplementalPrunePolicy(interval_minutes=0)
+        with pytest.raises(ValueError):
+            SupplementalPrunePolicy(pings_per_round=0)
+
+    def test_prunes_dead_supplemental_contact(self):
+        network, protocols = build_network([1, 2, 3], bucket_size=1)
+        protocol = protocols[1]
+        protocol.note_contact(2)
+        protocol.note_contact(3)
+        network.remove_node(3, time=0.0)
+        policy = SupplementalPrunePolicy(interval_minutes=5.0)
+        assert policy.apply(protocol, random.Random(0)) == 1
+        assert 3 not in protocol.supplemental_ids()
+        assert policy.pings_performed == 1
+
+    def test_ignores_plain_protocol_nodes(self):
+        config = KademliaConfig(bit_length=16, bucket_size=2, staleness_limit=1)
+        network = Network()
+        transport = Transport(network, loss_probability=0.0, rng=random.Random(0))
+        node = SimNode(1)
+        plain = KademliaProtocol(1, config)
+        plain.bind(transport, lambda: 0.0)
+        node.register_protocol(KademliaProtocol.protocol_name, plain)
+        network.add_node(node)
+        policy = SupplementalPrunePolicy()
+        assert policy.apply(plain, random.Random(0)) == 0

@@ -1,0 +1,145 @@
+"""Tests for traversal, components and path algorithms."""
+
+import pytest
+
+from repro.graph.algorithms.components import (
+    is_strongly_connected,
+    is_weakly_connected,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.algorithms.paths import shortest_path, vertex_disjoint_paths
+from repro.graph.algorithms.traversal import (
+    bfs_distances,
+    bfs_order,
+    dfs_order,
+    is_reachable,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import VertexNotFoundError
+from repro.graph.generators import (
+    bidirectional_cycle,
+    circulant_graph,
+    complete_graph,
+    directed_cycle,
+    figure1_example_graph,
+)
+
+
+class TestTraversal:
+    def test_bfs_distances(self, figure1_graph):
+        distances = bfs_distances(figure1_graph, "a")
+        assert distances["a"] == 0
+        assert distances["e"] == 2
+        assert distances["i"] == 4
+
+    def test_bfs_distances_unreachable_vertex_absent(self):
+        graph = DiGraph.from_edges([(1, 2), (3, 4)])
+        distances = bfs_distances(graph, 1)
+        assert 3 not in distances
+
+    def test_bfs_order_starts_at_source(self, figure1_graph):
+        order = bfs_order(figure1_graph, "a")
+        assert order[0] == "a"
+        assert set(order) == set("abcdefghi")
+
+    def test_dfs_order_visits_reachable(self, figure1_graph):
+        order = dfs_order(figure1_graph, "a")
+        assert set(order) == set("abcdefghi")
+        assert order[0] == "a"
+
+    def test_is_reachable(self, figure1_graph):
+        assert is_reachable(figure1_graph, "a", "i")
+        assert not is_reachable(figure1_graph, "i", "a")
+        assert is_reachable(figure1_graph, "e", "e")
+
+    def test_missing_source_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            bfs_distances(DiGraph(), "x")
+        with pytest.raises(VertexNotFoundError):
+            bfs_order(DiGraph(), "x")
+        with pytest.raises(VertexNotFoundError):
+            dfs_order(DiGraph(), "x")
+
+
+class TestComponents:
+    def test_directed_cycle_is_strongly_connected(self):
+        assert is_strongly_connected(directed_cycle(6))
+
+    def test_figure1_is_not_strongly_connected(self, figure1_graph):
+        assert not is_strongly_connected(figure1_graph)
+        assert is_weakly_connected(figure1_graph)
+
+    def test_strong_components_of_two_cycles(self):
+        graph = directed_cycle(3)
+        for i in range(3):
+            graph.add_edge(10 + i, 10 + (i + 1) % 3)
+        graph.add_edge(0, 10)  # one-way bridge
+        components = strongly_connected_components(graph)
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [3, 3]
+
+    def test_weak_components(self):
+        graph = DiGraph.from_edges([(1, 2), (3, 4)])
+        components = weakly_connected_components(graph)
+        assert len(components) == 2
+
+    def test_empty_graph_connected_by_convention(self):
+        assert is_strongly_connected(DiGraph())
+        assert is_weakly_connected(DiGraph())
+
+    def test_isolated_vertex_breaks_strong_connectivity(self):
+        graph = bidirectional_cycle(4)
+        graph.add_vertex(99)
+        assert not is_strongly_connected(graph)
+
+    def test_complete_graph_single_component(self):
+        assert len(strongly_connected_components(complete_graph(5))) == 1
+
+
+class TestShortestPath:
+    def test_simple_path(self, figure1_graph):
+        path = shortest_path(figure1_graph, "a", "i")
+        assert path[0] == "a" and path[-1] == "i"
+        assert len(path) == 5
+
+    def test_unreachable_returns_none(self, figure1_graph):
+        assert shortest_path(figure1_graph, "i", "a") is None
+
+    def test_trivial_path(self, figure1_graph):
+        assert shortest_path(figure1_graph, "a", "a") == ["a"]
+
+
+class TestVertexDisjointPaths:
+    def test_figure1_has_single_disjoint_path(self, figure1_graph):
+        paths = vertex_disjoint_paths(figure1_graph, "a", "i")
+        assert len(paths) == 1
+        assert paths[0][0] == "a" and paths[0][-1] == "i"
+
+    def test_circulant_has_four_disjoint_paths(self):
+        graph = circulant_graph(12, [1, 2])
+        paths = vertex_disjoint_paths(graph, 0, 6)
+        assert len(paths) == 4
+        # Paths must be internally vertex-disjoint.
+        interior = [set(path[1:-1]) for path in paths]
+        for i in range(len(interior)):
+            for j in range(i + 1, len(interior)):
+                assert not interior[i] & interior[j]
+
+    def test_paths_are_valid_walks(self, ring10):
+        paths = vertex_disjoint_paths(ring10, 0, 5)
+        assert len(paths) == 2
+        for path in paths:
+            for u, v in zip(path, path[1:]):
+                assert ring10.has_edge(u, v)
+
+    def test_adjacent_pair_includes_direct_edge(self):
+        graph = complete_graph(4)
+        paths = vertex_disjoint_paths(graph, 0, 1)
+        assert [0, 1] in paths
+        assert len(paths) == 3
+
+    def test_same_vertex_rejected(self, ring10):
+        with pytest.raises(ValueError):
+            vertex_disjoint_paths(ring10, 0, 0)

@@ -1,0 +1,184 @@
+"""Unit tests for the DiGraph data structure."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import (
+    EdgeNotFoundError,
+    NegativeCapacityError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.number_of_vertices() == 0
+        assert graph.number_of_edges() == 0
+        assert len(graph) == 0
+
+    def test_add_vertex_and_edge(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        assert graph.has_vertex("a")
+        assert graph.has_vertex("b")
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_add_vertices(self):
+        graph = DiGraph()
+        graph.add_vertices(range(5))
+        assert graph.number_of_vertices() == 5
+        assert graph.number_of_edges() == 0
+
+    def test_add_vertex_idempotent(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_vertex("a")
+        assert graph.has_edge("a", "b")
+        assert graph.number_of_vertices() == 2
+
+    def test_from_edges(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3)], capacity=2.0)
+        assert graph.number_of_edges() == 2
+        assert graph.capacity(1, 2) == 2.0
+
+    def test_from_adjacency_keeps_isolated_vertices(self):
+        graph = DiGraph.from_adjacency({1: [2], 2: [], 3: []})
+        assert graph.number_of_vertices() == 3
+        assert graph.out_degree(3) == 0
+
+    def test_default_capacity_is_one(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        assert graph.capacity("a", "b") == 1.0
+
+    def test_self_loop_rejected_by_default(self):
+        graph = DiGraph()
+        with pytest.raises(SelfLoopError):
+            graph.add_edge("a", "a")
+
+    def test_self_loop_allowed_when_requested(self):
+        graph = DiGraph(allow_self_loops=True)
+        graph.add_edge("a", "a")
+        assert graph.has_edge("a", "a")
+
+    def test_negative_capacity_rejected(self):
+        graph = DiGraph()
+        with pytest.raises(NegativeCapacityError):
+            graph.add_edge("a", "b", capacity=-1.0)
+
+    def test_parallel_edge_overwrites_capacity(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b", capacity=1.0)
+        graph.add_edge("a", "b", capacity=5.0)
+        assert graph.number_of_edges() == 1
+        assert graph.capacity("a", "b") == 5.0
+
+
+class TestQueries:
+    def test_degrees(self, figure1_graph):
+        assert figure1_graph.out_degree("a") == 3
+        assert figure1_graph.in_degree("a") == 0
+        assert figure1_graph.in_degree("e") == 3
+        assert figure1_graph.out_degree("e") == 3
+        assert figure1_graph.in_degree("i") == 3
+
+    def test_successors_predecessors(self, figure1_graph):
+        assert sorted(figure1_graph.successors("a")) == ["b", "c", "d"]
+        assert sorted(figure1_graph.predecessors("e")) == ["b", "c", "d"]
+
+    def test_unknown_vertex_raises(self):
+        graph = DiGraph()
+        with pytest.raises(VertexNotFoundError):
+            graph.successors("missing")
+        with pytest.raises(VertexNotFoundError):
+            graph.out_degree("missing")
+
+    def test_capacity_of_missing_edge_raises(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        with pytest.raises(EdgeNotFoundError):
+            graph.capacity("b", "a")
+
+    def test_edges_iteration(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3)])
+        edges = sorted(graph.edges())
+        assert edges == [(1, 2, 1.0), (2, 3, 1.0)]
+
+    def test_contains_and_iter(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        assert 1 in graph
+        assert 3 not in graph
+        assert sorted(graph) == [1, 2]
+
+    def test_min_degrees(self, figure1_graph):
+        assert figure1_graph.min_out_degree() == 0  # vertex "i"
+        assert figure1_graph.min_in_degree() == 0  # vertex "a"
+
+    def test_degree_statistics(self, k4):
+        stats = k4.degree_statistics()
+        assert stats["min_out_degree"] == 3
+        assert stats["max_in_degree"] == 3
+        assert stats["mean_out_degree"] == pytest.approx(3.0)
+
+    def test_degree_statistics_empty(self):
+        stats = DiGraph().degree_statistics()
+        assert stats["mean_out_degree"] == 0.0
+
+    def test_is_complete(self, k4, ring10):
+        assert k4.is_complete()
+        assert not ring10.is_complete()
+
+    def test_non_adjacent_pairs(self, diamond_graph):
+        pairs = set(diamond_graph.non_adjacent_pairs())
+        assert ("s", "t") in pairs
+        assert ("a", "b") in pairs
+        assert ("s", "a") not in pairs
+
+    def test_symmetry_ratio(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 1), (1, 3)])
+        assert graph.symmetry_ratio() == pytest.approx(2 / 3)
+        assert DiGraph().symmetry_ratio() == 1.0
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_vertex(1)
+
+    def test_remove_missing_edge_raises(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(2, 1)
+
+    def test_remove_vertex_removes_incident_edges(self, figure1_graph):
+        figure1_graph.remove_vertex("e")
+        assert not figure1_graph.has_vertex("e")
+        assert figure1_graph.out_degree("b") == 0
+        assert figure1_graph.in_degree("f") == 0
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            DiGraph().remove_vertex("x")
+
+    def test_copy_is_independent(self, diamond_graph):
+        clone = diamond_graph.copy()
+        clone.remove_edge("s", "a")
+        assert diamond_graph.has_edge("s", "a")
+        assert not clone.has_edge("s", "a")
+
+    def test_reverse(self, diamond_graph):
+        reversed_graph = diamond_graph.reverse()
+        assert reversed_graph.has_edge("a", "s")
+        assert not reversed_graph.has_edge("s", "a")
+        assert reversed_graph.number_of_edges() == diamond_graph.number_of_edges()
+
+    def test_to_undirected_edges_deduplicates(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 1), (2, 3)])
+        undirected = graph.to_undirected_edges()
+        assert len(undirected) == 2

@@ -1,0 +1,91 @@
+"""Tests for Even's vertex-splitting transformation."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import figure1_example_graph
+from repro.graph.maxflow import max_flow
+from repro.graph.transform.even_transform import even_transform, split_names
+
+
+class TestSplitNames:
+    def test_string_vertices_get_primes(self):
+        assert split_names("a") == ("a'", "a''")
+
+    def test_non_string_vertices_get_tuples(self):
+        assert split_names(42) == ((42, "in"), (42, "out"))
+
+    def test_no_collisions_for_integers(self):
+        names = set()
+        for vertex in range(100):
+            names.update(split_names(vertex))
+        assert len(names) == 200
+
+
+class TestTransformStructure:
+    def test_vertex_and_edge_counts(self, figure1_graph):
+        """D' has 2n vertices and m + n edges (paper Section 4.3)."""
+        n = figure1_graph.number_of_vertices()
+        m = figure1_graph.number_of_edges()
+        transformed = even_transform(figure1_graph).graph
+        assert transformed.number_of_vertices() == 2 * n
+        assert transformed.number_of_edges() == m + n
+
+    def test_internal_edges_have_unit_capacity(self, figure1_graph):
+        transform = even_transform(figure1_graph)
+        for vertex in figure1_graph.vertices():
+            v_in = transform.incoming[vertex]
+            v_out = transform.outgoing[vertex]
+            assert transform.graph.has_edge(v_in, v_out)
+            assert transform.graph.capacity(v_in, v_out) == 1.0
+
+    def test_incoming_and_outgoing_degrees_preserved(self, figure1_graph):
+        transform = even_transform(figure1_graph)
+        for vertex in figure1_graph.vertices():
+            v_in = transform.incoming[vertex]
+            v_out = transform.outgoing[vertex]
+            # v' receives all original incoming edges plus nothing else.
+            assert transform.graph.in_degree(v_in) == figure1_graph.in_degree(vertex)
+            # v'' emits all original outgoing edges.
+            assert transform.graph.out_degree(v_out) == figure1_graph.out_degree(vertex)
+            # The only edge out of v' is the internal one; the only edge into
+            # v'' is the internal one.
+            assert transform.graph.out_degree(v_in) == 1
+            assert transform.graph.in_degree(v_out) == 1
+
+    def test_original_edges_connect_out_to_in(self):
+        graph = DiGraph.from_edges([("x", "y")])
+        transform = even_transform(graph)
+        assert transform.graph.has_edge("x''", "y'")
+
+    def test_custom_internal_capacity(self):
+        graph = DiGraph.from_edges([("x", "y")])
+        transform = even_transform(graph, internal_capacity=3.0)
+        assert transform.graph.capacity("x'", "x''") == 3.0
+
+    def test_flow_endpoints(self, figure1_graph):
+        transform = even_transform(figure1_graph)
+        source, target = transform.flow_endpoints("a", "i")
+        assert source == "a''"
+        assert target == "i'"
+
+    def test_original_vertices_preserved(self, figure1_graph):
+        transform = even_transform(figure1_graph)
+        assert transform.original_vertices() == figure1_graph.vertices()
+
+
+class TestPaperFigure1:
+    """The worked example of the paper's Figure 1."""
+
+    def test_max_flow_on_original_is_three(self):
+        graph = figure1_example_graph()
+        assert max_flow(graph, "a", "i").as_int() == 3
+
+    def test_max_flow_on_transformed_is_one(self):
+        """After the transformation the flow equals kappa(a, i) = 1."""
+        graph = figure1_example_graph()
+        transform = even_transform(graph)
+        source, target = transform.flow_endpoints("a", "i")
+        for algorithm in ("push_relabel", "dinic", "edmonds_karp"):
+            result = max_flow(transform.graph, source, target, algorithm=algorithm)
+            assert result.as_int() == 1, algorithm

@@ -1,0 +1,73 @@
+"""Tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    bidirectional_cycle,
+    circulant_graph,
+    complete_graph,
+    directed_cycle,
+    figure1_example_graph,
+    random_digraph,
+    random_regular_out_digraph,
+)
+
+
+class TestDeterministicGenerators:
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.number_of_vertices() == 5
+        assert graph.number_of_edges() == 20
+        assert graph.is_complete()
+
+    def test_directed_cycle(self):
+        graph = directed_cycle(4)
+        assert graph.number_of_edges() == 4
+        assert graph.has_edge(3, 0)
+
+    def test_directed_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            directed_cycle(1)
+
+    def test_bidirectional_cycle(self):
+        graph = bidirectional_cycle(5)
+        assert graph.number_of_edges() == 10
+        assert graph.has_edge(0, 4) and graph.has_edge(4, 0)
+
+    def test_circulant_degrees(self):
+        graph = circulant_graph(10, [1, 2])
+        for vertex in graph.vertices():
+            assert graph.out_degree(vertex) == 4
+            assert graph.in_degree(vertex) == 4
+
+    def test_figure1_graph_shape(self):
+        graph = figure1_example_graph()
+        assert graph.number_of_vertices() == 9
+        assert graph.number_of_edges() == 12
+
+
+class TestRandomGenerators:
+    def test_random_digraph_edge_probability_bounds(self):
+        with pytest.raises(ValueError):
+            random_digraph(5, 1.5)
+
+    def test_random_digraph_extremes(self):
+        rng = random.Random(1)
+        assert random_digraph(6, 0.0, rng).number_of_edges() == 0
+        assert random_digraph(6, 1.0, rng).is_complete()
+
+    def test_random_digraph_reproducible(self):
+        a = random_digraph(10, 0.3, random.Random(7))
+        b = random_digraph(10, 0.3, random.Random(7))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_regular_out_degree(self):
+        graph = random_regular_out_digraph(12, 4, random.Random(3))
+        for vertex in graph.vertices():
+            assert graph.out_degree(vertex) == 4
+
+    def test_random_regular_out_degree_too_large(self):
+        with pytest.raises(ValueError):
+            random_regular_out_digraph(5, 5)

@@ -1,0 +1,108 @@
+"""Tests for DIMACS and edge-list serialisation."""
+
+import io
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io.dimacs import (
+    DimacsFormatError,
+    dimacs_string,
+    read_dimacs,
+    write_dimacs,
+)
+from repro.graph.io.edgelist import read_edgelist, write_edgelist
+from repro.graph.maxflow import max_flow
+
+
+class TestDimacsWrite:
+    def test_roundtrip_preserves_structure(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.dimacs"
+        index = write_dimacs(diamond_graph, path, source="s", sink="t")
+        graph, source_id, sink_id = read_dimacs(path)
+        assert graph.number_of_vertices() == diamond_graph.number_of_vertices()
+        assert graph.number_of_edges() == diamond_graph.number_of_edges()
+        assert source_id == index["s"]
+        assert sink_id == index["t"]
+
+    def test_roundtrip_preserves_max_flow(self, diamond_graph):
+        buffer = io.StringIO()
+        index = write_dimacs(diamond_graph, buffer, source="s", sink="t")
+        buffer.seek(0)
+        graph, source_id, sink_id = read_dimacs(buffer)
+        original = max_flow(diamond_graph, "s", "t").as_int()
+        parsed = max_flow(graph, source_id, sink_id).as_int()
+        assert parsed == original == 2
+
+    def test_comment_lines_written(self, diamond_graph):
+        text = dimacs_string(diamond_graph, comment="hello\nworld")
+        assert text.splitlines()[0] == "c hello"
+        assert text.splitlines()[1] == "c world"
+
+    def test_problem_line_counts(self, diamond_graph):
+        text = dimacs_string(diamond_graph)
+        assert "p max 4 4" in text
+
+    def test_integer_capacities_written_without_decimal(self, diamond_graph):
+        text = dimacs_string(diamond_graph)
+        assert " 1\n" in text
+        assert "1.0" not in text
+
+
+class TestDimacsRead:
+    def test_missing_problem_line(self):
+        with pytest.raises(DimacsFormatError, match="missing problem line"):
+            read_dimacs(io.StringIO("c only a comment\n"))
+
+    def test_arc_before_problem_line(self):
+        with pytest.raises(DimacsFormatError, match="arc before problem"):
+            read_dimacs(io.StringIO("a 1 2 3\np max 2 1\n"))
+
+    def test_arc_count_mismatch(self):
+        with pytest.raises(DimacsFormatError, match="declares 2 arcs"):
+            read_dimacs(io.StringIO("p max 2 2\na 1 2 3\n"))
+
+    def test_unknown_record_type(self):
+        with pytest.raises(DimacsFormatError, match="unknown record type"):
+            read_dimacs(io.StringIO("p max 2 0\nx 1 2\n"))
+
+    def test_unknown_designation(self):
+        with pytest.raises(DimacsFormatError, match="unknown designation"):
+            read_dimacs(io.StringIO("p max 2 0\nn 1 q\n"))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "c comment\n\np max 2 1\nn 1 s\nn 2 t\na 1 2 5\n"
+        graph, source_id, sink_id = read_dimacs(io.StringIO(text))
+        assert graph.capacity(1, 2) == 5.0
+        assert (source_id, sink_id) == (1, 2)
+
+    def test_isolated_vertices_created_from_problem_line(self):
+        graph, _, _ = read_dimacs(io.StringIO("p max 5 1\na 1 2 1\n"))
+        assert graph.number_of_vertices() == 5
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c")], capacity=2.0)
+        path = tmp_path / "edges.txt"
+        write_edgelist(graph, path)
+        parsed = read_edgelist(path)
+        assert parsed.has_edge("a", "b")
+        assert parsed.capacity("b", "c") == 2.0
+
+    def test_isolated_vertices_roundtrip(self, tmp_path):
+        graph = DiGraph()
+        graph.add_vertex("lonely")
+        graph.add_edge("a", "b")
+        path = tmp_path / "edges.txt"
+        write_edgelist(graph, path)
+        parsed = read_edgelist(path)
+        assert parsed.has_vertex("lonely")
+
+    def test_default_capacity_on_two_field_lines(self):
+        parsed = read_edgelist(io.StringIO("a b\n"))
+        assert parsed.capacity("a", "b") == 1.0
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed edge-list line"):
+            read_edgelist(io.StringIO("a b c d\n"))

@@ -1,0 +1,105 @@
+"""Tests for the Kademlia configuration, message types and data store."""
+
+import pytest
+
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.messages import (
+    FindNodeRequest,
+    FindNodeResponse,
+    FindValueResponse,
+    PingRequest,
+    PongResponse,
+    StoreRequest,
+)
+from repro.kademlia.storage import DataStore
+
+
+class TestKademliaConfig:
+    def test_paper_defaults(self):
+        config = KademliaConfig.paper_default()
+        assert config.bit_length == 160
+        assert config.bucket_size == 20
+        assert config.alpha == 3
+        assert config.staleness_limit == 5
+
+    def test_id_space_size(self):
+        assert KademliaConfig(bit_length=8).id_space_size == 256
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("bit_length", 0),
+            ("bucket_size", 0),
+            ("alpha", 0),
+            ("staleness_limit", 0),
+            ("refresh_interval_minutes", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            KademliaConfig(**{field: value})
+
+    def test_with_overrides(self):
+        config = KademliaConfig().with_overrides(bucket_size=5, alpha=5)
+        assert config.bucket_size == 5
+        assert config.alpha == 5
+        assert config.bit_length == 160
+
+    def test_to_dict_round_trips_fields(self):
+        config = KademliaConfig(bucket_size=10)
+        data = config.to_dict()
+        assert data["bucket_size"] == 10
+        assert set(data) == {
+            "bit_length", "bucket_size", "alpha", "staleness_limit",
+            "refresh_interval_minutes", "learn_from_responses",
+            "refresh_all_buckets", "bootstrap_reseed",
+        }
+
+    def test_immutable(self):
+        config = KademliaConfig()
+        with pytest.raises(AttributeError):
+            config.bucket_size = 5  # type: ignore[misc]
+
+
+class TestMessages:
+    def test_find_value_found_flag(self):
+        hit = FindValueResponse(responder_id=1, value="data", contacts=())
+        miss = FindValueResponse(responder_id=1, value=None, contacts=(2, 3))
+        assert hit.found
+        assert not miss.found
+
+    def test_messages_are_hashable_and_frozen(self):
+        request = FindNodeRequest(target_id=5)
+        assert hash(request) == hash(FindNodeRequest(target_id=5))
+        with pytest.raises(AttributeError):
+            request.target_id = 6  # type: ignore[misc]
+
+    def test_response_payloads(self):
+        assert PongResponse(responder_id=3).responder_id == 3
+        assert FindNodeResponse(responder_id=1, contacts=(1, 2)).contacts == (1, 2)
+        assert StoreRequest(key_id=9, value="x").key_id == 9
+        assert PingRequest() == PingRequest()
+
+
+class TestDataStore:
+    def test_put_get(self):
+        store = DataStore()
+        store.put(5, "value", time=2.0)
+        assert store.get(5) == "value"
+        assert store.has(5)
+        assert store.stored_at(5) == 2.0
+        assert len(store) == 1
+
+    def test_missing_key(self):
+        store = DataStore()
+        assert store.get(1) is None
+        assert not store.has(1)
+        assert store.stored_at(1) is None
+
+    def test_overwrite(self):
+        store = DataStore()
+        store.put(1, "a", time=1.0)
+        store.put(1, "b", time=2.0)
+        assert store.get(1) == "b"
+        assert store.stored_at(1) == 2.0
+        assert store.keys() == [1]

@@ -1,0 +1,125 @@
+"""Tests for identifiers and the XOR metric."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kademlia.node_id import (
+    bucket_index,
+    closest,
+    generate_node_id,
+    id_from_key,
+    random_id_in_bucket,
+    sort_by_distance,
+    xor_distance,
+)
+
+
+class TestXorDistance:
+    def test_identity(self):
+        assert xor_distance(5, 5) == 0
+
+    def test_symmetry(self):
+        assert xor_distance(3, 10) == xor_distance(10, 3)
+
+    def test_known_value(self):
+        assert xor_distance(0b1100, 0b1010) == 0b0110
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            xor_distance(-1, 3)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**160 - 1),
+        st.integers(min_value=0, max_value=2**160 - 1),
+        st.integers(min_value=0, max_value=2**160 - 1),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        """XOR distance satisfies the triangle inequality (it is a metric)."""
+        assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+
+class TestBucketIndex:
+    def test_adjacent_ids(self):
+        assert bucket_index(0b1000, 0b1001) == 0
+
+    def test_highest_bucket_covers_half_the_space(self):
+        assert bucket_index(0, 1 << 159) == 159
+
+    def test_bucket_ranges(self):
+        own = 0
+        for index in (0, 1, 5, 20):
+            low, high = 1 << index, (1 << (index + 1)) - 1
+            assert bucket_index(own, low) == index
+            assert bucket_index(own, high) == index
+
+    def test_same_id_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_index(7, 7)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_index_matches_distance_band(self, own, other):
+        """2**i <= dist < 2**(i+1) for the returned index (paper Section 4.1)."""
+        if own == other:
+            return
+        index = bucket_index(own, other)
+        distance = xor_distance(own, other)
+        assert (1 << index) <= distance < (1 << (index + 1))
+
+
+class TestIdGeneration:
+    def test_generate_within_space(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 0 <= generate_node_id(16, rng) < 2**16
+
+    def test_generate_respects_exclusions(self):
+        rng = random.Random(0)
+        exclude = set(range(15))
+        for _ in range(20):
+            assert generate_node_id(4, rng, exclude=exclude) == 15
+
+    def test_exhausted_space_rejected(self):
+        with pytest.raises(ValueError):
+            generate_node_id(1, random.Random(0), exclude={0, 1})
+
+    def test_id_from_key_deterministic(self):
+        assert id_from_key("object-1", 160) == id_from_key("object-1", 160)
+        assert id_from_key("object-1", 160) != id_from_key("object-2", 160)
+
+    def test_id_from_key_respects_bit_length(self):
+        assert 0 <= id_from_key("x", 8) < 256
+
+    def test_random_id_in_bucket(self):
+        rng = random.Random(3)
+        own = 0b10110010
+        for index in range(8):
+            candidate = random_id_in_bucket(own, index, 8, rng)
+            assert bucket_index(own, candidate) == index
+
+    def test_random_id_in_bucket_bad_index(self):
+        with pytest.raises(ValueError):
+            random_id_in_bucket(0, 8, 8)
+
+
+class TestSorting:
+    def test_sort_by_distance(self):
+        assert sort_by_distance([1, 2, 3, 4], target=3) == [3, 2, 1, 4]
+
+    def test_closest_truncates(self):
+        assert closest([1, 2, 3, 4], target=3, count=2) == [3, 2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), unique=True, min_size=1),
+           st.integers(min_value=0, max_value=255))
+    def test_sort_is_a_permutation_in_distance_order(self, ids, target):
+        ordered = sort_by_distance(ids, target)
+        assert sorted(ordered) == sorted(ids)
+        distances = [i ^ target for i in ordered]
+        assert distances == sorted(distances)

@@ -1,0 +1,287 @@
+"""Tests for the Kademlia protocol handler and iterative lookup.
+
+These tests build small in-memory networks directly (no experiment runner)
+so individual protocol behaviours can be asserted precisely.
+"""
+
+import random
+
+import pytest
+
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.messages import (
+    FindNodeRequest,
+    FindNodeResponse,
+    FindValueRequest,
+    FindValueResponse,
+    PingRequest,
+    PongResponse,
+    StoreRequest,
+    StoreResponse,
+)
+from repro.kademlia.node_id import sort_by_distance
+from repro.kademlia.protocol import KademliaProtocol
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+from repro.simulator.transport import Transport
+
+
+def build_network(node_ids, config=None, loss=0.0, seed=0):
+    """Wire up a network of KademliaProtocol nodes with full routing knowledge disabled."""
+    config = config or KademliaConfig(bit_length=16, bucket_size=4, alpha=2,
+                                      staleness_limit=1)
+    network = Network()
+    transport = Transport(network, loss_probability=loss, rng=random.Random(seed))
+    clock = {"now": 0.0}
+    protocols = {}
+    for node_id in node_ids:
+        node = SimNode(node_id)
+        protocol = KademliaProtocol(node_id, config)
+        protocol.bind(transport, lambda: clock["now"])
+        node.register_protocol(KademliaProtocol.protocol_name, protocol)
+        network.add_node(node)
+        protocols[node_id] = protocol
+    return network, transport, protocols, clock
+
+
+class TestHandleRequest:
+    def test_ping_returns_pong_and_learns_sender(self):
+        _, _, protocols, _ = build_network([1, 2])
+        response = protocols[2].handle_request(1, PingRequest())
+        assert isinstance(response, PongResponse)
+        assert response.responder_id == 2
+        assert protocols[2].routing_table.contains(1)
+
+    def test_find_node_returns_closest_contacts(self):
+        _, _, protocols, _ = build_network([1, 2])
+        for contact in (10, 11, 12, 13):
+            protocols[2].routing_table.add_contact(contact, 0.0)
+        response = protocols[2].handle_request(1, FindNodeRequest(target_id=10))
+        assert isinstance(response, FindNodeResponse)
+        assert response.contacts[0] == 10
+        assert len(response.contacts) <= protocols[2].config.bucket_size
+
+    def test_store_and_find_value(self):
+        _, _, protocols, _ = build_network([1, 2])
+        store_response = protocols[2].handle_request(1, StoreRequest(key_id=7, value="v"))
+        assert isinstance(store_response, StoreResponse) and store_response.stored
+        find_response = protocols[2].handle_request(1, FindValueRequest(key_id=7))
+        assert isinstance(find_response, FindValueResponse)
+        assert find_response.found and find_response.value == "v"
+
+    def test_find_value_miss_returns_contacts(self):
+        _, _, protocols, _ = build_network([1, 2])
+        protocols[2].routing_table.add_contact(9, 0.0)
+        response = protocols[2].handle_request(1, FindValueRequest(key_id=42))
+        assert not response.found
+        assert 9 in response.contacts
+
+    def test_unknown_request_type_unanswered(self):
+        _, _, protocols, _ = build_network([1, 2])
+        assert protocols[2].handle_request(1, object()) is None
+
+
+class TestClientOperations:
+    def test_unbound_protocol_rejects_operations(self):
+        protocol = KademliaProtocol(1, KademliaConfig(bit_length=8))
+        with pytest.raises(RuntimeError, match="not bound"):
+            protocol.lookup(3)
+
+    def test_ping_success_and_failure(self):
+        network, _, protocols, _ = build_network([1, 2])
+        assert protocols[1].ping(2)
+        assert protocols[1].routing_table.contains(2)
+        network.remove_node(2, time=0.0)
+        assert not protocols[1].ping(2)
+        # staleness limit 1: the dead contact is dropped immediately.
+        assert not protocols[1].routing_table.contains(2)
+
+    def test_join_via_bootstrap_populates_tables(self):
+        _, _, protocols, _ = build_network([1, 2, 3])
+        # 2 and 3 know each other; 1 joins via 2.
+        protocols[2].routing_table.add_contact(3, 0.0)
+        protocols[3].routing_table.add_contact(2, 0.0)
+        result = protocols[1].join(bootstrap_id=2)
+        assert result.succeeded
+        assert protocols[1].routing_table.contains(2)
+        # The bootstrap node learned about the joining node.
+        assert protocols[2].routing_table.contains(1)
+
+    def test_join_without_bootstrap_is_harmless(self):
+        _, _, protocols, _ = build_network([1])
+        result = protocols[1].join(bootstrap_id=None)
+        assert not result.succeeded
+        assert protocols[1].routing_table.contact_count() == 0
+
+    def test_lookup_finds_existing_nodes(self):
+        node_ids = [1, 2, 3, 4, 5, 6]
+        _, _, protocols, _ = build_network(node_ids)
+        # Everyone knows node 1; node 1 knows everyone: a star.
+        for node_id in node_ids[1:]:
+            protocols[1].routing_table.add_contact(node_id, 0.0)
+            protocols[node_id].routing_table.add_contact(1, 0.0)
+        result = protocols[2].lookup(6)
+        assert 6 in result.contacted
+        # Lookup counters updated.
+        assert protocols[2].lookups_performed == 1
+
+    def test_disseminate_stores_on_closest_nodes(self):
+        node_ids = [1, 2, 3, 4, 5]
+        _, _, protocols, _ = build_network(node_ids)
+        for a in node_ids:
+            for b in node_ids:
+                if a != b:
+                    protocols[a].routing_table.add_contact(b, 0.0)
+        key = 6
+        locate, stored = protocols[1].disseminate(key, value="payload")
+        assert stored >= 1
+        expected_holders = sort_by_distance(locate.contacted, key)
+        assert any(protocols[h].storage.has(key) for h in expected_holders)
+
+    def test_retrieve_round_trip(self):
+        node_ids = [1, 2, 3, 4, 5]
+        _, _, protocols, _ = build_network(node_ids)
+        for a in node_ids:
+            for b in node_ids:
+                if a != b:
+                    protocols[a].routing_table.add_contact(b, 0.0)
+        protocols[1].disseminate(9, value="hello")
+        assert protocols[2].retrieve(9) == "hello"
+
+    def test_retrieve_missing_value(self):
+        _, _, protocols, _ = build_network([1, 2])
+        protocols[1].routing_table.add_contact(2, 0.0)
+        assert protocols[1].retrieve(12) is None
+
+    def test_bucket_refresh_discovers_contacts(self):
+        node_ids = [1, 2, 3, 4]
+        _, _, protocols, _ = build_network(node_ids)
+        # 1 only knows 2; 2 knows 3; 3 knows 4.
+        protocols[1].routing_table.add_contact(2, 0.0)
+        protocols[2].routing_table.add_contact(3, 0.0)
+        protocols[3].routing_table.add_contact(4, 0.0)
+        before = protocols[1].routing_table.contact_count()
+        protocols[1].bucket_refresh(random.Random(0))
+        after = protocols[1].routing_table.contact_count()
+        assert after >= before
+        assert protocols[1].refreshes_performed == 1
+
+    def test_lookup_failure_records_staleness(self):
+        network, _, protocols, _ = build_network([1, 2])
+        protocols[1].routing_table.add_contact(2, 0.0)
+        network.remove_node(2, time=0.0)
+        result = protocols[1].lookup(2)
+        assert result.failures >= 1
+        assert not protocols[1].routing_table.contains(2)
+
+    def test_routing_table_snapshot_matches_contacts(self):
+        _, _, protocols, _ = build_network([1, 2, 3])
+        protocols[1].routing_table.add_contact(2, 0.0)
+        protocols[1].routing_table.add_contact(3, 0.0)
+        assert sorted(protocols[1].routing_table_snapshot()) == [2, 3]
+
+
+class TestReachabilityAndReseeding:
+    def test_rpc_success_marks_ever_connected_and_adds_contact(self):
+        _, _, protocols, _ = build_network([1, 2])
+        assert not protocols[1].ever_connected
+        ok, response = protocols[1].rpc(2, PingRequest())
+        assert ok and isinstance(response, PongResponse)
+        assert protocols[1].ever_connected
+        assert protocols[1].routing_table.contains(2)
+
+    def test_rpc_failure_does_not_mark_ever_connected(self):
+        network, _, protocols, _ = build_network([1, 2])
+        protocols[1].routing_table.add_contact(2, 0.0)
+        network.remove_node(2, time=0.0)
+        ok, _ = protocols[1].rpc(2, PingRequest())
+        assert not ok
+        assert not protocols[1].ever_connected
+        # staleness limit 1: the unreachable contact was evicted.
+        assert not protocols[1].routing_table.contains(2)
+
+    def test_incoming_request_does_not_mark_ever_connected(self):
+        _, _, protocols, _ = build_network([1, 2])
+        protocols[2].handle_request(1, PingRequest())
+        # Node 2 learned node 1 but has not verified it can reach anyone.
+        assert protocols[2].routing_table.contains(1)
+        assert not protocols[2].ever_connected
+
+    def test_join_remembers_bootstrap_contact(self):
+        _, _, protocols, _ = build_network([1, 2])
+        protocols[1].join(bootstrap_id=2)
+        assert protocols[1].bootstrap_id == 2
+
+    def test_lookup_reseeds_bootstrap_after_table_emptied(self):
+        network, _, protocols, _ = build_network([1, 2, 3])
+        protocols[2].routing_table.add_contact(3, 0.0)
+        protocols[1].join(bootstrap_id=2)
+        assert protocols[1].ever_connected
+        # Evict everything the node knows, as heavy loss with s=1 would.
+        for contact in protocols[1].routing_table.contact_ids():
+            protocols[1].routing_table.remove_contact(contact)
+        assert protocols[1].routing_table.contact_count() == 0
+        result = protocols[1].lookup(3)
+        # The configured bootstrap was re-inserted and the lookup recovered.
+        assert protocols[1].reseeds_performed >= 1
+        assert result.succeeded
+        assert protocols[1].routing_table.contains(2)
+
+    def test_reseed_keeps_retrying_until_first_successful_round_trip(self):
+        network, _, protocols, _ = build_network([1, 2, 3])
+        # Node 2's bootstrap (node 1) is unreachable at join time.
+        network.remove_node(1, time=0.0)
+        protocols[2].join(bootstrap_id=1)
+        assert not protocols[2].ever_connected
+        # Node 3 bootstraps *from* node 2, so node 2's table is not empty —
+        # but node 2 still has never reached the network it was configured
+        # to join.
+        protocols[3].join(bootstrap_id=2)
+        assert protocols[2].routing_table.contains(3)
+        # Node 1 comes back; node 2's next lookup retries the configured
+        # bootstrap and merges the island with the main network.
+        node_one = network.get(1)
+        node_one.alive = True
+        node_one.left_at = None
+        protocols[2].lookup(protocols[2].node_id)
+        assert protocols[2].ever_connected
+        assert protocols[2].routing_table.contains(1)
+        assert protocols[1].routing_table.contains(2)
+
+    def test_no_reseed_without_bootstrap(self):
+        _, _, protocols, _ = build_network([1])
+        protocols[1].lookup(5)
+        assert protocols[1].reseeds_performed == 0
+
+    def test_connected_node_with_contacts_never_reseeds(self):
+        _, _, protocols, _ = build_network([1, 2, 3])
+        protocols[2].routing_table.add_contact(3, 0.0)
+        protocols[1].join(bootstrap_id=2)
+        reseeds_before = protocols[1].reseeds_performed
+        for _ in range(3):
+            protocols[1].lookup(3)
+        assert protocols[1].reseeds_performed == reseeds_before
+
+
+class TestLookupWithLoss:
+    def test_lookup_under_heavy_loss_still_terminates(self):
+        node_ids = list(range(1, 11))
+        _, _, protocols, _ = build_network(node_ids, loss=0.4, seed=3)
+        for a in node_ids:
+            for b in node_ids:
+                if a != b:
+                    protocols[a].routing_table.add_contact(b, 0.0)
+        result = protocols[1].lookup(10)
+        assert result.queried >= 1
+        assert result.failures >= 0  # terminates without exception
+
+    def test_alpha_limits_parallel_batch(self):
+        config = KademliaConfig(bit_length=16, bucket_size=8, alpha=1, staleness_limit=1)
+        node_ids = [1, 2, 3, 4]
+        _, _, protocols, _ = build_network(node_ids, config=config)
+        for node_id in node_ids[1:]:
+            protocols[1].routing_table.add_contact(node_id, 0.0)
+        result = protocols[1].lookup(4)
+        # With alpha=1 each round queries a single node, so the number of
+        # rounds equals the number of queried nodes.
+        assert result.rounds == result.queried

@@ -1,0 +1,41 @@
+"""Tests for periodic controls and observers."""
+
+from repro.simulator.control import ObserverRegistry, PeriodicControl
+from repro.simulator.engine import Simulator
+
+
+class TestPeriodicControl:
+    def test_invocations_at_interval(self):
+        sim = Simulator()
+        fired = []
+        control = PeriodicControl(sim, 5.0, lambda: fired.append(sim.now), start=5.0, end=20.0)
+        sim.run_until(30.0)
+        assert fired == [5.0, 10.0, 15.0, 20.0]
+        assert control.invocations == 4
+
+    def test_default_start_is_one_interval(self):
+        sim = Simulator()
+        fired = []
+        PeriodicControl(sim, 2.0, lambda: fired.append(sim.now), end=6.0)
+        sim.run_until(10.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_stop_disables_future_ticks(self):
+        sim = Simulator()
+        fired = []
+        control = PeriodicControl(sim, 1.0, lambda: fired.append(sim.now), start=1.0)
+        sim.run_until(3.0)
+        control.stop()
+        sim.run_until(6.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestObserverRegistry:
+    def test_notify_calls_all_observers(self):
+        registry = ObserverRegistry()
+        seen = []
+        registry.register(lambda t: seen.append(("a", t)))
+        registry.register(lambda t: seen.append(("b", t)))
+        registry.notify(4.0)
+        assert seen == [("a", 4.0), ("b", 4.0)]
+        assert len(registry) == 2

@@ -1,0 +1,132 @@
+"""Tests for the discrete-event engine and event queue."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.errors import SchedulingError
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(5.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        assert queue.pop().time == 1.0
+        assert queue.pop().time == 5.0
+        assert queue.pop() is None
+
+    def test_stable_for_equal_times(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="first")
+        queue.push(1.0, lambda: None, label="second")
+        assert queue.pop().label == "first"
+        assert queue.pop().label == "second"
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="cancelled")
+        queue.push(2.0, lambda: None, label="kept")
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().label == "kept"
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 3.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert queue.pop() is None
+
+
+class TestSimulator:
+    def test_runs_events_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.run_until(5.0)
+        assert fired == [1, 2]
+        assert sim.now == 5.0
+        assert sim.events_processed == 2
+
+    def test_schedule_in_relative_delay(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_in(2.5, lambda: fired.append(sim.now))
+        sim.run_until(20.0)
+        assert fired == [12.5]
+
+    def test_events_after_horizon_not_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.0, lambda: fired.append(7))
+        sim.run_until(5.0)
+        assert fired == []
+        assert sim.pending_events == 1
+        sim.run_until(10.0)
+        assert fired == [7]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule_in(1.0, chain)
+
+        sim.schedule_at(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_periodic_scheduling(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(2.0, lambda: fired.append(sim.now), start=2.0, end=8.0)
+        sim.run_until(20.0)
+        assert fired == [2.0, 4.0, 6.0, 8.0]
+
+    def test_periodic_requires_positive_interval(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+    def test_run_all_and_reset(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run_all()
+        assert fired == [1, 2]
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+
+    def test_run_all_respects_max_events(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 6):
+            sim.schedule_at(float(t), lambda t=t: fired.append(t))
+        sim.run_all(max_events=3)
+        assert fired == [1, 2, 3]
+
+    def test_clock_monotonic_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(4.0)
+        sim.run_until(2.0)
+        assert sim.now == 4.0

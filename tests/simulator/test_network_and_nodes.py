@@ -1,0 +1,96 @@
+"""Tests for the node registry and simulation nodes."""
+
+import random
+
+import pytest
+
+from repro.simulator.errors import NodeNotFoundError
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+
+
+class TestSimNode:
+    def test_initial_state(self):
+        node = SimNode(0xAB, joined_at=3.0)
+        assert node.alive
+        assert node.joined_at == 3.0
+        assert node.left_at is None
+
+    def test_kill(self):
+        node = SimNode(1)
+        node.kill(9.0)
+        assert not node.alive
+        assert node.left_at == 9.0
+
+    def test_protocol_registry(self):
+        node = SimNode(1)
+        sentinel = object()
+        node.register_protocol("kademlia", sentinel)
+        assert node.protocol("kademlia") is sentinel
+
+
+class TestNetwork:
+    def test_add_and_get(self):
+        network = Network()
+        network.add_node(SimNode(1))
+        assert network.contains(1)
+        assert network.get(1).node_id == 1
+        assert len(network) == 1
+
+    def test_duplicate_id_rejected(self):
+        network = Network()
+        network.add_node(SimNode(1))
+        with pytest.raises(ValueError):
+            network.add_node(SimNode(1))
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Network().get(42)
+
+    def test_remove_marks_dead_but_keeps_addressable(self):
+        network = Network()
+        network.add_node(SimNode(1))
+        network.remove_node(1, time=5.0)
+        assert network.contains(1)
+        assert not network.is_alive(1)
+        assert network.alive_count() == 0
+
+    def test_forget_node(self):
+        network = Network()
+        network.add_node(SimNode(1))
+        network.forget_node(1)
+        assert not network.contains(1)
+        with pytest.raises(NodeNotFoundError):
+            network.forget_node(1)
+
+    def test_alive_queries(self):
+        network = Network()
+        for node_id in range(5):
+            network.add_node(SimNode(node_id))
+        network.remove_node(2, time=1.0)
+        assert network.alive_count() == 4
+        assert 2 not in network.alive_ids()
+        assert len(network.alive_nodes()) == 4
+        assert len(list(network)) == 5
+
+    def test_random_alive_node_respects_exclude(self):
+        network = Network()
+        network.add_node(SimNode(1))
+        network.add_node(SimNode(2))
+        rng = random.Random(0)
+        for _ in range(20):
+            chosen = network.random_alive_node(rng, exclude=1)
+            assert chosen.node_id == 2
+
+    def test_random_alive_node_empty(self):
+        assert Network().random_alive_node(random.Random(0)) is None
+
+    def test_random_alive_node_uniformity(self):
+        network = Network()
+        for node_id in range(3):
+            network.add_node(SimNode(node_id))
+        rng = random.Random(1)
+        counts = {0: 0, 1: 0, 2: 0}
+        for _ in range(600):
+            counts[network.random_alive_node(rng).node_id] += 1
+        assert all(count > 120 for count in counts.values())

@@ -1,0 +1,130 @@
+"""Tests for the loss-aware transport."""
+
+import random
+
+import pytest
+
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+from repro.simulator.protocol import Protocol
+from repro.simulator.transport import Transport, TransportStats
+
+
+class EchoProtocol(Protocol):
+    """Test protocol that records senders and echoes the request back."""
+
+    protocol_name = "kademlia"
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.seen = []
+
+    def handle_request(self, sender_id, request):
+        self.seen.append((sender_id, request))
+        return ("echo", request)
+
+
+class SilentProtocol(Protocol):
+    """Protocol that never answers (models an unresponsive node)."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+
+    def handle_request(self, sender_id, request):
+        return None
+
+
+def make_network(*node_ids, protocol_cls=EchoProtocol, protocol_name="kademlia"):
+    network = Network()
+    protocols = {}
+    for node_id in node_ids:
+        node = SimNode(node_id)
+        protocol = protocol_cls(node_id)
+        node.register_protocol(protocol_name, protocol)
+        network.add_node(node)
+        protocols[node_id] = protocol
+    return network, protocols
+
+
+class TestTransport:
+    def test_successful_round_trip(self):
+        network, protocols = make_network(1, 2)
+        transport = Transport(network, loss_probability=0.0)
+        ok, response = transport.rpc(1, 2, "ping")
+        assert ok
+        assert response == ("echo", "ping")
+        assert protocols[2].seen == [(1, "ping")]
+        assert transport.stats.round_trips_ok == 1
+
+    def test_request_to_dead_node_fails(self):
+        network, _ = make_network(1, 2)
+        network.remove_node(2, time=0.0)
+        transport = Transport(network, loss_probability=0.0)
+        ok, response = transport.rpc(1, 2, "ping")
+        assert not ok and response is None
+        assert transport.stats.requests_to_dead_nodes == 1
+
+    def test_request_to_unknown_node_fails(self):
+        network, _ = make_network(1)
+        transport = Transport(network, loss_probability=0.0)
+        ok, _ = transport.rpc(1, 99, "ping")
+        assert not ok
+        assert transport.stats.requests_to_dead_nodes == 1
+
+    def test_request_to_node_without_protocol_fails(self):
+        network, _ = make_network(1)
+        network.add_node(SimNode(2))  # no protocol registered
+        transport = Transport(network, loss_probability=0.0)
+        ok, _ = transport.rpc(1, 2, "ping")
+        assert not ok
+
+    def test_silent_protocol_counts_as_failure(self):
+        network, _ = make_network(1, 2, protocol_cls=SilentProtocol, protocol_name="protocol")
+        transport = Transport(network, loss_probability=0.0, protocol_name="protocol")
+        ok, _ = transport.rpc(1, 2, "ping")
+        assert not ok
+
+    def test_full_loss_never_delivers(self):
+        network, protocols = make_network(1, 2)
+        transport = Transport(network, loss_probability=0.999, rng=random.Random(0))
+        successes = sum(transport.rpc(1, 2, "ping")[0] for _ in range(200))
+        assert successes == 0
+
+    def test_invalid_loss_probability(self):
+        network, _ = make_network(1)
+        with pytest.raises(ValueError):
+            Transport(network, loss_probability=1.0)
+        with pytest.raises(ValueError):
+            Transport(network, loss_probability=-0.1)
+
+    def test_two_way_loss_probability(self):
+        network, _ = make_network(1)
+        transport = Transport(network, loss_probability=0.293, rng=random.Random(0))
+        assert transport.two_way_loss_probability() == pytest.approx(0.5, abs=0.01)
+
+    def test_loss_rate_statistics(self):
+        """Observed round-trip failure rate matches 1 - (1 - p)^2."""
+        network, protocols = make_network(1, 2)
+        transport = Transport(network, loss_probability=0.25, rng=random.Random(42))
+        trials = 4000
+        failures = sum(not transport.rpc(1, 2, "x")[0] for _ in range(trials))
+        expected = 1.0 - 0.75 ** 2
+        assert failures / trials == pytest.approx(expected, abs=0.03)
+
+    def test_request_leg_side_effects_apply_even_if_response_lost(self):
+        """If only the response is lost the target still processed the request."""
+        network, protocols = make_network(1, 2)
+        transport = Transport(network, loss_probability=0.45, rng=random.Random(7))
+        attempts = 500
+        for _ in range(attempts):
+            transport.rpc(1, 2, "ping")
+        delivered_requests = len(protocols[2].seen)
+        successful = transport.stats.round_trips_ok
+        # Some requests were processed although the round-trip failed.
+        assert delivered_requests > successful
+
+    def test_stats_reset(self):
+        stats = TransportStats(requests_sent=5, requests_lost=1)
+        stats.reset()
+        assert stats.requests_sent == 0
+        assert stats.round_trips_failed == 0

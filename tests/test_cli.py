@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.snapshot import RoutingTableSnapshot
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    snapshot = RoutingTableSnapshot.capture(
+        12.0, {1: [2, 3], 2: [1, 3], 3: [1, 2]}
+    )
+    path = tmp_path / "snapshot.json"
+    snapshot.save(path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E"])
+        assert args.scenario == "E"
+        assert args.profile == "bench"
+        assert args.seed == 42
+
+    def test_overrides_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "E", "--bucket-size", "5", "--alpha", "5", "--loss", "high",
+             "--staleness", "5", "--profile", "tiny"]
+        )
+        assert args.bucket_size == 5
+        assert args.alpha == 5
+        assert args.loss == "high"
+        assert args.staleness == 5
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "high" in output
+        assert "29.3" in output
+
+    def test_run_tiny_scenario(self, capsys):
+        exit_code = main(["run", "E", "--profile", "tiny", "--bucket-size", "5",
+                          "--seed", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "churn_mean_min" in output
+        assert "Network size" in output
+
+    def test_analyze_snapshot(self, snapshot_file, capsys):
+        assert main(["analyze-snapshot", str(snapshot_file)]) == 0
+        output = capsys.readouterr().out
+        assert "minimum connectivity: 2" in output
+        assert "resilience r:         1" in output
+
+    def test_analyze_snapshot_exact(self, snapshot_file, capsys):
+        assert main(["analyze-snapshot", str(snapshot_file), "--exact"]) == 0
+        assert "minimum connectivity: 2" in capsys.readouterr().out
+
+    def test_export_dimacs(self, snapshot_file, tmp_path, capsys):
+        output_path = tmp_path / "graph.dimacs"
+        assert main(["export-dimacs", str(snapshot_file), str(output_path)]) == 0
+        content = output_path.read_text()
+        # 3 nodes -> 6 transformed vertices; 6 edges + 3 internal = 9 arcs.
+        assert "p max 6 9" in content
+        assert "wrote 6 vertices" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""End-to-end qualitative checks of the reproduction pipeline.
+
+These tests exercise the whole stack (simulation → snapshot → Even
+transformation → max flow → resilience) on the tiny profile and assert the
+*relationships* the paper reports, not absolute numbers.
+"""
+
+import pytest
+
+from repro.core.analyzer import ConnectivityAnalyzer
+from repro.core.resilience import ResilienceModel
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(profile="tiny", seed=13)
+
+
+class TestQualitativeRelations:
+    def test_connectivity_tracks_bucket_size(self, runner):
+        """Section 6: 'the network connectivity strongly correlates with k'."""
+        small_k = runner.run(get_scenario("E").with_overrides(bucket_size=3))
+        large_k = runner.run(get_scenario("E").with_overrides(bucket_size=8))
+        assert large_k.churn_mean_minimum() >= small_k.churn_mean_minimum()
+
+    def test_average_connectivity_at_least_minimum(self, runner):
+        result = runner.run(get_scenario("E").with_overrides(bucket_size=5))
+        for sample in result.series.samples:
+            assert sample.average >= sample.minimum - 1e-9
+
+    def test_resilience_follows_equation_2(self, runner):
+        result = runner.run(get_scenario("E").with_overrides(bucket_size=5))
+        final = result.series.final_sample().report
+        assert final.resilience == max(final.minimum - 1, 0)
+        model = ResilienceModel(attacker_budget=final.resilience)
+        if final.minimum > 0:
+            assert model.is_satisfied_by(final.minimum)
+
+    def test_snapshot_analysis_consistent_with_series(self, runner):
+        """Re-analyzing a kept snapshot reproduces the recorded connectivity."""
+        local_runner = ExperimentRunner(profile="tiny", seed=21, keep_snapshots=True)
+        result = local_runner.run(get_scenario("J").with_overrides(bucket_size=5))
+        analyzer = local_runner.build_analyzer()
+        last_snapshot = result.snapshots[-1]
+        fresh = analyzer.analyze_snapshot(last_snapshot.routing_tables)
+        recorded = result.series.final_sample().report
+        assert fresh.minimum == recorded.minimum
+        assert fresh.vertex_count == recorded.vertex_count
+
+    def test_symmetry_ratio_close_to_undirected(self, runner):
+        """Section 5.2: connectivity graphs are 'very close to being undirected'."""
+        result = runner.run(get_scenario("E").with_overrides(bucket_size=8))
+        final = result.series.final_sample().report
+        assert final.symmetry_ratio > 0.6
+
+    def test_stabilized_connectivity_reaches_k_for_adequate_k(self, runner):
+        """After stabilisation the minimum connectivity is roughly k (k >= 10 advised).
+
+        At tiny scale (16 nodes) a bucket size of 5 is 'adequate' in the
+        paper's sense (well below the network size), so the stabilised
+        minimum should be at least k.
+        """
+        result = runner.run(get_scenario("C").with_overrides(bucket_size=5))
+        assert result.stabilized_minimum() >= 5
