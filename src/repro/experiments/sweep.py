@@ -5,20 +5,41 @@ fixed: bucket size ``k`` (Figures 2–9), parallelism ``alpha`` (Figure 10),
 staleness limit ``s`` and loss level (Figures 11–14).  The helpers here run
 those sweeps and return results keyed by the swept value, which is the form
 the report generators and benchmarks consume.
+
+Every sweep dispatches through :mod:`repro.runtime`: tasks are independent,
+so ``jobs > 1`` runs them on a process pool with bit-identical output, and
+passing a :class:`~repro.runtime.cache.ResultCache` makes repeated sweeps
+reuse finished runs instead of re-simulating them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.experiments.profiles import ScaleProfile
-from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import (
     PAPER_BUCKET_SIZES,
     PAPER_LOSS_LEVELS,
     PAPER_STALENESS_VALUES,
     Scenario,
 )
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import Campaign, ProgressCallback, sweep_tasks
+from repro.runtime.executor import Executor, make_executor
+
+
+def _make_campaign(
+    jobs: int,
+    cache: Optional[ResultCache],
+    executor: Optional[Executor],
+    progress: Optional[ProgressCallback],
+) -> Campaign:
+    return Campaign(
+        executor=executor if executor is not None else make_executor(jobs),
+        cache=cache,
+        progress=progress,
+    )
 
 
 def run_scenario(
@@ -26,10 +47,38 @@ def run_scenario(
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
     algorithm: str = "dinic",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ExperimentResult:
     """Run a single scenario with the given profile and seed."""
-    runner = ExperimentRunner(profile=profile, seed=seed, algorithm=algorithm)
-    return runner.run(scenario)
+    campaign = _make_campaign(jobs, cache, executor, progress)
+    tasks = sweep_tasks(scenario, [{}], profile=profile, seed=seed, algorithm=algorithm)
+    return campaign.run(tasks)[0]
+
+
+def run_sweep(
+    base: Scenario,
+    overrides: Iterable[Mapping[str, object]],
+    profile: ScaleProfile | str = "bench",
+    seed: int = 42,
+    algorithm: str = "dinic",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ExperimentResult]:
+    """Run one variant of ``base`` per override set and return the results.
+
+    The generic form behind every named sweep below; exposed for callers
+    (CLI, benchmarks) that sweep custom dimension combinations.
+    """
+    campaign = _make_campaign(jobs, cache, executor, progress)
+    tasks = sweep_tasks(
+        base, overrides, profile=profile, seed=seed, algorithm=algorithm
+    )
+    return campaign.run(tasks)
 
 
 def run_bucket_size_sweep(
@@ -37,12 +86,20 @@ def run_bucket_size_sweep(
     bucket_sizes: Iterable[int] = PAPER_BUCKET_SIZES,
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per bucket size (the k-sweep of Figures 2–9)."""
-    runner = ExperimentRunner(profile=profile, seed=seed)
-    return {
-        k: runner.run(base.with_overrides(bucket_size=k)) for k in bucket_sizes
-    }
+    bucket_sizes = list(bucket_sizes)
+    results = run_sweep(
+        base,
+        [{"bucket_size": k} for k in bucket_sizes],
+        profile=profile, seed=seed, jobs=jobs, cache=cache,
+        executor=executor, progress=progress,
+    )
+    return dict(zip(bucket_sizes, results))
 
 
 def run_alpha_sweep(
@@ -51,15 +108,20 @@ def run_alpha_sweep(
     bucket_sizes: Iterable[int] = PAPER_BUCKET_SIZES,
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the (alpha, k) grid behind Figure 10; keys are ``(alpha, k)``."""
-    runner = ExperimentRunner(profile=profile, seed=seed)
-    results: Dict[Tuple[int, int], ExperimentResult] = {}
-    for alpha in alphas:
-        for k in bucket_sizes:
-            scenario = base.with_overrides(alpha=alpha, bucket_size=k)
-            results[(alpha, k)] = runner.run(scenario)
-    return results
+    keys = [(alpha, k) for alpha in alphas for k in bucket_sizes]
+    results = run_sweep(
+        base,
+        [{"alpha": alpha, "bucket_size": k} for alpha, k in keys],
+        profile=profile, seed=seed, jobs=jobs, cache=cache,
+        executor=executor, progress=progress,
+    )
+    return dict(zip(keys, results))
 
 
 def run_staleness_sweep(
@@ -67,13 +129,20 @@ def run_staleness_sweep(
     staleness_values: Iterable[int] = PAPER_STALENESS_VALUES,
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per staleness limit (Figure 11)."""
-    runner = ExperimentRunner(profile=profile, seed=seed)
-    return {
-        s: runner.run(base.with_overrides(staleness_limit=s))
-        for s in staleness_values
-    }
+    staleness_values = list(staleness_values)
+    results = run_sweep(
+        base,
+        [{"staleness_limit": s} for s in staleness_values],
+        profile=profile, seed=seed, jobs=jobs, cache=cache,
+        executor=executor, progress=progress,
+    )
+    return dict(zip(staleness_values, results))
 
 
 def run_loss_sweep(
@@ -82,12 +151,17 @@ def run_loss_sweep(
     staleness_values: Iterable[int] = PAPER_STALENESS_VALUES,
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[Tuple[str, int], ExperimentResult]:
     """Run the (loss, s) grid behind Figures 12–14; keys are ``(loss, s)``."""
-    runner = ExperimentRunner(profile=profile, seed=seed)
-    results: Dict[Tuple[str, int], ExperimentResult] = {}
-    for loss in loss_levels:
-        for s in staleness_values:
-            scenario = base.with_overrides(loss=loss, staleness_limit=s)
-            results[(loss, s)] = runner.run(scenario)
-    return results
+    keys = [(loss, s) for loss in loss_levels for s in staleness_values]
+    results = run_sweep(
+        base,
+        [{"loss": loss, "staleness_limit": s} for loss, s in keys],
+        profile=profile, seed=seed, jobs=jobs, cache=cache,
+        executor=executor, progress=progress,
+    )
+    return dict(zip(keys, results))

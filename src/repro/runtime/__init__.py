@@ -1,0 +1,50 @@
+"""Experiment execution runtime.
+
+The paper's evaluation is a large grid of *independent* simulation runs —
+scenarios A–L crossed with bucket-size, alpha, staleness and loss sweeps,
+each replicated over seeds.  This package turns that observation into an
+execution harness:
+
+* :mod:`repro.runtime.task` — :class:`ExperimentTask`, the fully specified
+  unit of work (scenario, profile, seed, algorithm), with a stable
+  content-addressed key and deterministic child-seed derivation;
+* :mod:`repro.runtime.executor` — :class:`SerialExecutor` and the
+  process-pool backed :class:`ParallelExecutor`, which produce bit-identical
+  results because every task carries its own random universe;
+* :mod:`repro.runtime.cache` — :class:`ResultCache`, an on-disk
+  content-addressed store of :class:`ExperimentResult` documents with
+  hit/miss statistics and an eviction API;
+* :mod:`repro.runtime.campaign` — :class:`Campaign`, the driver that
+  expresses sweeps and replications as task batches and streams progress
+  while dispatching them through executor and cache.
+
+Every higher layer (``repro.experiments.sweep``, ``repro.experiments
+.replication``, the CLI and the benchmark harness) dispatches its runs
+through this package, so future scaling work (sharding, distributed
+backends) only has to provide a new :class:`Executor`.
+"""
+
+from repro.runtime.cache import CacheInfo, CacheStats, ResultCache
+from repro.runtime.campaign import Campaign, TaskProgress
+from repro.runtime.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.task import ExperimentTask, derive_seed, execute_task
+
+__all__ = [
+    "CacheInfo",
+    "CacheStats",
+    "Campaign",
+    "Executor",
+    "ExperimentTask",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "TaskProgress",
+    "derive_seed",
+    "execute_task",
+    "make_executor",
+]

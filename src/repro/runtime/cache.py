@@ -1,0 +1,170 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Every entry is one JSON document named after the task's content hash
+(:meth:`repro.runtime.task.ExperimentTask.key`) and contains both the task
+fingerprint and the result serialised through
+:mod:`repro.experiments.persistence`.  Storing the fingerprint alongside the
+result lets :meth:`ResultCache.get` verify that an entry really belongs to
+the requesting task (guarding against fingerprint-format drift) and lets
+``cache info`` describe what is in the cache without re-deriving anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.experiments.persistence import result_from_dict, result_to_dict
+from repro.experiments.runner import ExperimentResult
+from repro.runtime.task import ExperimentTask
+
+PathLike = Union[str, Path]
+
+#: Suffix of every cache entry file.
+ENTRY_SUFFIX = ".json"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Summary of the on-disk state of a cache directory."""
+
+    path: str
+    entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """Content-addressed store of :class:`ExperimentResult` documents.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created (with parents) on first use.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}{ENTRY_SUFFIX}"
+
+    def _entry_paths(self) -> List[Path]:
+        # The directory is created lazily by put(), so a cache that never
+        # stored anything (e.g. ``cache info`` on a typo'd path) does not
+        # leave an empty directory behind.
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"*{ENTRY_SUFFIX}"))
+
+    # ------------------------------------------------------------------
+    def contains(self, task: ExperimentTask) -> bool:
+        """Return whether an entry for ``task`` exists (no stats update)."""
+        return self._entry_path(task.key()).exists()
+
+    def get(self, task: ExperimentTask) -> Optional[ExperimentResult]:
+        """Return the cached result of ``task``, or ``None`` on a miss.
+
+        A corrupt or mismatching entry (e.g. written by an incompatible
+        fingerprint format) counts as a miss and is evicted so the caller
+        re-runs and overwrites it.
+        """
+        path = self._entry_path(task.key())
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if document.get("task") != task.fingerprint():
+                raise ValueError("cache entry does not match task fingerprint")
+            result = result_from_dict(document["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, AttributeError,
+                json.JSONDecodeError):
+            # Any malformed document shape (non-object JSON, wrong field
+            # types, truncated entries) is treated the same way: evict and
+            # re-run.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, task: ExperimentTask, result: ExperimentResult) -> Path:
+        """Store ``result`` under the content hash of ``task``.
+
+        Snapshots are always included so a cached result is as faithful as a
+        fresh run; the write goes through a temporary file so a concurrent
+        reader never sees a partial entry.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._entry_path(task.key())
+        document = {
+            "key": task.key(),
+            "task": task.fingerprint(),
+            "result": result_to_dict(result, include_snapshots=True),
+        }
+        # Unique per-process temp name: concurrent writers of the same task
+        # never interleave into one file, and replace() stays atomic.
+        tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp_path.write_text(json.dumps(document), encoding="utf-8")
+        tmp_path.replace(path)
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def evict(self, task: ExperimentTask) -> bool:
+        """Remove the entry of ``task``; returns whether one existed."""
+        path = self._entry_path(task.key())
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed.
+
+        Also sweeps up ``*.tmp`` leftovers of writers that died mid-put
+        (they are not counted as entries).
+        """
+        removed = 0
+        for path in self._entry_paths():
+            path.unlink()
+            removed += 1
+        if self.directory.is_dir():
+            for stale in self.directory.glob("*.tmp"):
+                stale.unlink()
+        return removed
+
+    def info(self) -> CacheInfo:
+        """Describe the on-disk state (entry count, total size)."""
+        paths = self._entry_paths()
+        return CacheInfo(
+            path=str(self.directory),
+            entries=len(paths),
+            total_bytes=sum(path.stat().st_size for path in paths),
+        )

@@ -1,0 +1,188 @@
+"""Campaign driver — sweeps and replications as cached task batches.
+
+A :class:`Campaign` binds an :class:`~repro.runtime.executor.Executor` to an
+optional :class:`~repro.runtime.cache.ResultCache` and runs batches of
+:class:`~repro.runtime.task.ExperimentTask`:
+
+1. every task is first looked up in the cache — hits are reported
+   immediately and skip all simulation work;
+2. the remaining tasks are dispatched through the executor, and each result
+   is written back to the cache the moment it completes;
+3. a progress callback receives one :class:`TaskProgress` event per task,
+   in completion order, so long campaigns can be monitored live.
+
+The module also provides the batch builders (:func:`sweep_tasks`,
+:func:`replication_tasks`) used by ``repro.experiments.sweep`` and
+``repro.experiments.replication``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenarios import Scenario
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.task import ExperimentTask, derive_seed
+
+#: Progress event statuses.
+CACHE_HIT = "hit"
+COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class TaskProgress:
+    """One per-task progress event of a campaign run."""
+
+    task: ExperimentTask
+    index: int
+    total: int
+    status: str
+    completed: int
+    cache_hits: int
+
+    def describe(self) -> str:
+        """One-line rendering used by the CLI's progress stream."""
+        origin = "cache" if self.status == CACHE_HIT else "run"
+        return (
+            f"[{self.completed}/{self.total}] {self.task.label()} ({origin})"
+        )
+
+
+ProgressCallback = Callable[[TaskProgress], None]
+
+
+class Campaign:
+    """Dispatches task batches through an executor and a result cache."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.executor = executor or SerialExecutor()
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[ExperimentTask]) -> List[ExperimentResult]:
+        """Run ``tasks`` and return their results in submission order."""
+        tasks = list(tasks)
+        total = len(tasks)
+        results: List[Optional[ExperimentResult]] = [None] * total
+        completed = 0
+        cache_hits = 0
+
+        pending_indices: List[int] = []
+        for index, task in enumerate(tasks):
+            cached = self.cache.get(task) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                completed += 1
+                cache_hits += 1
+                self._emit(task, index, total, CACHE_HIT, completed, cache_hits)
+            else:
+                pending_indices.append(index)
+
+        if pending_indices:
+            def _on_result(batch_index: int, result: ExperimentResult) -> None:
+                nonlocal completed
+                index = pending_indices[batch_index]
+                task = tasks[index]
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(task, result)
+                completed += 1
+                self._emit(task, index, total, COMPLETED, completed, cache_hits)
+
+            self.executor.run_tasks(
+                [tasks[index] for index in pending_indices], on_result=_on_result
+            )
+
+        return results  # type: ignore[return-value]
+
+    def run_one(self, task: ExperimentTask) -> ExperimentResult:
+        """Run a single task (through cache and executor)."""
+        return self.run([task])[0]
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        task: ExperimentTask,
+        index: int,
+        total: int,
+        status: str,
+        completed: int,
+        cache_hits: int,
+    ) -> None:
+        if self.progress is not None:
+            self.progress(
+                TaskProgress(
+                    task=task,
+                    index=index,
+                    total=total,
+                    status=status,
+                    completed=completed,
+                    cache_hits=cache_hits,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Batch builders
+# ----------------------------------------------------------------------
+def sweep_tasks(
+    base: Scenario,
+    overrides: Iterable[Mapping[str, object]],
+    profile: "ScaleProfile | str",
+    seed: int,
+    algorithm: str = "dinic",
+    keep_snapshots: bool = False,
+) -> List[ExperimentTask]:
+    """One task per override set applied to ``base`` (a parameter sweep)."""
+    return [
+        ExperimentTask.create(
+            scenario=base.with_overrides(**dict(changes)),
+            profile=profile,
+            seed=seed,
+            algorithm=algorithm,
+            keep_snapshots=keep_snapshots,
+        )
+        for changes in overrides
+    ]
+
+
+def replication_tasks(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    profile: "ScaleProfile | str",
+    algorithm: str = "dinic",
+    keep_snapshots: bool = False,
+) -> List[ExperimentTask]:
+    """One task per seed for the same scenario (multi-seed replication)."""
+    return [
+        ExperimentTask.create(
+            scenario=scenario,
+            profile=profile,
+            seed=seed,
+            algorithm=algorithm,
+            keep_snapshots=keep_snapshots,
+        )
+        for seed in seeds
+    ]
+
+
+def replication_seeds(root_seed: int, count: int) -> List[int]:
+    """Derive ``count`` independent replication seeds from ``root_seed``.
+
+    Deterministic and order-independent (see
+    :func:`repro.runtime.task.derive_seed`), so a campaign that grows from 5
+    to 10 replications reuses the first 5 cached runs unchanged.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [derive_seed(root_seed, "replication", index) for index in range(count)]

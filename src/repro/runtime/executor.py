@@ -1,0 +1,135 @@
+"""Task executors.
+
+An :class:`Executor` turns a batch of :class:`ExperimentTask` objects into
+their results.  Because each task carries its own seed-derived random
+universe, execution order and process placement cannot influence any result:
+:class:`ParallelExecutor` is bit-identical to :class:`SerialExecutor` (the
+equivalence is asserted by ``tests/runtime``).
+
+Both executors report per-task completion through an optional ``on_result``
+callback (index into the submitted batch, result), which the campaign driver
+uses to stream progress and to populate the result cache as soon as each
+task finishes rather than when the whole batch does.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+from repro.runtime.task import ExperimentTask, execute_task
+
+#: ``on_result(index, result)`` — called as each task of a batch completes.
+ResultCallback = Callable[[int, ExperimentResult], None]
+
+
+class Executor(ABC):
+    """Runs batches of experiment tasks."""
+
+    @abstractmethod
+    def run_tasks(
+        self,
+        tasks: Sequence[ExperimentTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[ExperimentResult]:
+        """Execute ``tasks`` and return their results in submission order."""
+
+
+class SerialExecutor(Executor):
+    """Runs every task in the current process, one after another."""
+
+    def run_tasks(
+        self,
+        tasks: Sequence[ExperimentTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[ExperimentResult]:
+        results: List[ExperimentResult] = []
+        for index, task in enumerate(tasks):
+            result = execute_task(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class ParallelExecutor(Executor):
+    """Runs tasks on a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes (defaults to the CPU count).  The pool is
+        created per batch and sized to ``min(jobs, len(batch))`` so small
+        batches do not pay for idle workers.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        resolved = jobs if jobs is not None else os.cpu_count() or 1
+        if resolved < 1:
+            raise ValueError(f"jobs must be >= 1, got {resolved}")
+        self.jobs = resolved
+
+    def run_tasks(
+        self,
+        tasks: Sequence[ExperimentTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[ExperimentResult]:
+        if not tasks:
+            return []
+        results: List[Optional[ExperimentResult]] = [None] * len(tasks)
+        workers = min(self.jobs, len(tasks))
+        with _exported_package_path():
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pending = {
+                    pool.submit(execute_task, task): index
+                    for index, task in enumerate(tasks)
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        result = future.result()
+                        results[index] = result
+                        if on_result is not None:
+                            on_result(index, result)
+        return results  # type: ignore[return-value]
+
+
+def make_executor(jobs: Optional[int] = None) -> Executor:
+    """Return the executor matching a ``--jobs`` value.
+
+    ``None`` or ``1`` selects :class:`SerialExecutor`; anything larger a
+    :class:`ParallelExecutor` with that many workers.
+    """
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)
+
+
+@contextmanager
+def _exported_package_path():
+    """Make ``repro`` importable in spawned worker processes.
+
+    With the ``fork`` start method children inherit ``sys.path`` directly;
+    with ``spawn``/``forkserver`` they re-initialise it from ``PYTHONPATH``,
+    so the directory containing the ``repro`` package is prepended to the
+    environment while the pool is alive and restored afterwards (later,
+    unrelated subprocesses must not inherit the modified import path).
+    """
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    original = os.environ.get("PYTHONPATH")
+    parts = original.split(os.pathsep) if original else []
+    if package_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([package_root] + parts)
+    try:
+        yield
+    finally:
+        if original is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = original

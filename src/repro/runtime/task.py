@@ -1,0 +1,122 @@
+"""The unit of work of the experiment runtime.
+
+An :class:`ExperimentTask` pins down everything that determines one
+:class:`~repro.experiments.runner.ExperimentResult`: the scenario, the fully
+resolved scale profile, the root seed, the max-flow algorithm and whether
+routing-table snapshots are kept.  Because the simulation is a pure function
+of these inputs (every stochastic component draws from named child streams
+of the root seed, see :mod:`repro.simulator.random_source`), a task's
+content hash is a valid cache key and tasks can run in any process without
+changing their output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+from repro.experiments.profiles import ScaleProfile, get_profile
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.scenarios import Scenario
+
+#: Version of the task fingerprint layout.  Bump when the meaning of a
+#: fingerprint field changes so stale cache entries can never be mistaken
+#: for current ones.
+TASK_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One fully specified simulation run."""
+
+    scenario: Scenario
+    profile: ScaleProfile
+    seed: int
+    algorithm: str = "dinic"
+    keep_snapshots: bool = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        scenario: Scenario,
+        profile: "ScaleProfile | str",
+        seed: int,
+        algorithm: str = "dinic",
+        keep_snapshots: bool = False,
+    ) -> "ExperimentTask":
+        """Build a task, resolving a profile name to its definition."""
+        resolved = get_profile(profile) if isinstance(profile, str) else profile
+        return cls(
+            scenario=scenario,
+            profile=resolved,
+            seed=int(seed),
+            algorithm=algorithm,
+            keep_snapshots=keep_snapshots,
+        )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> Dict:
+        """Return the canonical JSON-serialisable identity of this task.
+
+        Every field that influences the result is included; two tasks are
+        interchangeable exactly when their fingerprints are equal.
+        """
+        return {
+            "format": TASK_FORMAT_VERSION,
+            "scenario": asdict(self.scenario),
+            "profile": asdict(self.profile),
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "keep_snapshots": self.keep_snapshots,
+        }
+
+    def key(self) -> str:
+        """Content-addressed key: SHA-256 over the canonical fingerprint.
+
+        The fingerprint is serialised with sorted keys and no whitespace, so
+        the key is stable across processes, platforms and Python's per-run
+        hash randomisation.
+        """
+        canonical = json.dumps(
+            self.fingerprint(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable description (progress reporting)."""
+        return (
+            f"{self.scenario.name} [profile={self.profile.name}, "
+            f"seed={self.seed}, algorithm={self.algorithm}]"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the task in the current process."""
+        runner = ExperimentRunner(
+            profile=self.profile,
+            seed=self.seed,
+            keep_snapshots=self.keep_snapshots,
+            algorithm=self.algorithm,
+        )
+        return runner.run(self.scenario)
+
+
+def execute_task(task: ExperimentTask) -> ExperimentResult:
+    """Module-level task entry point (picklable for process pools)."""
+    return task.run()
+
+
+def derive_seed(root_seed: int, *parts: object) -> int:
+    """Derive a child seed from ``root_seed`` and a path of name parts.
+
+    Mirrors :meth:`repro.simulator.random_source.RandomSource.spawn`: the
+    derivation hashes the textual path, so it is stable across processes and
+    independent of execution order.  Used by the campaign driver to give
+    every replication its own reproducible universe.
+    """
+    path = "/".join(str(part) for part in parts)
+    digest = hashlib.sha256(f"{int(root_seed)}/{path}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")

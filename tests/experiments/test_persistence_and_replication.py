@@ -59,6 +59,46 @@ class TestPersistence:
         assert restored.snapshots[0].routing_tables == \
             tiny_result_with_snapshots.snapshots[0].routing_tables
 
+    def test_round_trip_preserves_all_recorded_fields(
+        self, tiny_result_with_snapshots, tmp_path
+    ):
+        """transport_stats, wall_seconds and snapshots survive save/load."""
+        original = tiny_result_with_snapshots
+        path = tmp_path / "result.json"
+        save_result(original, path, include_snapshots=True)
+        restored = load_result(path)
+        assert restored.transport_stats == original.transport_stats
+        assert restored.wall_seconds == original.wall_seconds
+        assert restored.joins == original.joins
+        assert restored.leaves == original.leaves
+        assert restored.seed == original.seed
+        assert restored.profile_name == original.profile_name
+        assert len(restored.snapshots) == len(original.snapshots)
+        for restored_snap, original_snap in zip(restored.snapshots,
+                                                original.snapshots):
+            assert restored_snap.time == original_snap.time
+            assert restored_snap.routing_tables == original_snap.routing_tables
+
+    def test_round_trip_preserves_bootstrap_reseed(self, tmp_path):
+        runner = ExperimentRunner(profile="tiny", seed=3)
+        scenario = get_scenario("E").with_overrides(
+            bucket_size=5, bootstrap_reseed=False
+        )
+        result = runner.run(scenario)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.scenario.bootstrap_reseed is False
+        assert restored.scenario == result.scenario
+
+    def test_load_tolerates_documents_without_bootstrap_reseed(
+        self, tiny_result_with_snapshots
+    ):
+        document = result_to_dict(tiny_result_with_snapshots)
+        del document["scenario"]["bootstrap_reseed"]
+        restored = result_from_dict(document)
+        assert restored.scenario.bootstrap_reseed is True
+
     def test_format_version_checked(self, tiny_result_with_snapshots):
         document = result_to_dict(tiny_result_with_snapshots)
         document["format_version"] = FORMAT_VERSION + 1

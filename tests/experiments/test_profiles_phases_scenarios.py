@@ -16,7 +16,7 @@ from repro.experiments.scenarios import (
 
 class TestProfiles:
     def test_registry_contains_expected_profiles(self):
-        assert set(PROFILES) == {"paper", "bench", "tiny"}
+        assert set(PROFILES) == {"paper", "bench", "tiny", "smoke"}
 
     def test_paper_profile_matches_paper_numbers(self):
         paper = get_profile("paper")

@@ -1,0 +1,109 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import get_scenario
+from repro.runtime import Campaign, ExperimentTask, ResultCache
+from repro.runtime.executor import Executor
+
+
+class ExplodingExecutor(Executor):
+    """Fails the test if any task reaches the executor (cache must serve)."""
+
+    def run_tasks(self, tasks, on_result=None):
+        raise AssertionError(f"{len(tasks)} task(s) were not served from the cache")
+
+
+@pytest.fixture(scope="module")
+def task():
+    return ExperimentTask.create(
+        scenario=get_scenario("E").with_overrides(bucket_size=5),
+        profile="tiny",
+        seed=9,
+        keep_snapshots=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(task):
+    return task.run()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(task) is None
+        cache.put(task, result)
+        assert cache.contains(task)
+        restored = cache.get(task)
+        assert restored is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_cached_result_is_faithful(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        restored = cache.get(task)
+        assert restored.series.minimum_series() == result.series.minimum_series()
+        assert restored.series.average_series() == result.series.average_series()
+        assert restored.series.times() == result.series.times()
+        assert restored.transport_stats == result.transport_stats
+        assert restored.wall_seconds == result.wall_seconds
+        assert restored.scenario == result.scenario
+        assert restored.joins == result.joins
+        assert restored.leaves == result.leaves
+        assert len(restored.snapshots) == len(result.snapshots)
+        assert restored.snapshots[-1].routing_tables == \
+            result.snapshots[-1].routing_tables
+
+    def test_hit_skips_all_simulation_work(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        campaign = Campaign(executor=ExplodingExecutor(), cache=cache)
+        restored = campaign.run_one(task)
+        assert restored.series.minimum_series() == result.series.minimum_series()
+        assert cache.stats.hit_rate == 1.0
+
+    def test_evict_and_clear(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        assert cache.info().entries == 1
+        assert cache.info().total_bytes > 0
+        assert cache.evict(task)
+        assert not cache.evict(task)
+        cache.put(task, result)
+        assert cache.clear() == 1
+        assert cache.info().entries == 0
+
+    def test_corrupt_entry_is_a_miss(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(task) is None
+        assert not path.exists()
+
+    def test_non_object_json_entry_is_a_miss(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        path.write_text("[]", encoding="utf-8")
+        assert cache.get(task) is None
+        assert not path.exists()
+
+    def test_fingerprint_mismatch_is_a_miss(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["task"]["seed"] = document["task"]["seed"] + 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get(task) is None
+
+    def test_cache_survives_reopening(self, task, result, tmp_path):
+        ResultCache(tmp_path / "cache").put(task, result)
+        reopened = ResultCache(tmp_path / "cache")
+        restored = reopened.get(task)
+        assert restored is not None
+        assert restored.series.minimum_series() == result.series.minimum_series()

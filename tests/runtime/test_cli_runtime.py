@@ -1,0 +1,74 @@
+"""CLI-level acceptance tests for --jobs / --cache-dir / cache subcommand.
+
+Mirrors the acceptance criterion of the runtime subsystem: a parallel sweep
+produces stdout identical to a serial one, and a second run against the same
+cache directory is served entirely from the cache (100% hit rate) without
+any simulation work.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, argv):
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    return captured.out, captured.err
+
+
+SWEEP_ARGV = [
+    "sweep-k", "--scenario", "A", "--profile", "tiny", "--seed", "3",
+    "--k", "3", "5",
+]
+
+
+class TestSweepAcceptance:
+    def test_parallel_output_identical_to_serial(self, capsys):
+        serial_out, _ = run_cli(capsys, SWEEP_ARGV + ["--jobs", "1"])
+        parallel_out, _ = run_cli(capsys, SWEEP_ARGV + ["--jobs", "4"])
+        assert parallel_out == serial_out
+        assert "bucket-size sweep" in serial_out
+
+    def test_second_run_is_all_cache_hits(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first_out, first_err = run_cli(
+            capsys, SWEEP_ARGV + ["--jobs", "1", "--cache-dir", cache_dir]
+        )
+        assert "0 hits, 2 misses" in first_err
+
+        second_out, second_err = run_cli(
+            capsys, SWEEP_ARGV + ["--jobs", "4", "--cache-dir", cache_dir]
+        )
+        assert second_out == first_out
+        assert "2 hits, 0 misses" in second_err
+        assert "100% hit rate" in second_err
+
+    def test_cache_info_reports_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli(capsys, SWEEP_ARGV + ["--cache-dir", cache_dir])
+        info_out, _ = run_cli(capsys, ["cache", "info", "--cache-dir", cache_dir])
+        assert "entries:         2" in info_out
+        clear_out, _ = run_cli(capsys, ["cache", "clear", "--cache-dir", cache_dir])
+        assert "removed 2 cache entries" in clear_out
+        info_out, _ = run_cli(capsys, ["cache", "info", "--cache-dir", cache_dir])
+        assert "entries:         0" in info_out
+
+
+class TestRunCommandCache:
+    def test_run_uses_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "E", "--profile", "tiny", "--bucket-size", "5",
+                "--seed", "1", "--cache-dir", cache_dir]
+        first_out, first_err = run_cli(capsys, argv)
+        assert "0 hits, 1 misses" in first_err
+        second_out, second_err = run_cli(capsys, argv)
+        assert second_out == first_out
+        assert "1 hits, 0 misses" in second_err
+
+    def test_progress_flag_streams_to_stderr(self, capsys):
+        argv = ["run", "E", "--profile", "tiny", "--bucket-size", "3",
+                "--seed", "1", "--progress"]
+        out, err = run_cli(capsys, argv)
+        assert "[1/1]" in err
+        assert "[1/1]" not in out

@@ -1,0 +1,135 @@
+"""Executor equivalence and campaign driver tests."""
+
+import pytest
+
+from repro.experiments.replication import replicate_scenario
+from repro.experiments.scenarios import get_scenario
+from repro.experiments.sweep import run_bucket_size_sweep
+from repro.runtime import (
+    Campaign,
+    ExperimentTask,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    make_executor,
+)
+
+
+def tiny_tasks(seeds=(11,), bucket_sizes=(3, 5)):
+    base = get_scenario("E")
+    return [
+        ExperimentTask.create(
+            scenario=base.with_overrides(bucket_size=k),
+            profile="tiny",
+            seed=seed,
+        )
+        for seed in seeds
+        for k in bucket_sizes
+    ]
+
+
+def series_of(results):
+    return [
+        (
+            result.series.times(),
+            result.series.minimum_series(),
+            result.series.average_series(),
+            result.series.network_size_series(),
+            result.transport_stats,
+            result.joins,
+            result.leaves,
+        )
+        for result in results
+    ]
+
+
+class TestExecutors:
+    def test_make_executor_selects_backend(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(4), ParallelExecutor)
+        assert make_executor(4).jobs == 4
+
+    def test_parallel_jobs_validated(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_parallel_matches_serial(self):
+        """Same seeds through both executors -> identical time series."""
+        tasks = tiny_tasks()
+        serial = SerialExecutor().run_tasks(tasks)
+        parallel = ParallelExecutor(jobs=2).run_tasks(tasks)
+        assert series_of(serial) == series_of(parallel)
+
+    def test_results_in_submission_order(self):
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8))
+        results = ParallelExecutor(jobs=2).run_tasks(tasks)
+        assert [r.scenario.bucket_size for r in results] == [3, 5, 8]
+
+    def test_on_result_streams_every_completion(self):
+        seen = []
+        tasks = tiny_tasks()
+        SerialExecutor().run_tasks(tasks, on_result=lambda i, r: seen.append(i))
+        assert sorted(seen) == list(range(len(tasks)))
+
+
+class TestCampaign:
+    def test_progress_events(self, tmp_path):
+        events = []
+        campaign = Campaign(
+            cache=ResultCache(tmp_path / "cache"), progress=events.append
+        )
+        tasks = tiny_tasks()
+        campaign.run(tasks)
+        assert len(events) == len(tasks)
+        assert all(event.status == "completed" for event in events)
+        assert events[-1].completed == len(tasks)
+        assert events[-1].cache_hits == 0
+        assert "run" in events[0].describe()
+
+        # Second run: everything is a cache hit, nothing executes.
+        events.clear()
+        campaign.run(tasks)
+        assert [event.status for event in events] == ["hit"] * len(tasks)
+        assert events[-1].cache_hits == len(tasks)
+
+    def test_partial_cache_mixes_hits_and_runs(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8))
+        Campaign(cache=cache).run(tasks[:2])
+        results = Campaign(cache=cache).run(tasks)
+        assert [r.scenario.bucket_size for r in results] == [3, 5, 8]
+        fresh = Campaign().run(tasks)
+        assert series_of(results) == series_of(fresh)
+
+
+class TestRewiredSweeps:
+    def test_sweep_identical_across_jobs_and_cache(self, tmp_path):
+        base = get_scenario("A")
+        kwargs = dict(bucket_sizes=(3, 5), profile="tiny", seed=13)
+        serial = run_bucket_size_sweep(base, **kwargs)
+        cache = ResultCache(tmp_path / "cache")
+        parallel = run_bucket_size_sweep(base, jobs=2, cache=cache, **kwargs)
+        assert series_of(serial.values()) == series_of(parallel.values())
+        assert cache.stats.misses == 2
+
+        # Re-running the same sweep is served entirely from the cache.
+        cached = run_bucket_size_sweep(base, jobs=2, cache=cache, **kwargs)
+        assert series_of(cached.values()) == series_of(serial.values())
+        assert cache.stats.hits == 2
+
+    def test_replication_through_runtime(self, tmp_path):
+        scenario = get_scenario("E").with_overrides(bucket_size=5)
+        cache = ResultCache(tmp_path / "cache")
+        direct = replicate_scenario(scenario, seeds=(1, 2), profile="tiny")
+        routed = replicate_scenario(
+            scenario, seeds=(1, 2), profile="tiny", jobs=2, cache=cache
+        )
+        for name in direct.statistics:
+            assert routed.statistic(name).values == direct.statistic(name).values
+        rerun = replicate_scenario(
+            scenario, seeds=(1, 2), profile="tiny", cache=cache
+        )
+        assert cache.stats.hits == 2
+        for name in direct.statistics:
+            assert rerun.statistic(name).values == direct.statistic(name).values

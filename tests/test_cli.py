@@ -23,9 +23,22 @@ class TestParser:
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "E"])
-        assert args.scenario == "E"
+        assert args.scenario_positional == "E"
         assert args.profile == "bench"
         assert args.seed == 42
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_scenario_option_form(self):
+        args = build_parser().parse_args(["sweep-k", "--scenario", "A", "--jobs", "4"])
+        assert args.scenario_option == "A"
+        assert args.scenario_positional is None
+        assert args.jobs == 4
+
+    def test_cache_subcommand_parsed(self):
+        args = build_parser().parse_args(["cache", "info", "--cache-dir", "/tmp/c"])
+        assert args.cache_command == "info"
+        assert args.cache_dir == "/tmp/c"
 
     def test_overrides_parsed(self):
         args = build_parser().parse_args(
@@ -52,6 +65,18 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "churn_mean_min" in output
         assert "Network size" in output
+
+    def test_run_requires_scenario(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--profile", "tiny"])
+        assert "scenario is required" in capsys.readouterr().err
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        assert "entries:         0" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 0 cache entries" in capsys.readouterr().out
 
     def test_analyze_snapshot(self, snapshot_file, capsys):
         assert main(["analyze-snapshot", str(snapshot_file)]) == 0
