@@ -22,13 +22,16 @@ Subcommands:
     Even-transformed connectivity graph (the paper's HIPR input format).
 
 ``cache``
-    Inspect (``cache info``) or empty (``cache clear``) a result cache
-    directory used by the run/sweep commands.
+    Inspect (``cache info``), empty (``cache clear``) or size-cap
+    (``cache prune --max-bytes N``, LRU order) a result cache directory
+    used by the run/sweep commands.
 
-Simulation commands accept ``--jobs N`` (process-pool execution with
-bit-identical output) and ``--cache-dir DIR`` (content-addressed result
-reuse across invocations); progress and cache statistics go to stderr so
-stdout stays identical regardless of parallelism or cache state.
+Simulation commands accept ``--jobs N`` (process-pool execution across
+experiment tasks), ``--flow-jobs N`` (process-pool execution of the
+per-snapshot pair-flow batches *inside* a task) and ``--cache-dir DIR``
+(content-addressed result reuse across invocations); all combinations
+produce bit-identical output.  Progress and cache statistics go to stderr
+so stdout stays identical regardless of parallelism or cache state.
 """
 
 from __future__ import annotations
@@ -79,6 +82,13 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="number of worker processes (1 = run in-process; default: 1)",
+    )
+    parser.add_argument(
+        "--flow-jobs", type=int, default=1,
+        help=(
+            "worker processes for the per-snapshot pair-flow engine "
+            "(bit-identical output for any value; default: 1)"
+        ),
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -159,7 +169,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     result = run_scenario(
         scenario, profile=args.profile, seed=args.seed,
-        jobs=args.jobs, cache=cache, progress=_make_progress(args),
+        jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+        progress=_make_progress(args),
     )
     _report_cache_stats(cache)
     print(format_summaries([result]))
@@ -181,7 +192,8 @@ def _cmd_sweep_k(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     results = run_bucket_size_sweep(
         scenario, bucket_sizes=args.k, profile=args.profile, seed=args.seed,
-        jobs=args.jobs, cache=cache, progress=_make_progress(args),
+        jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+        progress=_make_progress(args),
     )
     _report_cache_stats(cache)
     print(format_figure(results, f"Scenario {scenario.name}: bucket-size sweep"))
@@ -203,7 +215,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         for task in sweep_tasks(
             get_scenario(name),
             [{"bucket_size": k} for k in args.k],
-            profile=args.profile, seed=args.seed,
+            profile=args.profile, seed=args.seed, flow_jobs=args.flow_jobs,
         )
     ]
     campaign = Campaign(
@@ -223,6 +235,7 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     print(f"cache directory: {info.path}" + ("" if exists else " (does not exist)"))
     print(f"entries:         {info.entries}")
     print(f"total bytes:     {info.total_bytes}")
+    print(f"evictions:       {info.evictions}")
     return 0
 
 
@@ -232,11 +245,29 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    if args.max_bytes < 0:
+        print(f"error: --max-bytes must be >= 0, got {args.max_bytes}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    cache = ResultCache(args.cache_dir)
+    evicted = cache.prune(max_bytes=args.max_bytes)
+    info = cache.info()
+    print(
+        f"evicted {evicted} least-recently-used entries from {args.cache_dir} "
+        f"({info.entries} entries, {info.total_bytes} bytes remain; "
+        f"cap {args.max_bytes})"
+    )
+    return 0
+
+
 def _cmd_analyze_snapshot(args: argparse.Namespace) -> int:
     snapshot = RoutingTableSnapshot.load(args.snapshot)
     analyzer = ConnectivityAnalyzer(
+        algorithm=args.algorithm,
         source_fraction=None if args.exact else args.sample_fraction,
         target_fraction=args.sample_fraction,
+        flow_jobs=args.flow_jobs,
     )
     report = analyzer.analyze_snapshot(snapshot.routing_tables)
     print(f"snapshot time:        {snapshot.time}")
@@ -312,6 +343,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-fraction", type=float, default=0.05,
         help="source/target sampling fraction (ignored with --exact)",
     )
+    analyze_parser.add_argument(
+        "--algorithm", default="dinic",
+        choices=["dinic", "edmonds_karp", "push_relabel"],
+        help="max-flow algorithm for the pair-flow engine (default: dinic)",
+    )
+    analyze_parser.add_argument(
+        "--flow-jobs", type=int, default=1,
+        help="worker processes for the pair-flow engine (default: 1)",
+    )
     analyze_parser.set_defaults(func=_cmd_analyze_snapshot)
 
     dimacs_parser = subparsers.add_parser(
@@ -342,6 +382,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", required=True, help="result cache directory"
     )
     cache_clear_parser.set_defaults(func=_cmd_cache_clear)
+
+    cache_prune_parser = cache_subparsers.add_parser(
+        "prune",
+        help="evict least-recently-used entries until the cache fits a size cap",
+    )
+    cache_prune_parser.add_argument(
+        "--cache-dir", required=True, help="result cache directory"
+    )
+    cache_prune_parser.add_argument(
+        "--max-bytes", type=int, required=True,
+        help="target size cap in bytes (0 empties the cache)",
+    )
+    cache_prune_parser.set_defaults(func=_cmd_cache_prune)
 
     return parser
 

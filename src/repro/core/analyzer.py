@@ -35,10 +35,10 @@ from typing import Mapping, Optional, Sequence
 from repro.core.connectivity_graph import build_connectivity_graph, disconnected_vertices
 from repro.core.resilience import resilience_of
 from repro.core.vertex_connectivity import (
-    PairFlowEvaluator,
     connectivity_statistics,
     lowest_in_degree_vertices,
     lowest_out_degree_vertices,
+    sample_non_adjacent_pairs,
 )
 from repro.graph.algorithms.components import strongly_connected_components
 from repro.graph.digraph import DiGraph
@@ -127,6 +127,15 @@ class ConnectivityAnalyzer:
         reported equal to the minimum).
     seed:
         Seed of the internal sampling stream.
+    flow_jobs:
+        Worker processes for the batched pair-flow engine
+        (:class:`repro.runtime.pairflow.PairFlowEngine`).  ``1`` (default)
+        evaluates shards in-process; any value produces bit-identical
+        reports because the engine's shard/wave structure is independent
+        of the worker count.
+    flow_shard_size / flow_wave_width:
+        Engine scheduling granularity overrides (``None`` keeps the
+        engine defaults).
     """
 
     def __init__(
@@ -138,18 +147,55 @@ class ConnectivityAnalyzer:
         min_targets: int = 8,
         average_pairs: int = 48,
         seed: int = 0,
+        flow_jobs: int = 1,
+        flow_shard_size: Optional[int] = None,
+        flow_wave_width: Optional[int] = None,
     ) -> None:
         if source_fraction is not None and source_fraction <= 0:
             raise ValueError("source_fraction must be positive or None")
         if target_fraction <= 0:
             raise ValueError("target_fraction must be positive")
+        if flow_jobs < 1:
+            raise ValueError("flow_jobs must be >= 1")
         self.algorithm = algorithm
         self.source_fraction = source_fraction
         self.target_fraction = target_fraction
         self.min_sources = min_sources
         self.min_targets = min_targets
         self.average_pairs = average_pairs
+        self.flow_jobs = flow_jobs
+        self.flow_shard_size = flow_shard_size
+        self.flow_wave_width = flow_wave_width
         self._rng = random.Random(seed)
+
+    def _make_engine(self, graph: DiGraph):
+        """Build the pair-flow engine for one connectivity graph.
+
+        Imported lazily: ``repro.runtime`` depends on the experiments
+        layer, which imports this module — resolving the engine at call
+        time keeps the package import graph acyclic.
+        """
+        from repro.runtime.pairflow import (
+            DEFAULT_SHARD_SIZE,
+            DEFAULT_WAVE_WIDTH,
+            PairFlowEngine,
+        )
+
+        return PairFlowEngine(
+            graph,
+            algorithm=self.algorithm,
+            flow_jobs=self.flow_jobs,
+            shard_size=(
+                DEFAULT_SHARD_SIZE
+                if self.flow_shard_size is None
+                else self.flow_shard_size
+            ),
+            wave_width=(
+                DEFAULT_WAVE_WIDTH
+                if self.flow_wave_width is None
+                else self.flow_wave_width
+            ),
+        )
 
     # ------------------------------------------------------------------
     def analyze_graph(self, graph: DiGraph) -> ConnectivityReport:
@@ -187,33 +233,42 @@ class ConnectivityAnalyzer:
                 min_pairs=0, avg_pairs=0, exact=True, elapsed=elapsed,
             )
 
-        evaluator = PairFlowEvaluator(graph, algorithm=self.algorithm)
+        # One Even-transformed network is built here and reused for every
+        # pair of both passes; with flow_jobs > 1 the surrounding ``with``
+        # additionally pins one worker pool (the network ships to each
+        # worker once) across both passes.
+        with self._make_engine(graph) as engine:
+            # Minimum pass.  A graph that is not strongly connected
+            # contains a pair with no directed path, so its connectivity
+            # is exactly 0 and no flow computation is needed.
+            min_pairs = 0
+            if not strongly_connected:
+                minimum = 0
+            else:
+                source_count = max(
+                    self.min_sources, math.ceil(self.source_fraction * n)
+                )
+                target_count = max(
+                    self.min_targets, math.ceil(self.target_fraction * n)
+                )
+                sources = lowest_out_degree_vertices(graph, min(source_count, n))
+                targets = lowest_in_degree_vertices(graph, min(target_count, n))
+                degree_bound = min(graph.min_out_degree(), graph.min_in_degree())
+                minimum, min_pairs = engine.minimum_over(
+                    sources, targets, initial_minimum=degree_bound
+                )
 
-        # Minimum pass.  A graph that is not strongly connected contains a
-        # pair with no directed path, so its connectivity is exactly 0 and
-        # no flow computation is needed.
-        min_pairs = 0
-        if not strongly_connected:
-            minimum = 0
-        else:
-            source_count = max(self.min_sources, math.ceil(self.source_fraction * n))
-            target_count = max(self.min_targets, math.ceil(self.target_fraction * n))
-            sources = lowest_out_degree_vertices(graph, min(source_count, n))
-            targets = lowest_in_degree_vertices(graph, min(target_count, n))
-            degree_bound = min(graph.min_out_degree(), graph.min_in_degree())
-            minimum, min_pairs = evaluator.minimum_over(
-                sources, targets, use_cutoff=True, initial_minimum=degree_bound
-            )
-
-        # Average pass (unbiased, no cutoffs).
-        if self.average_pairs > 0:
-            average, avg_pairs = evaluator.average_over_random_pairs(
-                self.average_pairs, self._rng
-            )
-            if avg_pairs == 0:
-                average = float(minimum)
-        else:
-            average, avg_pairs = float(minimum), 0
+            # Average pass (unbiased, no cutoffs).  The pairs are sampled
+            # before evaluation — the rng stream depends only on the graph,
+            # so serial and parallel runs see identical pairs.
+            if self.average_pairs > 0:
+                average, avg_pairs = engine.average_over(
+                    sample_non_adjacent_pairs(graph, self.average_pairs, self._rng)
+                )
+                if avg_pairs == 0:
+                    average = float(minimum)
+            else:
+                average, avg_pairs = float(minimum), 0
 
         elapsed = wallclock.perf_counter() - started
         return self._report(

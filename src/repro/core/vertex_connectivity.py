@@ -17,15 +17,12 @@ that sampling strategy are implemented here.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.graph.digraph import DiGraph
-from repro.graph.maxflow.dinic import dinic_on_network
-from repro.graph.maxflow.edmonds_karp import edmonds_karp_on_network
-from repro.graph.maxflow.push_relabel import push_relabel_on_network
-from repro.graph.maxflow.residual import ResidualNetwork
-from repro.graph.transform.even_transform import even_transform
+from repro.graph.maxflow import network_flow_function as _flow_function
+from repro.graph.transform.even_transform import indexed_even_transform
 
 Vertex = Hashable
 
@@ -63,26 +60,6 @@ class ConnectivityStatistics:
         }
 
 
-_ALGORITHMS = {
-    "dinic": dinic_on_network,
-    "push_relabel": lambda network, s, t, cutoff=None: push_relabel_on_network(
-        network, s, t
-    ),
-    "edmonds_karp": lambda network, s, t, cutoff=None: edmonds_karp_on_network(
-        network, s, t, cutoff=cutoff
-    )[0],
-}
-
-
-def _flow_function(algorithm: str):
-    try:
-        return _ALGORITHMS[algorithm]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; available: {sorted(_ALGORITHMS)}"
-        ) from None
-
-
 def pairwise_vertex_connectivity(
     graph: DiGraph,
     source: Vertex,
@@ -104,12 +81,9 @@ def pairwise_vertex_connectivity(
             f"({source!r} -> {target!r} is an edge)"
         )
     flow_fn = _flow_function(algorithm)
-    transform = even_transform(graph)
-    network = ResidualNetwork(transform.graph)
-    flow_source, flow_target = transform.flow_endpoints(source, target)
-    value = flow_fn(
-        network, network.index_of(flow_source), network.index_of(flow_target)
-    )
+    transform = indexed_even_transform(graph)
+    flow_source, flow_target = transform.flow_endpoint_indices(source, target)
+    value = flow_fn(transform.network, flow_source, flow_target)
     return int(round(value))
 
 
@@ -197,8 +171,9 @@ def connectivity_statistics(
 
     flow_fn = _flow_function(algorithm)
     sources, exact = _sample_sources(graph, sample_fraction, min_sources, rng)
-    transform = even_transform(graph)
-    network = ResidualNetwork(transform.graph)
+    transform = indexed_even_transform(graph)
+    network = transform.network
+    target_index = transform.target_index
 
     minimum: Optional[int] = None
     min_pair: Optional[Tuple[Vertex, Vertex]] = None
@@ -207,7 +182,7 @@ def connectivity_statistics(
     vertices = graph.vertices()
 
     for source in sources:
-        source_index = network.index_of(transform.outgoing[source])
+        source_index = transform.source_index(source)
         out_degree = graph.out_degree(source)
         if out_degree == 0:
             # No outgoing edges: kappa(source, w) = 0 for every non-adjacent w.
@@ -233,7 +208,7 @@ def connectivity_statistics(
             value = flow_fn(
                 network,
                 source_index,
-                network.index_of(transform.incoming[target]),
+                target_index(target),
                 cutoff=cutoff,
             )
             kappa = int(round(value))
@@ -286,8 +261,8 @@ class PairFlowEvaluator:
         self.graph = graph
         self.algorithm = algorithm
         self._flow_fn = _flow_function(algorithm)
-        self._transform = even_transform(graph)
-        self._network = ResidualNetwork(self._transform.graph)
+        self._transform = indexed_even_transform(graph)
+        self._network = self._transform.network
 
     def kappa(
         self, source: Vertex, target: Vertex, cutoff: Optional[float] = None
@@ -298,11 +273,11 @@ class PairFlowEvaluator:
         if self.graph.has_edge(source, target):
             raise ValueError("pair is adjacent; vertex connectivity is undefined")
         self._network.reset()
+        flow_source, flow_target = self._transform.flow_endpoint_indices(
+            source, target
+        )
         value = self._flow_fn(
-            self._network,
-            self._network.index_of(self._transform.outgoing[source]),
-            self._network.index_of(self._transform.incoming[target]),
-            cutoff=cutoff,
+            self._network, flow_source, flow_target, cutoff=cutoff
         )
         return int(round(value))
 
@@ -353,25 +328,42 @@ class PairFlowEvaluator:
         Returns ``(average, pairs evaluated)``; (0.0, 0) when the graph has
         no non-adjacent pair (complete graph).
         """
-        vertices = self.graph.vertices()
-        n = len(vertices)
-        if n < 2 or pair_count <= 0:
+        pairs = sample_non_adjacent_pairs(self.graph, pair_count, rng)
+        if not pairs:
             return 0.0, 0
         total = 0.0
-        evaluated = 0
-        attempts = 0
-        max_attempts = pair_count * 10
-        while evaluated < pair_count and attempts < max_attempts:
-            attempts += 1
-            source = vertices[rng.randrange(n)]
-            target = vertices[rng.randrange(n)]
-            if source == target or self.graph.has_edge(source, target):
-                continue
+        for source, target in pairs:
             total += self.kappa(source, target)
-            evaluated += 1
-        if evaluated == 0:
-            return 0.0, 0
-        return total / evaluated, evaluated
+        return total / len(pairs), len(pairs)
+
+
+def sample_non_adjacent_pairs(
+    graph: DiGraph, pair_count: int, rng: random.Random
+) -> List[Tuple[Vertex, Vertex]]:
+    """Draw up to ``pair_count`` uniform random non-adjacent ordered pairs.
+
+    Rejection-sampled with a bounded number of attempts (so near-complete
+    graphs terminate); pairs may repeat, which keeps the estimate of the
+    mean pairwise connectivity unbiased.  The ``rng`` consumption depends
+    only on the graph structure — never on any flow value — so the same
+    stream yields the same pairs whether they are evaluated serially or
+    through the batched engine.
+    """
+    vertices = graph.vertices()
+    n = len(vertices)
+    if n < 2 or pair_count <= 0:
+        return []
+    pairs: List[Tuple[Vertex, Vertex]] = []
+    attempts = 0
+    max_attempts = pair_count * 10
+    while len(pairs) < pair_count and attempts < max_attempts:
+        attempts += 1
+        source = vertices[rng.randrange(n)]
+        target = vertices[rng.randrange(n)]
+        if source == target or graph.has_edge(source, target):
+            continue
+        pairs.append((source, target))
+    return pairs
 
 
 def lowest_out_degree_vertices(graph: DiGraph, count: int) -> List[Vertex]:

@@ -96,6 +96,11 @@ class ExperimentRunner:
         off by default).
     algorithm:
         Max-flow algorithm forwarded to the connectivity analyzer.
+    flow_jobs:
+        Worker processes for the per-snapshot batched pair-flow engine
+        (see :class:`repro.core.analyzer.ConnectivityAnalyzer`).  Purely
+        an execution knob: any value yields bit-identical results, so it
+        is not part of the experiment's identity.
     """
 
     def __init__(
@@ -104,11 +109,13 @@ class ExperimentRunner:
         seed: int = 42,
         keep_snapshots: bool = False,
         algorithm: str = "dinic",
+        flow_jobs: int = 1,
     ) -> None:
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.seed = seed
         self.keep_snapshots = keep_snapshots
         self.algorithm = algorithm
+        self.flow_jobs = flow_jobs
 
     # ------------------------------------------------------------------
     def build_simulation(
@@ -170,6 +177,7 @@ class ExperimentRunner:
             target_fraction=profile.target_fraction,
             average_pairs=profile.average_pairs,
             seed=self.seed,
+            flow_jobs=self.flow_jobs,
         )
 
     # ------------------------------------------------------------------

@@ -48,13 +48,22 @@ def run_scenario(
     seed: int = 42,
     algorithm: str = "dinic",
     jobs: int = 1,
+    flow_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> ExperimentResult:
-    """Run a single scenario with the given profile and seed."""
+    """Run a single scenario with the given profile and seed.
+
+    ``jobs`` parallelises across tasks; ``flow_jobs`` parallelises the
+    per-snapshot connectivity analysis *within* a task (see README
+    "Performance" for how the two compose).
+    """
     campaign = _make_campaign(jobs, cache, executor, progress)
-    tasks = sweep_tasks(scenario, [{}], profile=profile, seed=seed, algorithm=algorithm)
+    tasks = sweep_tasks(
+        scenario, [{}], profile=profile, seed=seed, algorithm=algorithm,
+        flow_jobs=flow_jobs,
+    )
     return campaign.run(tasks)[0]
 
 
@@ -65,6 +74,7 @@ def run_sweep(
     seed: int = 42,
     algorithm: str = "dinic",
     jobs: int = 1,
+    flow_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
@@ -76,7 +86,8 @@ def run_sweep(
     """
     campaign = _make_campaign(jobs, cache, executor, progress)
     tasks = sweep_tasks(
-        base, overrides, profile=profile, seed=seed, algorithm=algorithm
+        base, overrides, profile=profile, seed=seed, algorithm=algorithm,
+        flow_jobs=flow_jobs,
     )
     return campaign.run(tasks)
 
@@ -87,6 +98,7 @@ def run_bucket_size_sweep(
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
     jobs: int = 1,
+    flow_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
@@ -96,8 +108,8 @@ def run_bucket_size_sweep(
     results = run_sweep(
         base,
         [{"bucket_size": k} for k in bucket_sizes],
-        profile=profile, seed=seed, jobs=jobs, cache=cache,
-        executor=executor, progress=progress,
+        profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
+        cache=cache, executor=executor, progress=progress,
     )
     return dict(zip(bucket_sizes, results))
 
@@ -109,6 +121,7 @@ def run_alpha_sweep(
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
     jobs: int = 1,
+    flow_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
@@ -118,8 +131,8 @@ def run_alpha_sweep(
     results = run_sweep(
         base,
         [{"alpha": alpha, "bucket_size": k} for alpha, k in keys],
-        profile=profile, seed=seed, jobs=jobs, cache=cache,
-        executor=executor, progress=progress,
+        profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
+        cache=cache, executor=executor, progress=progress,
     )
     return dict(zip(keys, results))
 
@@ -130,6 +143,7 @@ def run_staleness_sweep(
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
     jobs: int = 1,
+    flow_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
@@ -139,8 +153,8 @@ def run_staleness_sweep(
     results = run_sweep(
         base,
         [{"staleness_limit": s} for s in staleness_values],
-        profile=profile, seed=seed, jobs=jobs, cache=cache,
-        executor=executor, progress=progress,
+        profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
+        cache=cache, executor=executor, progress=progress,
     )
     return dict(zip(staleness_values, results))
 
@@ -152,6 +166,7 @@ def run_loss_sweep(
     profile: ScaleProfile | str = "bench",
     seed: int = 42,
     jobs: int = 1,
+    flow_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
@@ -161,7 +176,7 @@ def run_loss_sweep(
     results = run_sweep(
         base,
         [{"loss": loss, "staleness_limit": s} for loss, s in keys],
-        profile=profile, seed=seed, jobs=jobs, cache=cache,
-        executor=executor, progress=progress,
+        profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
+        cache=cache, executor=executor, progress=progress,
     )
     return dict(zip(keys, results))

@@ -23,18 +23,25 @@ from repro.graph.maxflow import (
     max_flow,
     push_relabel_max_flow,
 )
-from repro.graph.transform.even_transform import EvenTransform, even_transform
+from repro.graph.transform.even_transform import (
+    EvenTransform,
+    IndexedEvenTransform,
+    even_transform,
+    indexed_even_transform,
+)
 
 __all__ = [
     "DiGraph",
     "EvenTransform",
     "GraphError",
+    "IndexedEvenTransform",
     "MaxFlowResult",
     "NegativeCapacityError",
     "VertexNotFoundError",
     "dinic_max_flow",
     "edmonds_karp_max_flow",
     "even_transform",
+    "indexed_even_transform",
     "max_flow",
     "push_relabel_max_flow",
 ]

@@ -11,18 +11,27 @@ All solvers share the :class:`repro.graph.maxflow.residual.ResidualNetwork`
 representation and return a :class:`MaxFlowResult`.
 """
 
-from repro.graph.maxflow.base import MaxFlowResult, SOLVERS, max_flow
+from repro.graph.maxflow.base import (
+    MaxFlowResult,
+    NETWORK_SOLVERS,
+    SOLVERS,
+    max_flow,
+    network_flow_function,
+)
 from repro.graph.maxflow.dinic import dinic_max_flow
 from repro.graph.maxflow.edmonds_karp import edmonds_karp_max_flow
 from repro.graph.maxflow.push_relabel import push_relabel_max_flow
-from repro.graph.maxflow.residual import ResidualNetwork
+from repro.graph.maxflow.residual import CompactNetwork, ResidualNetwork
 
 __all__ = [
+    "CompactNetwork",
     "MaxFlowResult",
+    "NETWORK_SOLVERS",
     "ResidualNetwork",
     "SOLVERS",
     "dinic_max_flow",
     "edmonds_karp_max_flow",
     "max_flow",
+    "network_flow_function",
     "push_relabel_max_flow",
 ]

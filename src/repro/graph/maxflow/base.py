@@ -47,6 +47,12 @@ SolverFunc = Callable[..., MaxFlowResult]
 #: modules at import time (see :mod:`repro.graph.maxflow.__init__`).
 SOLVERS: Dict[str, SolverFunc] = {}
 
+#: Registry of the dense-index solver entry points
+#: ``fn(network, source, sink, cutoff=None) -> float``.  This is the form
+#: the connectivity hot paths use (one prebuilt network, many pair
+#: queries); populated by the solver modules alongside :data:`SOLVERS`.
+NETWORK_SOLVERS: Dict[str, Callable[..., float]] = {}
+
 
 def register_solver(name: str) -> Callable[[SolverFunc], SolverFunc]:
     """Class decorator registering a solver function under ``name``."""
@@ -56,6 +62,35 @@ def register_solver(name: str) -> Callable[[SolverFunc], SolverFunc]:
         return func
 
     return decorator
+
+
+def register_network_solver(
+    name: str,
+) -> Callable[[Callable[..., float]], Callable[..., float]]:
+    """Decorator registering a dense-index solver under ``name``."""
+
+    def decorator(func: Callable[..., float]) -> Callable[..., float]:
+        NETWORK_SOLVERS[name] = func
+        return func
+
+    return decorator
+
+
+def network_flow_function(algorithm: str) -> Callable[..., float]:
+    """Return the registered dense-index solver for ``algorithm``.
+
+    All three solvers honour ``cutoff`` identically: the returned value is
+    exact when it is below the cutoff, and at least the cutoff otherwise
+    (on unit-capacity graphs with integer cutoffs, exactly
+    ``min(max flow, cutoff)``).
+    """
+    try:
+        return NETWORK_SOLVERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"available: {sorted(NETWORK_SOLVERS)}"
+        ) from None
 
 
 def max_flow(

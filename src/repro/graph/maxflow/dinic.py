@@ -16,84 +16,122 @@ from collections import deque
 from typing import Hashable, List, Optional
 
 from repro.graph.digraph import DiGraph
-from repro.graph.maxflow.base import MaxFlowResult, register_solver
+from repro.graph.maxflow.base import (
+    MaxFlowResult,
+    register_network_solver,
+    register_solver,
+)
 from repro.graph.maxflow.residual import ResidualNetwork
 
 Vertex = Hashable
-_INF = float("inf")
 
 
 def _build_level_graph(
     network: ResidualNetwork, source: int, sink: int, levels: List[int]
 ) -> bool:
-    """BFS from ``source`` filling ``levels``; True if ``sink`` is reachable."""
+    """BFS from ``source`` filling ``levels``; True if ``sink`` is reachable.
+
+    Expansion stops at the sink's level: a shortest augmenting path visits
+    levels ``0 .. L`` with only the sink at ``L``, so vertices that would
+    land beyond ``L`` can never carry flow in this phase and are left
+    unlabelled — which both shortens the BFS and spares the DFS from
+    exploring dead branches.
+    """
     for i in range(network.n):
         levels[i] = -1
     levels[source] = 0
     queue = deque([source])
+    popleft = queue.popleft
+    append = queue.append
     heads = network.heads
     caps = network.caps
     adjacency = network.adjacency
+    sink_level = -1
     while queue:
-        u = queue.popleft()
+        u = popleft()
+        next_level = levels[u] + 1
+        if sink_level >= 0 and next_level >= sink_level:
+            break  # deeper vertices cannot lie on a shortest path
         for arc in adjacency[u]:
             v = heads[arc]
-            if caps[arc] > 1e-12 and levels[v] < 0:
-                levels[v] = levels[u] + 1
-                queue.append(v)
+            if levels[v] < 0 and caps[arc] > 1e-12:
+                levels[v] = next_level
+                if v == sink:
+                    sink_level = next_level
+                else:
+                    append(v)
     return levels[sink] >= 0
 
 
-def _send_flow(
-    network: ResidualNetwork,
-    levels: List[int],
-    iterators: List[int],
-    u: int,
-    sink: int,
-    pushed: float,
-) -> float:
-    """DFS step of Dinic: push up to ``pushed`` units from ``u`` toward sink."""
-    if u == sink:
-        return pushed
-    heads = network.heads
-    caps = network.caps
-    adjacency = network.adjacency
-    arcs = adjacency[u]
-    while iterators[u] < len(arcs):
-        arc = arcs[iterators[u]]
-        v = heads[arc]
-        if caps[arc] > 1e-12 and levels[v] == levels[u] + 1:
-            flow = _send_flow(
-                network, levels, iterators, v, sink, min(pushed, caps[arc])
-            )
-            if flow > 1e-12:
-                caps[arc] -= flow
-                caps[arc ^ 1] += flow
-                return flow
-        iterators[u] += 1
-    return 0.0
-
-
+@register_network_solver("dinic")
 def dinic_on_network(
     network: ResidualNetwork,
     source: int,
     sink: int,
     cutoff: Optional[float] = None,
 ) -> float:
-    """Run Dinic on dense vertex indices; mutates the network in place."""
-    if network.n == 0 or source == sink:
+    """Run Dinic on dense vertex indices; mutates the network in place.
+
+    The blocking-flow phase uses an iterative DFS (an explicit arc path
+    instead of recursion — the Even-transformed graphs of large snapshots
+    exceed Python's recursion limit) over preallocated level/current-arc
+    arrays owned by the network, with all hot containers bound to locals.
+    """
+    n = network.n
+    if n == 0 or source == sink:
         return 0.0
+    if cutoff is not None and cutoff <= 0:
+        return 0.0
+    heads = network.heads
+    caps = network.caps
+    adjacency = network.adjacency
+    levels, iters = network.scratch_buffers()
     total = 0.0
-    levels = [-1] * network.n
     while _build_level_graph(network, source, sink, levels):
-        iterators = [0] * network.n
+        for i in range(n):
+            iters[i] = 0
+        path: List[int] = []  # arcs of the current partial source->u path
+        u = source
         while True:
-            flow = _send_flow(network, levels, iterators, source, sink, _INF)
-            if flow <= 1e-12:
-                break
-            total += flow
-            if cutoff is not None and total >= cutoff:
-                return total
+            if u == sink:
+                pushed = min(caps[arc] for arc in path)
+                retreat = 0
+                for position, arc in enumerate(path):
+                    caps[arc] -= pushed
+                    caps[arc ^ 1] += pushed
+                    if retreat == 0 and caps[arc] <= 1e-12:
+                        retreat = position + 1
+                total += pushed
+                if cutoff is not None and total >= cutoff:
+                    return total
+                # Restart from the tail of the first saturated arc.
+                del path[max(retreat - 1, 0):]
+                u = source if not path else heads[path[-1]]
+                continue
+            arcs = adjacency[u]
+            degree = len(arcs)
+            position = iters[u]
+            next_level = levels[u] + 1
+            advanced = False
+            while position < degree:
+                arc = arcs[position]
+                v = heads[arc]
+                if caps[arc] > 1e-12 and levels[v] == next_level:
+                    advanced = True
+                    break
+                position += 1
+            iters[u] = position
+            if advanced:
+                path.append(arcs[position])
+                u = heads[arcs[position]]
+            elif u == source:
+                break  # blocking flow complete for this level graph
+            else:
+                # Dead end: prune u from the level graph and retreat.
+                levels[u] = -1
+                path.pop()
+                u = source if not path else heads[path[-1]]
+                iters[u] += 1
         if cutoff is not None and total >= cutoff:
             break
     return total

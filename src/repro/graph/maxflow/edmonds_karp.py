@@ -12,7 +12,11 @@ from collections import deque
 from typing import Hashable, List, Optional
 
 from repro.graph.digraph import DiGraph
-from repro.graph.maxflow.base import MaxFlowResult, register_solver
+from repro.graph.maxflow.base import (
+    MaxFlowResult,
+    register_network_solver,
+    register_solver,
+)
 from repro.graph.maxflow.residual import ResidualNetwork
 
 Vertex = Hashable
@@ -20,28 +24,36 @@ _INF = float("inf")
 
 
 def _find_augmenting_path(
-    network: ResidualNetwork, source: int, sink: int, parent_arc: List[int]
+    network: ResidualNetwork,
+    source: int,
+    sink: int,
+    parent_arc: List[int],
+    bottleneck: List[float],
 ) -> float:
     """BFS for an augmenting path; returns its bottleneck (0 if none)."""
     for i in range(network.n):
         parent_arc[i] = -1
+        bottleneck[i] = 0.0
     parent_arc[source] = -2
-    bottleneck = [0.0] * network.n
     bottleneck[source] = _INF
     queue = deque([source])
+    popleft = queue.popleft
+    append = queue.append
     heads = network.heads
     caps = network.caps
     adjacency = network.adjacency
     while queue:
-        u = queue.popleft()
+        u = popleft()
+        slack = bottleneck[u]
         for arc in adjacency[u]:
             v = heads[arc]
-            if caps[arc] > 1e-12 and parent_arc[v] == -1:
+            if parent_arc[v] == -1 and caps[arc] > 1e-12:
                 parent_arc[v] = arc
-                bottleneck[v] = min(bottleneck[u], caps[arc])
+                capacity = caps[arc]
+                bottleneck[v] = slack if slack < capacity else capacity
                 if v == sink:
                     return bottleneck[v]
-                queue.append(v)
+                append(v)
     return 0.0
 
 
@@ -51,16 +63,24 @@ def edmonds_karp_on_network(
     sink: int,
     cutoff: Optional[float] = None,
 ) -> tuple:
-    """Run Edmonds-Karp on dense indices; returns (flow value, iterations)."""
+    """Run Edmonds-Karp on dense indices; returns (flow value, iterations).
+
+    The parent-arc work array is the network's preallocated scratch
+    buffer, so repeated pair queries on one network do not churn
+    allocations (the same reuse pattern as :func:`dinic_on_network`).
+    """
     if network.n == 0 or source == sink:
+        return 0.0, 0
+    if cutoff is not None and cutoff <= 0:
         return 0.0, 0
     heads = network.heads
     caps = network.caps
     total = 0.0
     iterations = 0
-    parent_arc = [-1] * network.n
+    parent_arc, _ = network.scratch_buffers()
+    bottleneck = [0.0] * network.n
     while True:
-        pushed = _find_augmenting_path(network, source, sink, parent_arc)
+        pushed = _find_augmenting_path(network, source, sink, parent_arc, bottleneck)
         if pushed <= 1e-12:
             break
         iterations += 1
@@ -75,6 +95,17 @@ def edmonds_karp_on_network(
         if cutoff is not None and total >= cutoff:
             break
     return total, iterations
+
+
+@register_network_solver("edmonds_karp")
+def _edmonds_karp_value(
+    network: ResidualNetwork,
+    source: int,
+    sink: int,
+    cutoff: Optional[float] = None,
+) -> float:
+    """Dense-index entry point returning only the flow value."""
+    return edmonds_karp_on_network(network, source, sink, cutoff=cutoff)[0]
 
 
 @register_solver("edmonds_karp")

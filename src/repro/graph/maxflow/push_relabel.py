@@ -22,7 +22,11 @@ from collections import deque
 from typing import Hashable, List, Optional
 
 from repro.graph.digraph import DiGraph
-from repro.graph.maxflow.base import MaxFlowResult, register_solver
+from repro.graph.maxflow.base import (
+    MaxFlowResult,
+    register_network_solver,
+    register_solver,
+)
 from repro.graph.maxflow.residual import ResidualNetwork
 
 Vertex = Hashable
@@ -57,17 +61,32 @@ def _global_relabel(
     labels[source] = n
 
 
+@register_network_solver("push_relabel")
 def push_relabel_on_network(
-    network: ResidualNetwork, source: int, sink: int
+    network: ResidualNetwork,
+    source: int,
+    sink: int,
+    cutoff: Optional[float] = None,
 ) -> float:
     """Run highest-label push-relabel on ``network`` (dense indices).
 
     The network's residual capacities are mutated in place; callers that
     reuse the network must call :meth:`ResidualNetwork.reset` afterwards.
     Returns the max-flow value.
+
+    ``cutoff`` enables the same early exit as the augmenting-path solvers:
+    push-relabel does not build the flow path-by-path, but the excess that
+    has arrived at the sink is a monotonically non-decreasing lower bound
+    on the final flow value, so once ``excess[sink] >= cutoff`` the search
+    stops and returns that excess.  On the unit-capacity Even-transformed
+    graphs of the connectivity analysis every push into the sink carries at
+    most one unit, so the returned value equals ``min(max flow, cutoff)``
+    for integer cutoffs — identical to Dinic and Edmonds-Karp.
     """
     n = network.n
     if n == 0 or source == sink:
+        return 0.0
+    if cutoff is not None and cutoff <= 0:
         return 0.0
     heads = network.heads
     caps = network.caps
@@ -107,6 +126,8 @@ def push_relabel_on_network(
         excess[v] += capacity
         excess[source] -= capacity
         activate(v)
+    if cutoff is not None and excess[sink] >= cutoff:
+        return excess[sink]
 
     # Count of vertices per label, for the gap heuristic.
     label_count: List[int] = [0] * (2 * n + 1)
@@ -175,6 +196,8 @@ def push_relabel_on_network(
                 caps[arc ^ 1] += delta
                 excess[v] -= delta
                 excess[u] += delta
+                if u == sink and cutoff is not None and excess[sink] >= cutoff:
+                    return excess[sink]
                 activate(u)
             else:
                 current_arc[v] += 1
@@ -196,13 +219,12 @@ def push_relabel_max_flow(
 ) -> MaxFlowResult:
     """Compute the maximum flow from ``source`` to ``target``.
 
-    ``cutoff`` is accepted for interface compatibility but ignored:
-    push-relabel does not build the flow path-by-path, so there is no cheap
-    intermediate value to compare against a cutoff.
+    ``cutoff`` stops the search once at least that much flow has reached
+    the sink (see :func:`push_relabel_on_network`).
     """
     network = ResidualNetwork(graph)
     value = push_relabel_on_network(
-        network, network.index_of(source), network.index_of(target)
+        network, network.index_of(source), network.index_of(target), cutoff=cutoff
     )
     return MaxFlowResult(
         value=value, source=source, target=target, algorithm="push_relabel"

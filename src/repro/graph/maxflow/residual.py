@@ -5,16 +5,53 @@ dense integer indices so the solvers can use flat lists instead of hash maps
 in their inner loops.  Edges are stored in a single arc array where the arc
 ``i`` and its reverse arc ``i ^ 1`` are adjacent — the standard trick that
 makes pushing flow on the residual edge O(1).
+
+For the batched pair-flow engine (:mod:`repro.runtime.pairflow`) the network
+can be frozen into a :class:`CompactNetwork` — a flat, ``array``-backed,
+picklable snapshot.  One Even-transformed network is built per connectivity
+graph, compacted once, shipped to every worker process once (through the
+pool initializer), and thawed back into a :class:`ResidualNetwork` there;
+no worker ever rebuilds the transformation per pair.
 """
 
 from __future__ import annotations
 
+from array import array
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import VertexNotFoundError
 
 Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class CompactNetwork:
+    """Flat, picklable snapshot of a :class:`ResidualNetwork`.
+
+    Adjacency is stored in CSR form (``offsets`` has ``n + 1`` entries;
+    the arcs leaving vertex ``v`` are ``arcs[offsets[v]:offsets[v + 1]]``)
+    and every field is a typed :mod:`array`, so pickling the snapshot costs
+    one contiguous buffer copy per field instead of a per-element walk.
+    Vertex identity is the dense index itself — callers that need the
+    original vertex objects keep their own index mapping (see
+    :class:`repro.graph.transform.even_transform.IndexedEvenTransform`).
+    """
+
+    n: int
+    heads: array
+    caps: array
+    offsets: array
+    arcs: array
+
+    def thaw(self) -> "ResidualNetwork":
+        """Rebuild a mutable :class:`ResidualNetwork` from this snapshot."""
+        return ResidualNetwork.from_compact(self)
+
+    def arc_count(self) -> int:
+        """Return the number of arcs (forward + reverse)."""
+        return len(self.heads)
 
 
 class ResidualNetwork:
@@ -40,19 +77,99 @@ class ResidualNetwork:
         "_index_of",
         "_vertex_of",
         "_initial_caps",
+        "_levels",
+        "_iters",
     )
 
-    def __init__(self, graph: DiGraph) -> None:
+    def __init__(self, graph: Optional[DiGraph]) -> None:
+        self._levels: Optional[List[int]] = None
+        self._iters: Optional[List[int]] = None
+        if graph is None:  # shell for the alternate constructors
+            self.n = 0
+            self._index_of: Dict[Vertex, int] = {}
+            self._vertex_of: List[Vertex] = []
+            self.heads: List[int] = []
+            self.caps: List[float] = []
+            self.adjacency: List[List[int]] = []
+            self._initial_caps: List[float] = []
+            return
         vertices = graph.vertices()
-        self.n: int = len(vertices)
-        self._index_of: Dict[Vertex, int] = {v: i for i, v in enumerate(vertices)}
-        self._vertex_of: List[Vertex] = vertices
-        self.heads: List[int] = []
-        self.caps: List[float] = []
-        self.adjacency: List[List[int]] = [[] for _ in range(self.n)]
+        self.n = len(vertices)
+        self._index_of = {v: i for i, v in enumerate(vertices)}
+        self._vertex_of = vertices
+        self.heads = []
+        self.caps = []
+        self.adjacency = [[] for _ in range(self.n)]
         for source, target, capacity in graph.edges():
             self._add_arc(self._index_of[source], self._index_of[target], capacity)
-        self._initial_caps: List[float] = list(self.caps)
+        self._initial_caps = list(self.caps)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arcs(
+        cls,
+        n: int,
+        forward_arcs: Sequence[Tuple[int, int, float]],
+        vertex_of: Optional[Sequence[Vertex]] = None,
+    ) -> "ResidualNetwork":
+        """Build a network directly from ``(tail, head, capacity)`` triples.
+
+        Bypasses the :class:`DiGraph` construction entirely — the batched
+        pair-flow path emits the Even-transformed graph straight as integer
+        arcs, so there is no dict-of-dict intermediate to build or walk.
+        When ``vertex_of`` is omitted, vertices are their own indices.
+        """
+        network = cls(None)
+        network.n = n
+        labels = list(vertex_of) if vertex_of is not None else list(range(n))
+        network._vertex_of = labels
+        network._index_of = {v: i for i, v in enumerate(labels)}
+        network.adjacency = [[] for _ in range(n)]
+        for tail, head, capacity in forward_arcs:
+            network._add_arc(tail, head, capacity)
+        network._initial_caps = list(network.caps)
+        return network
+
+    @classmethod
+    def from_compact(cls, compact: "CompactNetwork") -> "ResidualNetwork":
+        """Thaw a :class:`CompactNetwork` snapshot into a mutable network.
+
+        The heads/caps buffers are converted back to plain lists because
+        list indexing is measurably faster than ``array`` indexing in the
+        solvers' inner loops; the conversion is a one-time O(m) cost per
+        worker process.
+        """
+        network = cls(None)
+        n = compact.n
+        network.n = n
+        network._vertex_of = list(range(n))
+        network._index_of = {i: i for i in range(n)}
+        network.heads = list(compact.heads)
+        network.caps = list(compact.caps)
+        offsets = compact.offsets
+        arcs = compact.arcs
+        network.adjacency = [
+            list(arcs[offsets[v]:offsets[v + 1]]) for v in range(n)
+        ]
+        network._initial_caps = list(compact.caps)
+        return network
+
+    def compact(self) -> CompactNetwork:
+        """Freeze the *initial* capacities into a picklable snapshot."""
+        offsets = array("q", [0] * (self.n + 1))
+        total = 0
+        for v in range(self.n):
+            offsets[v] = total
+            total += len(self.adjacency[v])
+        offsets[self.n] = total
+        flat_arcs = array("q", [arc for arcs in self.adjacency for arc in arcs])
+        return CompactNetwork(
+            n=self.n,
+            heads=array("q", self.heads),
+            caps=array("d", self._initial_caps),
+            offsets=offsets,
+            arcs=flat_arcs,
+        )
 
     # ------------------------------------------------------------------
     def _add_arc(self, u: int, v: int, capacity: float) -> None:
@@ -65,6 +182,18 @@ class ResidualNetwork:
         self.caps.append(0.0)
 
     # ------------------------------------------------------------------
+    def scratch_buffers(self) -> Tuple[List[int], List[int]]:
+        """Return the preallocated ``(levels, iterators)`` work arrays.
+
+        The BFS/DFS solvers overwrite both arrays fully before reading
+        them, so they can be shared across calls; allocating them once per
+        network (instead of twice per max-flow query) matters when one
+        Even-transformed network answers thousands of pair queries.
+        """
+        if self._levels is None or len(self._levels) != self.n:
+            self._levels = [0] * self.n
+            self._iters = [0] * self.n
+        return self._levels, self._iters  # type: ignore[return-value]
     def index_of(self, vertex: Vertex) -> int:
         """Return the dense index of ``vertex``."""
         try:

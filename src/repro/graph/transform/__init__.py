@@ -5,6 +5,16 @@ which reduces vertex-connectivity queries to max-flow queries
 (paper Section 4.3, Figure 1).
 """
 
-from repro.graph.transform.even_transform import EvenTransform, even_transform
+from repro.graph.transform.even_transform import (
+    EvenTransform,
+    IndexedEvenTransform,
+    even_transform,
+    indexed_even_transform,
+)
 
-__all__ = ["EvenTransform", "even_transform"]
+__all__ = [
+    "EvenTransform",
+    "IndexedEvenTransform",
+    "even_transform",
+    "indexed_even_transform",
+]

@@ -19,10 +19,11 @@ maximum flow from ``v''`` to ``w'`` equals ``kappa(v, w)`` for non-adjacent
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
 
 from repro.graph.digraph import DiGraph
+from repro.graph.maxflow.residual import CompactNetwork, ResidualNetwork
 
 Vertex = Hashable
 
@@ -112,3 +113,60 @@ def even_transform(graph: DiGraph, internal_capacity: float = 1.0) -> EvenTransf
         transformed.add_edge(outgoing[source], incoming[target], capacity=capacity)
 
     return EvenTransform(graph=transformed, incoming=incoming, outgoing=outgoing)
+
+
+@dataclass(frozen=True)
+class IndexedEvenTransform:
+    """Even's transformation with integer-indexed split vertices.
+
+    Original vertex ``i`` (by position in ``vertices``) is split into the
+    incoming copy ``2 i`` and the outgoing copy ``2 i + 1``, so the flow
+    endpoints of a pair are pure index arithmetic — no primed-name dicts in
+    the hot path.  The transformed graph is materialised directly as a
+    :class:`~repro.graph.maxflow.residual.ResidualNetwork` (never as a
+    :class:`DiGraph`), which is what makes building one network per
+    snapshot cheap enough to do eagerly.
+    """
+
+    network: ResidualNetwork
+    vertices: List[Vertex] = field(repr=False)
+    index: Dict[Vertex, int] = field(repr=False)
+
+    def source_index(self, vertex: Vertex) -> int:
+        """Dense index of the *outgoing* copy ``v''`` (flow source side)."""
+        return 2 * self.index[vertex] + 1
+
+    def target_index(self, vertex: Vertex) -> int:
+        """Dense index of the *incoming* copy ``v'`` (flow target side)."""
+        return 2 * self.index[vertex]
+
+    def flow_endpoint_indices(self, source: Vertex, target: Vertex) -> Tuple[int, int]:
+        """Return ``(source index, target index)`` for an original pair."""
+        two_source = self.index[source] * 2
+        two_target = self.index[target] * 2
+        return two_source + 1, two_target
+
+    def compact(self) -> CompactNetwork:
+        """Picklable snapshot of the transformed network (see pairflow)."""
+        return self.network.compact()
+
+
+def indexed_even_transform(
+    graph: DiGraph, internal_capacity: float = 1.0
+) -> IndexedEvenTransform:
+    """Apply Even's transformation, emitting integer-indexed vertices.
+
+    Equivalent to ``ResidualNetwork(even_transform(graph).graph)`` up to arc
+    ordering (max-flow values are identical), but roughly twice as cheap: the
+    transformed graph goes straight into the arc arrays without an
+    intermediate dict-of-dict graph or primed vertex names.
+    """
+    vertices = graph.vertices()
+    index = {v: i for i, v in enumerate(vertices)}
+    arcs: List[Tuple[int, int, float]] = [
+        (2 * i, 2 * i + 1, internal_capacity) for i in range(len(vertices))
+    ]
+    for source, target, capacity in graph.edges():
+        arcs.append((2 * index[source] + 1, 2 * index[target], capacity))
+    network = ResidualNetwork.from_arcs(2 * len(vertices), arcs)
+    return IndexedEvenTransform(network=network, vertices=vertices, index=index)

@@ -27,19 +27,24 @@ backends) only has to provide a new :class:`Executor`.
 from repro.runtime.cache import CacheInfo, CacheStats, ResultCache
 from repro.runtime.campaign import Campaign, TaskProgress
 from repro.runtime.executor import (
+    ExecutionSession,
     Executor,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
 )
+from repro.runtime.pairflow import PairFlowEngine, PairFlowOutcome
 from repro.runtime.task import ExperimentTask, derive_seed, execute_task
 
 __all__ = [
     "CacheInfo",
     "CacheStats",
     "Campaign",
+    "ExecutionSession",
     "Executor",
     "ExperimentTask",
+    "PairFlowEngine",
+    "PairFlowOutcome",
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",

@@ -7,6 +7,13 @@ fingerprint and the result serialised through
 result lets :meth:`ResultCache.get` verify that an entry really belongs to
 the requesting task (guarding against fingerprint-format drift) and lets
 ``cache info`` describe what is in the cache without re-deriving anything.
+
+The cache can be size-capped (``max_bytes``): after every store the
+least-recently-used entries are evicted until the directory fits the cap
+again.  Recency is tracked through file modification times — a hit touches
+its entry — so the policy survives process restarts without any index
+file.  A cumulative eviction counter is persisted in a ``_meta.json``
+sidecar (never counted as an entry) and surfaced by ``cache info``.
 """
 
 from __future__ import annotations
@@ -26,6 +33,9 @@ PathLike = Union[str, Path]
 #: Suffix of every cache entry file.
 ENTRY_SUFFIX = ".json"
 
+#: Sidecar file holding cumulative cache metadata (eviction counter).
+META_FILENAME = "_meta.json"
+
 
 @dataclass
 class CacheStats:
@@ -34,6 +44,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,11 +61,18 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Summary of the on-disk state of a cache directory."""
+    """Summary of the on-disk state of a cache directory.
+
+    ``evictions`` is the cumulative number of size-cap evictions ever
+    performed on this directory (persisted across processes); ``max_bytes``
+    echoes the cap of the inspecting cache instance (``None`` = uncapped).
+    """
 
     path: str
     entries: int
     total_bytes: int
+    evictions: int = 0
+    max_bytes: Optional[int] = None
 
 
 class ResultCache:
@@ -64,10 +82,18 @@ class ResultCache:
     ----------
     directory:
         Cache root; created (with parents) on first use.
+    max_bytes:
+        Optional size cap.  After every store, least-recently-used entries
+        are evicted until the total entry size fits the cap (in the
+        degenerate case of a single entry larger than the cap, that entry
+        itself is evicted and the store effectively does not persist).
     """
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(self, directory: PathLike, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.directory = Path(directory)
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -77,10 +103,15 @@ class ResultCache:
     def _entry_paths(self) -> List[Path]:
         # The directory is created lazily by put(), so a cache that never
         # stored anything (e.g. ``cache info`` on a typo'd path) does not
-        # leave an empty directory behind.
+        # leave an empty directory behind.  Sidecar files (``_``-prefixed)
+        # are metadata, not entries.
         if not self.directory.is_dir():
             return []
-        return sorted(self.directory.glob(f"*{ENTRY_SUFFIX}"))
+        return sorted(
+            path
+            for path in self.directory.glob(f"*{ENTRY_SUFFIX}")
+            if not path.name.startswith("_")
+        )
 
     # ------------------------------------------------------------------
     def contains(self, task: ExperimentTask) -> bool:
@@ -112,6 +143,10 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:  # pragma: no cover - entry raced away
+            pass
         return result
 
     def put(self, task: ExperimentTask, result: ExperimentResult) -> Path:
@@ -134,6 +169,8 @@ class ResultCache:
         tmp_path.write_text(json.dumps(document), encoding="utf-8")
         tmp_path.replace(path)
         self.stats.stores += 1
+        if self.max_bytes is not None:
+            self.prune()
         return path
 
     # ------------------------------------------------------------------
@@ -158,13 +195,92 @@ class ResultCache:
         if self.directory.is_dir():
             for stale in self.directory.glob("*.tmp"):
                 stale.unlink()
+            for stale in self.directory.glob("*.metatmp"):
+                stale.unlink()
         return removed
 
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until the cache fits the cap.
+
+        ``max_bytes`` overrides the instance cap for this call (the
+        ``cache prune`` CLI passes it explicitly).  Returns the number of
+        entries evicted; with no cap configured at all, prunes nothing.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return 0
+        if cap < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {cap}")
+        aged: List[tuple] = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except FileNotFoundError:  # concurrent eviction
+                continue
+            aged.append((stat.st_mtime, path.name, path, stat.st_size))
+            total += stat.st_size
+        aged.sort()  # oldest first; name breaks mtime ties deterministically
+        evicted = 0
+        for _, _, path, size in aged:
+            if total <= cap:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        if evicted:
+            self.stats.evictions += evicted
+            self._bump_persistent_evictions(evicted)
+        return evicted
+
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> Path:
+        return self.directory / META_FILENAME
+
+    def _read_persistent_evictions(self) -> int:
+        try:
+            meta = json.loads(self._meta_path().read_text(encoding="utf-8"))
+            return int(meta.get("evictions", 0))
+        except (OSError, ValueError, TypeError, AttributeError):
+            return 0
+
+    def _bump_persistent_evictions(self, count: int) -> None:
+        # The read-modify-write is guarded by an advisory lock so two
+        # processes pruning one shared directory cannot lose increments;
+        # everything here is best-effort (the counter is diagnostics, the
+        # cache itself never depends on it).
+        lock_path = self.directory / "_meta.lock"
+        try:
+            import fcntl
+
+            with open(lock_path, "a+", encoding="utf-8") as lock_file:
+                fcntl.flock(lock_file, fcntl.LOCK_EX)
+                self._write_evictions(self._read_persistent_evictions() + count)
+        except (ImportError, OSError):  # pragma: no cover - lockless platform
+            self._write_evictions(self._read_persistent_evictions() + count)
+
+    def _write_evictions(self, total: int) -> None:
+        tmp = self._meta_path().with_suffix(f".{os.getpid()}.metatmp")
+        try:
+            tmp.write_text(json.dumps({"evictions": total}), encoding="utf-8")
+            tmp.replace(self._meta_path())
+        except OSError:  # pragma: no cover - metadata is best-effort
+            tmp.unlink(missing_ok=True)
+
     def info(self) -> CacheInfo:
-        """Describe the on-disk state (entry count, total size)."""
-        paths = self._entry_paths()
+        """Describe the on-disk state (entry count, size, evictions)."""
+        entries = 0
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:  # concurrently evicted by another process
+                continue
+            entries += 1
         return CacheInfo(
             path=str(self.directory),
-            entries=len(paths),
-            total_bytes=sum(path.stat().st_size for path in paths),
+            entries=entries,
+            total_bytes=total,
+            evictions=self._read_persistent_evictions(),
+            max_bytes=self.max_bytes,
         )

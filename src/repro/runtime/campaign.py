@@ -142,6 +142,7 @@ def sweep_tasks(
     seed: int,
     algorithm: str = "dinic",
     keep_snapshots: bool = False,
+    flow_jobs: int = 1,
 ) -> List[ExperimentTask]:
     """One task per override set applied to ``base`` (a parameter sweep)."""
     return [
@@ -151,6 +152,7 @@ def sweep_tasks(
             seed=seed,
             algorithm=algorithm,
             keep_snapshots=keep_snapshots,
+            flow_jobs=flow_jobs,
         )
         for changes in overrides
     ]
@@ -162,6 +164,7 @@ def replication_tasks(
     profile: "ScaleProfile | str",
     algorithm: str = "dinic",
     keep_snapshots: bool = False,
+    flow_jobs: int = 1,
 ) -> List[ExperimentTask]:
     """One task per seed for the same scenario (multi-seed replication)."""
     return [
@@ -171,6 +174,7 @@ def replication_tasks(
             seed=seed,
             algorithm=algorithm,
             keep_snapshots=keep_snapshots,
+            flow_jobs=flow_jobs,
         )
         for seed in seeds
     ]

@@ -10,6 +10,14 @@ Both executors report per-task completion through an optional ``on_result``
 callback (index into the submitted batch, result), which the campaign driver
 uses to stream progress and to populate the result cache as soon as each
 task finishes rather than when the whole batch does.
+
+Beyond whole-experiment tasks, executors expose a generic *session* API
+(:meth:`Executor.session`) used by the batched pair-flow engine
+(:mod:`repro.runtime.pairflow`): a session pins worker processes for its
+whole lifetime and runs an optional initializer once per worker, so
+per-snapshot state (the compact Even-transformed network) is shipped to
+each worker exactly once and then reused by every shard dispatched through
+:meth:`ExecutionSession.map`.
 """
 
 from __future__ import annotations
@@ -19,13 +27,39 @@ from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentResult
 from repro.runtime.task import ExperimentTask, execute_task
 
 #: ``on_result(index, result)`` — called as each task of a batch completes.
 ResultCallback = Callable[[int, ExperimentResult], None]
+
+
+class ExecutionSession(ABC):
+    """A pinned set of workers accepting successive batches of calls."""
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Run ``fn`` over ``items`` and return results in submission order."""
+
+
+class _SerialSession(ExecutionSession):
+    """Runs every call in the current process."""
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item) for item in items]
+
+
+class _PoolSession(ExecutionSession):
+    """Dispatches calls onto a live :class:`ProcessPoolExecutor`."""
+
+    def __init__(self, pool: ProcessPoolExecutor) -> None:
+        self._pool = pool
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        futures = [self._pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
 
 
 class Executor(ABC):
@@ -38,6 +72,24 @@ class Executor(ABC):
         on_result: Optional[ResultCallback] = None,
     ) -> List[ExperimentResult]:
         """Execute ``tasks`` and return their results in submission order."""
+
+    @contextmanager
+    def session(
+        self,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> Iterator[ExecutionSession]:
+        """Yield an :class:`ExecutionSession` with ``initializer`` applied.
+
+        The serial default runs the initializer once in-process; parallel
+        executors override this to run it once per worker process when the
+        worker starts, which is what lets callers ship a large read-only
+        payload (e.g. a compact residual network) to each worker exactly
+        once instead of once per submitted item.
+        """
+        if initializer is not None:
+            initializer(*initargs)
+        yield _SerialSession()
 
 
 class SerialExecutor(Executor):
@@ -98,6 +150,27 @@ class ParallelExecutor(Executor):
                         if on_result is not None:
                             on_result(index, result)
         return results  # type: ignore[return-value]
+
+    @contextmanager
+    def session(
+        self,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> Iterator[ExecutionSession]:
+        """Yield a session backed by one process pool held open throughout.
+
+        The pool (and therefore the per-worker initializer state) survives
+        across every :meth:`ExecutionSession.map` call of the session, so
+        wave-structured workloads pay the worker start-up and payload
+        shipping cost once, not once per wave.
+        """
+        with _exported_package_path():
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                yield _PoolSession(pool)
 
 
 def make_executor(jobs: Optional[int] = None) -> Executor:

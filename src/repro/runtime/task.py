@@ -29,13 +29,21 @@ TASK_FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class ExperimentTask:
-    """One fully specified simulation run."""
+    """One fully specified simulation run.
+
+    ``flow_jobs`` configures the per-snapshot batched pair-flow engine and
+    is deliberately **excluded** from the fingerprint: the engine produces
+    bit-identical statistics for any worker count, so two tasks differing
+    only in ``flow_jobs`` are the same experiment and share one cache
+    entry.
+    """
 
     scenario: Scenario
     profile: ScaleProfile
     seed: int
     algorithm: str = "dinic"
     keep_snapshots: bool = False
+    flow_jobs: int = 1
 
     # ------------------------------------------------------------------
     @classmethod
@@ -46,6 +54,7 @@ class ExperimentTask:
         seed: int,
         algorithm: str = "dinic",
         keep_snapshots: bool = False,
+        flow_jobs: int = 1,
     ) -> "ExperimentTask":
         """Build a task, resolving a profile name to its definition."""
         resolved = get_profile(profile) if isinstance(profile, str) else profile
@@ -55,14 +64,16 @@ class ExperimentTask:
             seed=int(seed),
             algorithm=algorithm,
             keep_snapshots=keep_snapshots,
+            flow_jobs=int(flow_jobs),
         )
 
     # ------------------------------------------------------------------
     def fingerprint(self) -> Dict:
         """Return the canonical JSON-serialisable identity of this task.
 
-        Every field that influences the result is included; two tasks are
-        interchangeable exactly when their fingerprints are equal.
+        Every field that influences the result is included (``flow_jobs``
+        is not — see the class docstring); two tasks are interchangeable
+        exactly when their fingerprints are equal.
         """
         return {
             "format": TASK_FORMAT_VERSION,
@@ -100,6 +111,7 @@ class ExperimentTask:
             seed=self.seed,
             keep_snapshots=self.keep_snapshots,
             algorithm=self.algorithm,
+            flow_jobs=self.flow_jobs,
         )
         return runner.run(self.scenario)
 

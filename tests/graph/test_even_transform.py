@@ -89,3 +89,69 @@ class TestPaperFigure1:
         for algorithm in ("push_relabel", "dinic", "edmonds_karp"):
             result = max_flow(transform.graph, source, target, algorithm=algorithm)
             assert result.as_int() == 1, algorithm
+
+
+class TestIndexedEvenTransform:
+    def test_structure_matches_classic_transform(self, figure1_graph):
+        from repro.graph.transform.even_transform import indexed_even_transform
+
+        transform = indexed_even_transform(figure1_graph)
+        n = figure1_graph.number_of_vertices()
+        m = figure1_graph.number_of_edges()
+        assert transform.network.n == 2 * n
+        # (m + n) forward arcs, each paired with a reverse arc.
+        assert transform.network.arc_count() == 2 * (m + n)
+
+    def test_flow_values_match_classic_transform(self, figure1_graph):
+        from repro.graph.maxflow.dinic import dinic_on_network
+        from repro.graph.maxflow.residual import ResidualNetwork
+        from repro.graph.transform.even_transform import (
+            even_transform,
+            indexed_even_transform,
+        )
+
+        classic = even_transform(figure1_graph)
+        classic_network = ResidualNetwork(classic.graph)
+        indexed = indexed_even_transform(figure1_graph)
+        for source, target in [("a", "i"), ("b", "h"), ("a", "e")]:
+            if figure1_graph.has_edge(source, target):
+                continue
+            classic_network.reset()
+            classic_source, classic_target = classic.flow_endpoints(source, target)
+            expected = dinic_on_network(
+                classic_network,
+                classic_network.index_of(classic_source),
+                classic_network.index_of(classic_target),
+            )
+            indexed.network.reset()
+            flow_source, flow_target = indexed.flow_endpoint_indices(source, target)
+            assert dinic_on_network(
+                indexed.network, flow_source, flow_target
+            ) == pytest.approx(expected)
+
+    def test_endpoint_index_arithmetic(self, figure1_graph):
+        from repro.graph.transform.even_transform import indexed_even_transform
+
+        transform = indexed_even_transform(figure1_graph)
+        for position, vertex in enumerate(transform.vertices):
+            assert transform.target_index(vertex) == 2 * position
+            assert transform.source_index(vertex) == 2 * position + 1
+
+    def test_compact_round_trip_preserves_flows(self, figure1_graph):
+        from repro.graph.maxflow.dinic import dinic_on_network
+        from repro.graph.transform.even_transform import indexed_even_transform
+
+        transform = indexed_even_transform(figure1_graph)
+        flow_source, flow_target = transform.flow_endpoint_indices("a", "i")
+        expected = dinic_on_network(transform.network, flow_source, flow_target)
+        thawed = transform.compact().thaw()
+        assert thawed.n == transform.network.n
+        assert dinic_on_network(thawed, flow_source, flow_target) == pytest.approx(
+            expected
+        )
+        # The thawed copy is independent: resetting one must not leak into
+        # the other (the worker-side reuse pattern).
+        thawed.reset()
+        assert dinic_on_network(thawed, flow_source, flow_target) == pytest.approx(
+            expected
+        )

@@ -12,9 +12,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.digraph import DiGraph
-from repro.graph.maxflow import max_flow
+from repro.graph.maxflow import max_flow, network_flow_function
 from repro.graph.maxflow.dinic import dinic_on_network
 from repro.graph.maxflow.residual import ResidualNetwork
+from repro.graph.transform.even_transform import indexed_even_transform
+
+ALGORITHMS = ("dinic", "edmonds_karp", "push_relabel")
 
 
 @st.composite
@@ -86,6 +89,57 @@ def test_flow_bounded_by_degrees(case):
     result = max_flow(graph, source, sink, algorithm="dinic")
     assert result.value <= out_capacity + 1e-9
     assert result.value <= in_capacity + 1e-9
+
+
+@st.composite
+def unit_digraphs_with_pair(draw):
+    """Random unit-capacity digraphs plus a non-adjacent (source, target) pair."""
+    n = draw(st.integers(min_value=3, max_value=9))
+    density = draw(st.floats(min_value=0.2, max_value=0.7))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < density:
+                graph.add_edge(i, j)
+    non_adjacent = [
+        (v, w)
+        for v in range(n)
+        for w in range(n)
+        if v != w and not graph.has_edge(v, w)
+    ]
+    if not non_adjacent:
+        graph.remove_edge(0, 1)
+        non_adjacent = [(0, 1)]
+    pair = draw(st.sampled_from(non_adjacent))
+    return graph, pair
+
+
+@settings(max_examples=40, deadline=None)
+@given(unit_digraphs_with_pair())
+def test_all_algorithms_respect_cutoffs_identically(case):
+    """On unit Even-transformed graphs, every solver returns exactly
+    ``min(max flow, cutoff)`` for integer cutoffs — the contract the
+    sharded minimum pass relies on for exactness."""
+    graph, (source, target) = case
+    transform = indexed_even_transform(graph)
+    network = transform.network
+    flow_source, flow_target = transform.flow_endpoint_indices(source, target)
+    network.reset()
+    exact = int(round(dinic_on_network(network, flow_source, flow_target)))
+    for algorithm in ALGORITHMS:
+        flow_fn = network_flow_function(algorithm)
+        for cutoff in range(1, exact + 3):
+            network.reset()
+            value = int(round(
+                flow_fn(network, flow_source, flow_target, cutoff=float(cutoff))
+            ))
+            assert value == min(exact, cutoff), (algorithm, cutoff, exact)
+        # Non-positive cutoffs short-circuit identically.
+        network.reset()
+        assert flow_fn(network, flow_source, flow_target, cutoff=0.0) == 0.0
 
 
 @settings(max_examples=40, deadline=None)

@@ -107,3 +107,81 @@ class TestResultCache:
         restored = reopened.get(task)
         assert restored is not None
         assert restored.series.minimum_series() == result.series.minimum_series()
+
+
+def distinct_tasks(count):
+    """Tasks with distinct content hashes (bucket size varies)."""
+    return [
+        ExperimentTask.create(
+            scenario=get_scenario("E").with_overrides(bucket_size=4 + k),
+            profile="tiny",
+            seed=9,
+        )
+        for k in range(count)
+    ]
+
+
+class TestSizeCapEviction:
+    def test_put_evicts_down_to_cap(self, task, result, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        entry_bytes = probe.put(task, result).stat().st_size
+        tasks = distinct_tasks(4)
+        cache = ResultCache(tmp_path / "cache", max_bytes=2 * entry_bytes)
+        for t in tasks:
+            cache.put(t, result)
+        info = cache.info()
+        assert info.entries <= 2
+        assert info.total_bytes <= 2 * entry_bytes
+        assert cache.stats.evictions >= 2
+        assert info.evictions == cache.stats.evictions
+
+    def test_lru_order_keeps_recently_used_entries(self, result, tmp_path):
+        import os
+
+        tasks = distinct_tasks(3)
+        cache = ResultCache(tmp_path / "cache")
+        paths = [cache.put(t, result) for t in tasks]
+        # Make recency explicit (mtime granularity): oldest first, but the
+        # first entry is then touched by a hit, leaving tasks[1] as LRU.
+        for age, path in enumerate(paths):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        assert cache.get(tasks[0]) is not None
+        entry_bytes = paths[0].stat().st_size
+        evicted = cache.prune(max_bytes=2 * entry_bytes)
+        assert evicted == 1
+        assert cache.contains(tasks[0])
+        assert not cache.contains(tasks[1])
+        assert cache.contains(tasks[2])
+
+    def test_prune_without_cap_is_noop(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        assert cache.prune() == 0
+        assert cache.info().entries == 1
+
+    def test_prune_to_zero_empties_cache(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        assert cache.prune(max_bytes=0) == 1
+        assert cache.info().entries == 0
+
+    def test_eviction_counter_persists_across_instances(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        cache.prune(max_bytes=0)
+        reopened = ResultCache(tmp_path / "cache")
+        assert reopened.info().evictions == 1
+
+    def test_meta_sidecar_not_counted_as_entry(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        cache.prune(max_bytes=0)
+        assert (cache.directory / "_meta.json").exists()
+        assert cache.info().entries == 0
+        # clear() must also leave the sidecar alone but remove entries.
+        cache.put(task, result)
+        assert cache.clear() == 1
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache", max_bytes=-1)

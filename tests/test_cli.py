@@ -27,7 +27,18 @@ class TestParser:
         assert args.profile == "bench"
         assert args.seed == 42
         assert args.jobs == 1
+        assert args.flow_jobs == 1
         assert args.cache_dir is None
+
+    def test_flow_jobs_parsed(self):
+        args = build_parser().parse_args(["run", "E", "--flow-jobs", "4"])
+        assert args.flow_jobs == 4
+        args = build_parser().parse_args(
+            ["analyze-snapshot", "snap.json", "--flow-jobs", "2",
+             "--algorithm", "push_relabel"]
+        )
+        assert args.flow_jobs == 2
+        assert args.algorithm == "push_relabel"
 
     def test_scenario_option_form(self):
         args = build_parser().parse_args(["sweep-k", "--scenario", "A", "--jobs", "4"])
@@ -74,9 +85,28 @@ class TestCommands:
     def test_cache_info_and_clear(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
         assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
-        assert "entries:         0" in capsys.readouterr().out
+        info_output = capsys.readouterr().out
+        assert "entries:         0" in info_output
+        assert "evictions:       0" in info_output
         assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
         assert "removed 0 cache entries" in capsys.readouterr().out
+
+    def test_cache_prune(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        entry = cache_dir / ("a" * 64 + ".json")
+        entry.write_text("{}", encoding="utf-8")
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir),
+                     "--max-bytes", "0"]) == 0
+        assert "evicted 1 least-recently-used entries" in capsys.readouterr().out
+        assert not entry.exists()
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        assert "evictions:       1" in capsys.readouterr().out
+
+    def test_analyze_snapshot_flow_jobs(self, snapshot_file, capsys):
+        assert main(["analyze-snapshot", str(snapshot_file),
+                     "--flow-jobs", "2"]) == 0
+        assert "minimum connectivity: 2" in capsys.readouterr().out
 
     def test_analyze_snapshot(self, snapshot_file, capsys):
         assert main(["analyze-snapshot", str(snapshot_file)]) == 0
