@@ -167,6 +167,36 @@ class ConnectivityAnalyzer:
         self.flow_shard_size = flow_shard_size
         self.flow_wave_width = flow_wave_width
         self._rng = random.Random(seed)
+        self._flow_session = None
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifetime.  One analyzer typically serves every snapshot
+    # of a run; with flow_jobs > 1 the process pool is opened on the first
+    # analysis and reused until close() — only the compact network differs
+    # between snapshots, the workers persist (ROADMAP: pool reuse across
+    # consecutive snapshots).
+    # ------------------------------------------------------------------
+    def _flow_pool(self):
+        """Return (opening lazily) the shared worker-pool session, or None."""
+        if self.flow_jobs <= 1:
+            return None
+        if self._flow_session is None:
+            from repro.runtime.executor import make_executor
+
+            self._flow_session = make_executor(self.flow_jobs).open_session()
+        return self._flow_session
+
+    def close(self) -> None:
+        """Release the shared worker pool (idempotent; serial is a no-op)."""
+        session, self._flow_session = self._flow_session, None
+        if session is not None:
+            session.close()
+
+    def __enter__(self) -> "ConnectivityAnalyzer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _make_engine(self, graph: DiGraph):
         """Build the pair-flow engine for one connectivity graph.
@@ -195,6 +225,7 @@ class ConnectivityAnalyzer:
                 if self.flow_wave_width is None
                 else self.flow_wave_width
             ),
+            session=self._flow_pool(),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,152 @@
+"""Incremental maintenance of the per-snapshot connectivity graph.
+
+Building the connectivity graph used to be a from-scratch pass over every
+alive node's routing table at every snapshot
+(:func:`repro.core.connectivity_graph.build_connectivity_graph`).  Most of
+that work repeats: between two snapshots only some tables change
+*membership* (reordering inside a bucket is invisible to the graph), and
+only a handful of nodes join or leave.  :class:`IncrementalGraphMaintainer`
+keeps one persistent :class:`~repro.graph.digraph.DiGraph` in sync with the
+simulation instead:
+
+* a node death removes its vertex (and with it every incident edge — the
+  other rows need no touch-up, which also covers the alive-filtering the
+  from-scratch build performs);
+* a node birth appends its vertex, preserving the network's insertion
+  order — the vertex order a fresh build would produce, which matters
+  because the analyzer's degree-ranked source/target selection breaks ties
+  by vertex order;
+* a routing-table membership change (tracked by
+  :attr:`~repro.kademlia.routing_table.RoutingTable.membership_version`)
+  rewrites exactly that node's row via
+  :meth:`~repro.graph.digraph.DiGraph.replace_successors`.
+
+The maintained graph is **content- and vertex-order-identical** to the
+from-scratch build (asserted by ``tests/core/test_incremental_graph.py``
+and, when ``REPRO_VERIFY_INCREMENTAL=1``, cross-checked on every refresh);
+row-dict iteration order can differ for rows last rebuilt before an
+adjacent death, which no analyzer statistic observes — max-flow values are
+exact regardless of arc order.
+
+The returned graph is **live**: it is mutated by the next ``refresh``, so
+consumers must finish with it before the simulation advances (the
+experiment runner analyzes each snapshot synchronously).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.graph.digraph import DiGraph
+
+#: Environment switch: cross-check every refreshed graph against a
+#: from-scratch build (used by the test suite; expensive, off by default).
+VERIFY_ENV = "REPRO_VERIFY_INCREMENTAL"
+
+
+class IncrementalGraphMaintainer:
+    """Keeps a connectivity graph in lock-step with a simulated network.
+
+    Parameters
+    ----------
+    protocol_name:
+        Name under which each node's Kademlia protocol is registered.
+    """
+
+    def __init__(self, protocol_name: str = "kademlia") -> None:
+        self.protocol_name = protocol_name
+        self._graph = DiGraph()
+        #: node id -> routing-table membership version at the last refresh.
+        self._versions: Dict[int, int] = {}
+        #: vertices currently in the graph (alive at the last refresh).
+        self._present: set = set()
+        self._verify = os.environ.get(VERIFY_ENV, "") not in ("", "0")
+        #: refreshes performed / rows rewritten (diagnostics + tests).
+        self.refreshes = 0
+        self.rows_rebuilt = 0
+
+    # ------------------------------------------------------------------
+    def refresh(self, network) -> DiGraph:
+        """Bring the maintained graph up to date and return it (live).
+
+        ``network`` is the simulation's :class:`~repro.simulator.network
+        .Network`; the vertex set becomes its alive nodes, in registry
+        (insertion) order.
+        """
+        graph = self._graph
+        versions = self._versions
+        present = self._present
+        protocol_name = self.protocol_name
+
+        alive_nodes = network.alive_nodes()
+        alive_set = {node.node_id for node in alive_nodes}
+
+        # Deaths first: removing the vertex also strips every edge pointing
+        # at it out of the surviving rows, which is exactly the alive-filter
+        # of the from-scratch build (dead ids linger in routing tables until
+        # staleness evicts them, but never resurrect).
+        for node_id in present - alive_set:
+            graph.remove_vertex(node_id)
+            versions.pop(node_id, None)
+
+        # Births next, in registry order, so that every row rewritten below
+        # can link to any alive contact and new vertices land at the end of
+        # the vertex order exactly like a fresh build over the registry.
+        for node in alive_nodes:
+            node_id = node.node_id
+            if node_id not in alive_set:  # pragma: no cover - defensive
+                continue
+            if node_id not in present:
+                graph.add_vertex(node_id)
+
+        # Rows: rebuild only where snapshot membership changed since the
+        # last refresh (the *protocol's* snapshot view — extensions may
+        # merge state beyond the routing table into it, e.g. supplemental
+        # links).  Rows of unchanged tables are already correct — their
+        # content did not change, edges to the dead were stripped above,
+        # and a newly alive contact can only appear in a row through a
+        # membership change.
+        rebuilt = 0
+        for node in alive_nodes:
+            node_id = node.node_id
+            protocol = node.protocols[protocol_name]
+            version = protocol.snapshot_version()
+            if versions.get(node_id) == version and node_id in present:
+                continue
+            versions[node_id] = version
+            row = [
+                contact_id
+                for contact_id in protocol.routing_table_snapshot()
+                if contact_id in alive_set and contact_id != node_id
+            ]
+            graph.replace_successors(node_id, row)
+            rebuilt += 1
+
+        self._present = alive_set
+        self.refreshes += 1
+        self.rows_rebuilt += rebuilt
+
+        if self._verify:
+            self._cross_check(network, graph)
+        return graph
+
+    # ------------------------------------------------------------------
+    def _cross_check(self, network, graph: DiGraph) -> None:
+        """Assert equality with a from-scratch build (debug/test mode)."""
+        from repro.core.connectivity_graph import build_connectivity_graph
+
+        tables = {
+            node.node_id: node.protocols[self.protocol_name].routing_table_snapshot()
+            for node in network.alive_nodes()
+        }
+        fresh = build_connectivity_graph(tables)
+        if fresh.vertices() != graph.vertices():
+            raise AssertionError(
+                "incremental graph vertex order diverged from fresh build"
+            )
+        for vertex in fresh.vertices():
+            if set(fresh._succ[vertex]) != set(graph._succ[vertex]):
+                raise AssertionError(
+                    f"incremental graph row for {vertex!r} diverged from fresh build"
+                )

@@ -13,6 +13,7 @@ holds them and ``include_snapshots=True``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -143,6 +144,28 @@ def result_from_dict(document: Dict) -> ExperimentResult:
         wall_seconds=document["wall_seconds"],
         snapshots=snapshots,
     )
+
+
+def trajectory_digest(result: ExperimentResult) -> str:
+    """Return a SHA-256 digest of everything deterministic about a result.
+
+    The digest covers the scenario, phase schedule, transport counters,
+    join/leave counts, the full connectivity time series and (when kept)
+    the raw routing-table snapshots — every field of
+    :func:`result_to_dict` except wall-clock timings
+    (``wall_seconds`` and each report's ``elapsed_seconds``).
+
+    Two runs of the same task must produce the same digest regardless of
+    host, process placement, ``--jobs`` or ``--flow-jobs``; the
+    determinism test suite pins digests of seeded runs across the
+    simulator fast-path rewrite.
+    """
+    document = result_to_dict(result, include_snapshots=True)
+    document.pop("wall_seconds", None)
+    for sample in document["series"]["samples"]:
+        sample["report"].pop("elapsed_seconds", None)
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def save_result(

@@ -197,7 +197,12 @@ class ExperimentRunner:
         stored_snapshots: List[RoutingTableSnapshot] = []
 
         def _on_snapshot(snapshot: RoutingTableSnapshot) -> None:
-            report = analyzer.analyze_snapshot(snapshot.routing_tables)
+            # The simulation maintains the connectivity graph incrementally
+            # (rows rebuilt only for tables whose membership changed since
+            # the previous snapshot); the graph is content-identical to
+            # build_connectivity_graph(snapshot.routing_tables) and is
+            # consumed synchronously, before the simulation advances.
+            report = analyzer.analyze_graph(simulation.connectivity_graph())
             series.append(
                 ConnectivitySample(
                     time=snapshot.time,
@@ -216,7 +221,10 @@ class ExperimentRunner:
         )
 
         started = wallclock.perf_counter()
-        simulation.run_until(phases.simulation_end)
+        # The analyzer holds the shared flow-worker pool (flow_jobs > 1)
+        # open across all snapshots of the run; release it at the end.
+        with analyzer:
+            simulation.run_until(phases.simulation_end)
         wall = wallclock.perf_counter() - started
 
         return ExperimentResult(

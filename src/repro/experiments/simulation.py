@@ -21,6 +21,7 @@ import random
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.churn.bootstrap import RandomBootstrapPolicy
+from repro.core.incremental import IncrementalGraphMaintainer
 from repro.churn.churn_model import ChurnScenario, JOIN, LEAVE
 from repro.churn.loss import MessageLossModel
 from repro.churn.traffic import DISSEMINATE, LOOKUP, TrafficModel
@@ -74,6 +75,12 @@ class KademliaSimulation:
         self._maintenance_rng = self.random.stream("maintenance")
         self._data_rng = self.random.stream("data")
         self._used_ids: set = set()
+        self._traffic_labels: Dict[str, str] = {}
+        #: Maintains the connectivity graph incrementally across snapshots
+        #: (rows rebuilt only for routing tables whose membership changed).
+        self.graph_maintainer = IncrementalGraphMaintainer(
+            KademliaProtocol.protocol_name
+        )
         self.joins = 0
         self.leaves = 0
         self.snapshots_taken = 0
@@ -88,7 +95,7 @@ class KademliaSimulation:
         self._used_ids.add(node_id)
         node = SimNode(node_id, joined_at=time)
         protocol = self.protocol_factory(node_id, self.config)
-        protocol.bind(self.transport, lambda: self.simulator.now)
+        protocol.bind(self.transport, self.simulator.clock)
         node.register_protocol(KademliaProtocol.protocol_name, protocol)
         self.network.add_node(node)
         return protocol
@@ -178,17 +185,28 @@ class KademliaSimulation:
     def _schedule_traffic_action(
         self, protocol: KademliaProtocol, action_time: float, kind: str
     ) -> None:
-        def _run() -> None:
-            node = self.network.get(protocol.node_id)
-            if not node.alive:
-                return
-            target = self._data_rng.randrange(self.config.id_space_size)
-            if kind == LOOKUP:
-                protocol.lookup(target)
-            elif kind == DISSEMINATE:
-                protocol.disseminate(target, value={"origin": protocol.node_id})
+        # The callback and its operands ride on the event itself (no
+        # per-action closure): traffic actions are the most numerous
+        # scheduled events of a run.
+        label = self._traffic_labels.get(kind)
+        if label is None:
+            label = self._traffic_labels[kind] = f"traffic-{kind}"
+        self.simulator.schedule_at(
+            action_time,
+            self._run_traffic_action,
+            label=label,
+            args=(protocol, kind),
+        )
 
-        self.simulator.schedule_at(action_time, _run, label=f"traffic-{kind}")
+    def _run_traffic_action(self, protocol: KademliaProtocol, kind: str) -> None:
+        node = self.network.get(protocol.node_id)
+        if not node.alive:
+            return
+        target = self._data_rng.randrange(self.config.id_space_size)
+        if kind == LOOKUP:
+            protocol.lookup(target)
+        elif kind == DISSEMINATE:
+            protocol.disseminate(target, value={"origin": protocol.node_id})
 
     def schedule_churn(self, start: float, end: float) -> None:
         """Schedule the per-minute churn control over ``[start, end)``."""
@@ -237,6 +255,18 @@ class KademliaSimulation:
             protocol = node.protocol(KademliaProtocol.protocol_name)
             tables[node.node_id] = protocol.routing_table_snapshot()
         return RoutingTableSnapshot.capture(self.simulator.now, tables)
+
+    def connectivity_graph(self):
+        """Return the current connectivity graph, maintained incrementally.
+
+        Equal in content and vertex order to
+        ``build_connectivity_graph(tables of the alive nodes)`` but only
+        rows whose routing-table membership changed since the previous call
+        are rebuilt.  The returned graph is **live** — it is mutated by the
+        next call, so use it before the simulation advances (the runner
+        analyzes each snapshot synchronously).
+        """
+        return self.graph_maintainer.refresh(self.network)
 
     def alive_protocols(self) -> List[KademliaProtocol]:
         """Return the protocol objects of all alive nodes."""

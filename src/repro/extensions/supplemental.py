@@ -44,6 +44,10 @@ class SupplementalLinksProtocol(KademliaProtocol):
         self._supplemental: Dict[int, float] = {}
         #: contact id -> consecutive failures observed via the overflow list.
         self._supplemental_failures: Dict[int, int] = {}
+        #: bumped on every overflow-list mutation; part of the snapshot
+        #: version stamp so the incremental graph maintainer rebuilds this
+        #: node's row when supplemental membership changes.
+        self._supplemental_version = 0
 
     # ------------------------------------------------------------------
     # Overflow bookkeeping
@@ -52,7 +56,7 @@ class SupplementalLinksProtocol(KademliaProtocol):
         """Return the current supplemental contact ids (oldest first)."""
         return list(self._supplemental)
 
-    def note_contact(self, node_id: int) -> bool:
+    def note_contact(self, node_id: int, time=None) -> bool:
         """Insert ``node_id`` into the table, falling back to the overflow list.
 
         The bucket policy runs first (it is authoritative); only contacts it
@@ -61,11 +65,12 @@ class SupplementalLinksProtocol(KademliaProtocol):
         """
         if node_id == self.node_id:
             return False
-        accepted = super().note_contact(node_id)
+        accepted = super().note_contact(node_id, time)
         if accepted:
             # A contact promoted into a bucket must not be double-counted.
-            self._supplemental.pop(node_id, None)
-            self._supplemental_failures.pop(node_id, None)
+            if self._supplemental.pop(node_id, None) is not None:
+                self._supplemental_failures.pop(node_id, None)
+                self._supplemental_version += 1
             return True
         if self.extra_links == 0:
             return False
@@ -81,6 +86,7 @@ class SupplementalLinksProtocol(KademliaProtocol):
             self._supplemental_failures.pop(oldest, None)
         self._supplemental[node_id] = self.now
         self._supplemental_failures[node_id] = 0
+        self._supplemental_version += 1
 
     def record_supplemental_failure(self, node_id: int) -> bool:
         """Record a failed round-trip with a supplemental contact.
@@ -95,6 +101,7 @@ class SupplementalLinksProtocol(KademliaProtocol):
         if failures >= self.config.staleness_limit:
             del self._supplemental[node_id]
             del self._supplemental_failures[node_id]
+            self._supplemental_version += 1
             return True
         return False
 
@@ -135,6 +142,10 @@ class SupplementalLinksProtocol(KademliaProtocol):
         merged = dict.fromkeys(contacts)
         merged.update(dict.fromkeys(self._supplemental))
         return list(merged)
+
+    def snapshot_version(self):
+        """Extend the stamp with the overflow list (it is part of snapshots)."""
+        return (self.routing_table.membership_version, self._supplemental_version)
 
 
 class SupplementalPrunePolicy:

@@ -161,6 +161,34 @@ class DiGraph:
         del self._succ[source][target]
         del self._pred[target][source]
 
+    def replace_successors(
+        self, vertex: Vertex, targets: Iterable[Vertex], capacity: float = 1.0
+    ) -> None:
+        """Replace ``vertex``'s out-edges with edges to ``targets``, in order.
+
+        The incremental snapshot-graph maintainer uses this to rewrite one
+        vertex's row in a single pass: predecessor links of dropped targets
+        are removed, new targets gain them, and the successor dict is
+        rebuilt in the given order — the same row order a from-scratch
+        build would produce.  All targets must already be vertices (the
+        maintainer adds the alive vertex set first) and must not equal
+        ``vertex``.
+        """
+        succ = self._succ
+        if vertex not in succ:
+            raise VertexNotFoundError(vertex)
+        pred = self._pred
+        new_row = dict.fromkeys(targets, capacity)
+        if vertex in new_row:
+            raise SelfLoopError(vertex)
+        old_row = succ[vertex]
+        for target in old_row:
+            if target not in new_row:
+                del pred[target][vertex]
+        for target in new_row:
+            pred[target][vertex] = capacity
+        succ[vertex] = new_row
+
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all incident edges."""
         if vertex not in self._succ:

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Contact:
     """One entry of a k-bucket.
 
@@ -21,12 +22,21 @@ class Contact:
         the routing table.
     added_at:
         Simulated time at which the contact first entered the table.
+    bucket_contacts:
+        Back-reference to the contact dict of the owning k-bucket, set when
+        the contact is inserted.  The routing table's flat id→contact index
+        uses it to perform the most-recently-seen move without re-deriving
+        the bucket from XOR arithmetic (excluded from comparison/repr: it
+        contains this contact).
     """
 
     node_id: int
     last_seen: float = 0.0
     consecutive_failures: int = 0
     added_at: float = 0.0
+    bucket_contacts: Optional[Dict[int, "Contact"]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def record_success(self, time: float) -> None:
         """Note a successful round-trip: reset the failure streak."""

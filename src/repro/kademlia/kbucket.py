@@ -8,6 +8,12 @@ above the staleness limit).  Stale contacts are otherwise removed when the
 owning node's communication with them keeps failing — which is exactly the
 mechanism behind the paper's observation that churn and message loss "free
 up entries in the k-buckets" and thereby *increase* connectivity.
+
+A bucket optionally maintains an external flat ``id -> Contact`` index
+shared by every bucket of one routing table (see
+:class:`~repro.kademlia.routing_table.RoutingTable`): membership mutations
+mirror into it so the table can resolve any contact with a single dict
+probe instead of bucket-index arithmetic.
 """
 
 from __future__ import annotations
@@ -20,12 +26,22 @@ from repro.kademlia.contact import Contact
 class KBucket:
     """Bounded, least-recently-seen-ordered set of contacts."""
 
-    __slots__ = ("index", "capacity", "_contacts")
+    __slots__ = ("index", "capacity", "_contacts", "_table_index")
 
-    def __init__(self, index: int, capacity: int) -> None:
+    def __init__(
+        self,
+        index: int,
+        capacity: int,
+        table_index: Optional[Dict[int, Contact]] = None,
+    ) -> None:
         self.index = index
         self.capacity = capacity
         self._contacts: Dict[int, Contact] = {}
+        # Stand-alone buckets (tests, direct use) mirror into a private
+        # dict; table-owned buckets share the table's flat index.
+        self._table_index: Dict[int, Contact] = (
+            table_index if table_index is not None else {}
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -60,9 +76,11 @@ class KBucket:
     # ------------------------------------------------------------------
     def touch(self, node_id: int, time: float) -> None:
         """Move ``node_id`` to the most-recently-seen position."""
-        contact = self._contacts.pop(node_id)
-        contact.record_success(time)
-        self._contacts[node_id] = contact
+        contacts = self._contacts
+        contact = contacts.pop(node_id)
+        contact.last_seen = time
+        contact.consecutive_failures = 0
+        contacts[node_id] = contact
 
     def add(self, node_id: int, time: float, staleness_limit: int) -> bool:
         """Try to insert ``node_id``; returns True if it is now in the bucket.
@@ -75,27 +93,34 @@ class KBucket:
            contact (preferring the least recently seen one) and insert;
         4. bucket full of non-stale contacts → reject the new contact.
         """
-        if node_id in self._contacts:
-            self.touch(node_id, time)
+        contacts = self._contacts
+        contact = contacts.pop(node_id, None)
+        if contact is not None:
+            contact.last_seen = time
+            contact.consecutive_failures = 0
+            contacts[node_id] = contact
             return True
-        if not self.is_full:
-            self._contacts[node_id] = Contact(
-                node_id=node_id, last_seen=time, added_at=time
-            )
-            return True
-        stale_id = self._first_stale(staleness_limit)
-        if stale_id is not None:
-            del self._contacts[stale_id]
-            self._contacts[node_id] = Contact(
-                node_id=node_id, last_seen=time, added_at=time
-            )
-            return True
-        return False
+        if len(contacts) >= self.capacity:
+            stale_id = self._first_stale(staleness_limit)
+            if stale_id is None:
+                return False
+            del contacts[stale_id]
+            del self._table_index[stale_id]
+        contact = Contact(
+            node_id=node_id,
+            last_seen=time,
+            added_at=time,
+            bucket_contacts=contacts,
+        )
+        contacts[node_id] = contact
+        self._table_index[node_id] = contact
+        return True
 
     def remove(self, node_id: int) -> bool:
         """Remove ``node_id`` from the bucket; True if it was present."""
         if node_id in self._contacts:
             del self._contacts[node_id]
+            del self._table_index[node_id]
             return True
         return False
 
@@ -108,9 +133,10 @@ class KBucket:
         contact = self._contacts.get(node_id)
         if contact is None:
             return False
-        contact.record_failure()
-        if contact.is_stale(staleness_limit):
+        contact.consecutive_failures += 1
+        if contact.consecutive_failures >= staleness_limit:
             del self._contacts[node_id]
+            del self._table_index[node_id]
             return True
         return False
 
@@ -125,6 +151,6 @@ class KBucket:
     def _first_stale(self, staleness_limit: int) -> Optional[int]:
         """Return the id of the least-recently-seen stale contact, if any."""
         for node_id, contact in self._contacts.items():
-            if contact.is_stale(staleness_limit):
+            if contact.consecutive_failures >= staleness_limit:
                 return node_id
         return None

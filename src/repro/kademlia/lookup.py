@@ -22,16 +22,16 @@ what the paper's connectivity results hinge on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import List, Set, TYPE_CHECKING
 
 from repro.kademlia.messages import FindNodeRequest, FindNodeResponse
-from repro.kademlia.node_id import sort_by_distance
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.kademlia.protocol import KademliaProtocol
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupResult:
     """Outcome of one iterative lookup.
 
@@ -72,43 +72,70 @@ class LookupResult:
 
 
 def iterative_find_node(protocol: "KademliaProtocol", target_id: int) -> LookupResult:
-    """Run the iterative FIND_NODE procedure from ``protocol`` for ``target_id``."""
+    """Run the iterative FIND_NODE procedure from ``protocol`` for ``target_id``.
+
+    The loop body is the hottest client-side code of the simulation, so
+    the invariants over the original formulation are hoisted: one
+    :class:`FindNodeRequest` serves every round-trip of the lookup (the
+    request is an immutable value object), the distance-sort key is the
+    bound C method ``target_id.__xor__``, and the clock is read once —
+    the whole lookup runs inside a single simulator event, during which
+    simulated time cannot advance.
+    """
     config = protocol.config
     result = LookupResult(target_id=target_id)
+    k = config.bucket_size
+    alpha = config.alpha
+    learn = config.learn_from_responses
+    own_id = protocol.node_id
+    rpc = protocol.rpc
+    learn_contacts = protocol.learn_contacts
+    now = protocol.now
+    distance_to_target = target_id.__xor__
+    request = FindNodeRequest(target_id=target_id)
 
-    candidates: Set[int] = set(
-        protocol.routing_table.closest_contacts(target_id, config.bucket_size)
-    )
-    queried: Set[int] = set()
+    # The frontier is a lazy min-heap over (distance, id).  Invariant:
+    # the heap holds exactly the known-but-unqueried candidates — every
+    # popped id is queried immediately, and an id learned again after
+    # being queried is kept out by the ``candidates`` dedupe set — so
+    # popping ``alpha`` entries yields exactly the ``alpha`` closest
+    # unqueried candidates, the same batch the per-round
+    # sort-the-whole-frontier formulation selected.  XOR distances to a
+    # fixed target are unique per id, so the order admits no ties.
+    seeds = protocol.routing_table.closest_contacts(target_id, k)
+    candidates: Set[int] = set(seeds)
+    frontier = [(node_id ^ target_id, node_id) for node_id in seeds]
+    heapify(frontier)
     responded: Set[int] = set()
+    queried_count = 0
+    failure_count = 0
+    round_count = 0
 
-    while True:
-        # Closest known candidates that have not been queried yet.
-        frontier = [
-            node_id
-            for node_id in sort_by_distance(candidates, target_id)
-            if node_id not in queried
-        ]
-        if not frontier or len(responded) >= config.bucket_size:
-            break
-        batch = frontier[: config.alpha]
-        result.rounds += 1
+    while len(responded) < k and frontier:
+        batch = [heappop(frontier)[1] for _ in range(min(alpha, len(frontier)))]
+        round_count += 1
 
         for node_id in batch:
-            queried.add(node_id)
-            result.queried += 1
-            ok, response = protocol.rpc(node_id, FindNodeRequest(target_id=target_id))
+            queried_count += 1
+            ok, response = rpc(node_id, request)
             if not ok or not isinstance(response, FindNodeResponse):
-                result.failures += 1
+                failure_count += 1
                 continue
             responded.add(node_id)
-            for contact_id in response.contacts:
-                if contact_id != protocol.node_id:
-                    candidates.add(contact_id)
-                    if config.learn_from_responses:
-                        protocol.note_contact(contact_id)
-            if len(responded) >= config.bucket_size:
+            if learn:
+                learn_contacts(
+                    response.contacts, candidates, frontier, target_id, now
+                )
+            else:
+                for contact_id in response.contacts:
+                    if contact_id != own_id and contact_id not in candidates:
+                        candidates.add(contact_id)
+                        heappush(frontier, (contact_id ^ target_id, contact_id))
+            if len(responded) >= k:
                 break
 
-    result.contacted = sort_by_distance(responded, target_id)[: config.bucket_size]
+    result.queried = queried_count
+    result.failures = failure_count
+    result.rounds = round_count
+    result.contacted = sorted(responded, key=distance_to_target)[:k]
     return result

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-import heapq
 import random
 from typing import Dict, List, Optional
 
 from repro.kademlia.config import KademliaConfig
+from repro.kademlia.contact import Contact
 from repro.kademlia.kbucket import KBucket
-from repro.kademlia.node_id import bucket_index, random_id_in_bucket, sort_by_distance
+from repro.kademlia.node_id import random_id_in_bucket
 
 
 class RoutingTable:
@@ -19,25 +19,64 @@ class RoutingTable:
     bucket covers half the identifier space, the next one a quarter, and so
     on (paper Section 4.1).
 
-    ``closest_contacts`` is the hottest function of the whole simulation
-    (it runs for every FIND_NODE request a node answers), so the flat list
-    of contact ids is cached and only rebuilt when the table's *membership*
-    changes — reordering inside a bucket does not invalidate it.
+    This class is the hottest part of the whole simulation — every learned
+    contact of every FIND_NODE reply funnels through :meth:`add_contact`,
+    and every request a node answers runs :meth:`closest_contacts` — so it
+    keeps two auxiliary structures in sync with the buckets:
+
+    * ``_contact_index`` — a flat ``id -> Contact`` dict over all buckets.
+      The common case (refreshing an already-known contact) resolves with
+      one dict probe; the contact's back-reference to its bucket dict makes
+      the most-recently-seen move two more dict operations.  Bucket
+      membership mutations mirror into the index (:class:`KBucket` shares
+      it), so it is always exact.
+    * ``_contacts_cache`` — the flat contact-id list in canonical bucket
+      order, rebuilt only when *membership* changes (reordering inside a
+      bucket does not invalidate it).  Snapshots read it directly.
+
+    ``membership_version`` increments on every membership change (insert or
+    eviction).  The incremental connectivity-graph maintainer uses it to
+    skip rebuilding snapshot-graph rows for tables that did not change
+    between snapshots.
     """
+
+    __slots__ = (
+        "owner_id",
+        "config",
+        "_buckets",
+        "_contact_index",
+        "_contacts_cache",
+        "_bucket_size",
+        "_staleness_limit",
+        "membership_version",
+    )
 
     def __init__(self, owner_id: int, config: KademliaConfig) -> None:
         self.owner_id = owner_id
         self.config = config
         self._buckets: Dict[int, KBucket] = {}
+        self._contact_index: Dict[int, Contact] = {}
         self._contacts_cache: Optional[List[int]] = None
+        # Config lookups are frozen-dataclass attribute chains; cache the two
+        # values the per-contact fast paths need.
+        self._bucket_size = config.bucket_size
+        self._staleness_limit = config.staleness_limit
+        self.membership_version = 0
 
     # ------------------------------------------------------------------
     def bucket_for(self, node_id: int) -> KBucket:
         """Return (creating lazily) the bucket that covers ``node_id``."""
-        index = bucket_index(self.owner_id, node_id)
-        if index not in self._buckets:
-            self._buckets[index] = KBucket(index, self.config.bucket_size)
-        return self._buckets[index]
+        if node_id == self.owner_id:
+            raise ValueError("a node has no bucket for its own identifier")
+        if node_id < 0:
+            raise ValueError("identifiers must be non-negative")
+        index = (self.owner_id ^ node_id).bit_length() - 1
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = KBucket(
+                index, self._bucket_size, self._contact_index
+            )
+        return bucket
 
     def buckets(self) -> List[KBucket]:
         """Return the non-empty (or previously used) buckets, by index."""
@@ -48,73 +87,114 @@ class RoutingTable:
         """Try to add ``node_id``; returns True if it is in the table afterwards."""
         if node_id == self.owner_id:
             return False
-        bucket = self.bucket_for(node_id)
-        already_present = node_id in bucket
-        added = bucket.add(node_id, time, self.config.staleness_limit)
-        if added and not already_present:
+        contact = self._contact_index.get(node_id)
+        if contact is not None:
+            # Most common case by far: the contact is already known — move
+            # it to the most-recently-seen slot of its bucket and reset its
+            # failure streak.  Membership is unchanged, the cache holds.
+            bucket_contacts = contact.bucket_contacts
+            del bucket_contacts[node_id]
+            bucket_contacts[node_id] = contact
+            contact.last_seen = time
+            contact.consecutive_failures = 0
+            return True
+        if node_id < 0:
+            raise ValueError("identifiers must be non-negative")
+        index = (self.owner_id ^ node_id).bit_length() - 1
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = KBucket(
+                index, self._bucket_size, self._contact_index
+            )
+        added = bucket.add(node_id, time, self._staleness_limit)
+        if added:
             self._contacts_cache = None
+            self.membership_version += 1
         return added
 
     def remove_contact(self, node_id: int) -> bool:
         """Remove ``node_id`` from the table; True if it was present."""
-        if node_id == self.owner_id:
+        contact = self._contact_index.get(node_id)
+        if contact is None:
             return False
-        removed = self.bucket_for(node_id).remove(node_id)
-        if removed:
-            self._contacts_cache = None
-        return removed
+        del contact.bucket_contacts[node_id]
+        del self._contact_index[node_id]
+        self._contacts_cache = None
+        self.membership_version += 1
+        return True
 
     def record_failure(self, node_id: int) -> bool:
         """Record a failed round-trip; True if the contact was dropped as stale."""
-        if node_id == self.owner_id:
+        contact = self._contact_index.get(node_id)
+        if contact is None:
             return False
-        dropped = self.bucket_for(node_id).record_failure(
-            node_id, self.config.staleness_limit
-        )
-        if dropped:
+        contact.consecutive_failures += 1
+        if contact.consecutive_failures >= self._staleness_limit:
+            del contact.bucket_contacts[node_id]
+            del self._contact_index[node_id]
             self._contacts_cache = None
-        return dropped
+            self.membership_version += 1
+            return True
+        return False
 
     def record_success(self, node_id: int, time: float) -> bool:
         """Record a successful round-trip with an existing contact."""
-        if node_id == self.owner_id:
+        contact = self._contact_index.get(node_id)
+        if contact is None:
             return False
-        return self.bucket_for(node_id).record_success(node_id, time)
+        bucket_contacts = contact.bucket_contacts
+        del bucket_contacts[node_id]
+        bucket_contacts[node_id] = contact
+        contact.last_seen = time
+        contact.consecutive_failures = 0
+        return True
 
     # ------------------------------------------------------------------
     def contains(self, node_id: int) -> bool:
         """True if ``node_id`` is currently in the table."""
-        if node_id == self.owner_id:
-            return False
-        return node_id in self.bucket_for(node_id)
+        return node_id in self._contact_index and node_id != self.owner_id
 
     def contact_ids(self) -> List[int]:
-        """Return every contact id in the table (all buckets)."""
-        if self._contacts_cache is None:
-            ids: List[int] = []
-            for index in sorted(self._buckets):
-                ids.extend(self._buckets[index].contact_ids())
-            self._contacts_cache = ids
-        return list(self._contacts_cache)
+        """Return every contact id in the table, in canonical bucket order."""
+        cache = self._contacts_cache
+        if cache is None:
+            cache = []
+            buckets = self._buckets
+            for index in sorted(buckets):
+                cache.extend(buckets[index]._contacts)
+            self._contacts_cache = cache
+        return list(cache)
 
     def contact_count(self) -> int:
-        """Return the number of contacts currently stored."""
-        return sum(len(bucket) for bucket in self._buckets.values())
+        """Return the number of contacts currently stored — O(1)."""
+        return len(self._contact_index)
 
     def closest_contacts(self, target_id: int, count: Optional[int] = None) -> List[int]:
         """Return up to ``count`` contact ids closest to ``target_id``.
 
         ``count`` defaults to the bucket size ``k`` — the reply size of a
-        FIND_NODE RPC.
+        FIND_NODE RPC.  A full sort with the bound C method
+        ``target_id.__xor__`` as key replaces the previous
+        ``heapq.nsmallest`` + Python lambda: tables hold at most a few
+        hundred contacts, where one C-keyed sort wins outright, and both
+        produce the same ordering (stable smallest-``count`` prefix).
+
+        The sort reads (and, when membership changed, rebuilds) the flat
+        contact-id cache rather than the id index.  The sorted *result* is
+        the same either way, but the rebuild moment is observable: the
+        cache captures the buckets' least-recently-seen order at build
+        time, and snapshots persist that order — rebuilding here, on the
+        first reply after a membership change, keeps snapshot rows
+        bit-identical to the historical behaviour.
         """
-        count = self.config.bucket_size if count is None else count
-        if self._contacts_cache is None:
-            self.contact_ids()
+        if count is None:
+            count = self._bucket_size
         contacts = self._contacts_cache
-        if len(contacts) <= count:
-            return sort_by_distance(contacts, target_id)
-        smallest = heapq.nsmallest(count, contacts, key=lambda c: c ^ target_id)
-        return smallest
+        if contacts is None:
+            self.contact_ids()
+            contacts = self._contacts_cache
+        ordered = sorted(contacts, key=target_id.__xor__)
+        return ordered if len(ordered) <= count else ordered[:count]
 
     # ------------------------------------------------------------------
     def refresh_targets(self, rng: random.Random) -> List[int]:

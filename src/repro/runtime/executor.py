@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from pathlib import Path
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
@@ -43,6 +43,9 @@ class ExecutionSession(ABC):
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run ``fn`` over ``items`` and return results in submission order."""
 
+    def close(self) -> None:
+        """Release session-owned resources (no-op unless the session owns a pool)."""
+
 
 class _SerialSession(ExecutionSession):
     """Runs every call in the current process."""
@@ -50,16 +53,35 @@ class _SerialSession(ExecutionSession):
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         return [fn(item) for item in items]
 
+    def close(self) -> None:
+        """Nothing to release for in-process execution."""
+
 
 class _PoolSession(ExecutionSession):
-    """Dispatches calls onto a live :class:`ProcessPoolExecutor`."""
+    """Dispatches calls onto a live :class:`ProcessPoolExecutor`.
 
-    def __init__(self, pool: ProcessPoolExecutor) -> None:
+    When constructed with an :class:`~contextlib.ExitStack` the session
+    *owns* its pool: :meth:`close` unwinds the stack (shutting the pool
+    down and restoring the exported ``PYTHONPATH``).  Sessions yielded by
+    the :meth:`Executor.session` context manager pass ``owned=None`` — the
+    context manager owns the resources.
+    """
+
+    def __init__(
+        self, pool: ProcessPoolExecutor, owned: Optional[ExitStack] = None
+    ) -> None:
         self._pool = pool
+        self._owned = owned
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         futures = [self._pool.submit(fn, item) for item in items]
         return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut down the pool if this session owns it (idempotent)."""
+        owned, self._owned = self._owned, None
+        if owned is not None:
+            owned.close()
 
 
 class Executor(ABC):
@@ -90,6 +112,23 @@ class Executor(ABC):
         if initializer is not None:
             initializer(*initargs)
         yield _SerialSession()
+
+    def open_session(
+        self,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> ExecutionSession:
+        """Open a session whose lifetime the *caller* controls.
+
+        Unlike :meth:`session` (a context manager scoped to one ``with``
+        block), the returned session stays open until its ``close()`` is
+        called — the pair-flow engine pool reuse keeps one session alive
+        across every snapshot of an experiment run.  The serial default
+        runs the initializer in-process and returns a no-op-close session.
+        """
+        if initializer is not None:
+            initializer(*initargs)
+        return _SerialSession()
 
 
 class SerialExecutor(Executor):
@@ -171,6 +210,27 @@ class ParallelExecutor(Executor):
                 initargs=initargs,
             ) as pool:
                 yield _PoolSession(pool)
+
+    def open_session(
+        self,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> ExecutionSession:
+        """Open a caller-owned pool session (see :meth:`Executor.open_session`).
+
+        The exported package path stays in the environment until
+        ``close()`` because workers spawn lazily, on first submit.
+        """
+        stack = ExitStack()
+        stack.enter_context(_exported_package_path())
+        pool = stack.enter_context(
+            ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=initializer,
+                initargs=initargs,
+            )
+        )
+        return _PoolSession(pool, owned=stack)
 
 
 def make_executor(jobs: Optional[int] = None) -> Executor:

@@ -30,7 +30,8 @@ cut off early (see ``network_flow_function`` for the cutoff contract).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.graph.digraph import DiGraph
@@ -57,6 +58,11 @@ DEFAULT_SHARD_SIZE = 24
 DEFAULT_WAVE_WIDTH = 8
 
 
+#: Distinguishes engine payloads when one worker pool serves several
+#: engines over its lifetime (one engine per snapshot of a run).
+_EPOCH_COUNTER = itertools.count(1)
+
+
 @dataclass(frozen=True)
 class PairFlowShard:
     """One picklable unit of pair-flow work.
@@ -64,12 +70,23 @@ class PairFlowShard:
     ``pairs`` holds dense flow-endpoint indices into the shipped compact
     network; ``cutoff`` is the running minimum inherited from earlier
     waves (``None`` on the first wave of an uncut evaluation).
+
+    ``epoch`` names the network the pairs index into.  A worker caches the
+    most recently thawed network per process; a shard arriving with an
+    unknown epoch and ``compact is None`` is answered with a payload-miss
+    sentinel and re-dispatched by the engine with the compact network
+    attached.  This is what lets one process pool outlive any single
+    engine: consecutive snapshots of a run reuse the pool and only the
+    (small) compact network travels again.
     """
 
     pairs: Tuple[Tuple[int, int], ...]
     cutoff: Optional[int]
     use_cutoff: bool
     stop_at_zero: bool
+    epoch: int = 0
+    algorithm: str = "dinic"
+    compact: Optional[CompactNetwork] = None
 
 
 @dataclass(frozen=True)
@@ -126,29 +143,32 @@ def _run_shard_on(
 
 
 # ----------------------------------------------------------------------
-# Worker side (parallel sessions only).  The compact network is delivered
-# once per worker process via the executor session initializer; each
-# worker thaws it into a mutable ResidualNetwork and answers any number
-# of shards against it.  Serial engines never touch these globals — they
-# evaluate shards directly against the engine's own network.
+# Worker side (parallel sessions only).  Each worker process caches the
+# most recently thawed network, keyed by the shard epoch; the compact
+# network is shipped with the first wave of an engine's work (and again
+# on the rare payload miss, when a worker first sees an epoch in a later
+# wave).  Serial engines never touch these globals — they evaluate shards
+# directly against the engine's own network.
 # ----------------------------------------------------------------------
+_WORKER_EPOCH: int = 0
 _WORKER_NETWORK: Optional[ResidualNetwork] = None
 _WORKER_FLOW_FN: Optional[Callable[..., float]] = None
 
-
-def _initialize_worker(compact: CompactNetwork, algorithm: str) -> None:
-    """Session initializer: thaw the shipped network in this process."""
-    global _WORKER_NETWORK, _WORKER_FLOW_FN
-    _WORKER_NETWORK = compact.thaw()
-    _WORKER_FLOW_FN = network_flow_function(algorithm)
+#: Returned by a worker that has not yet seen the shard's epoch and was
+#: not sent the compact payload; the engine re-dispatches with it attached.
+_PAYLOAD_MISS = None
 
 
-def _execute_shard(shard: PairFlowShard) -> List[int]:
+def _execute_shard(shard: PairFlowShard) -> Optional[List[int]]:
     """Worker-pool entry point: evaluate a shard on the process-local state."""
-    network = _WORKER_NETWORK
-    flow_fn = _WORKER_FLOW_FN
-    assert network is not None and flow_fn is not None, "worker not initialized"
-    return _run_shard_on(network, flow_fn, shard)
+    global _WORKER_EPOCH, _WORKER_NETWORK, _WORKER_FLOW_FN
+    if shard.epoch != _WORKER_EPOCH or _WORKER_NETWORK is None:
+        if shard.compact is None:
+            return _PAYLOAD_MISS
+        _WORKER_NETWORK = shard.compact.thaw()
+        _WORKER_FLOW_FN = network_flow_function(shard.algorithm)
+        _WORKER_EPOCH = shard.epoch
+    return _run_shard_on(_WORKER_NETWORK, _WORKER_FLOW_FN, shard)
 
 
 class PairFlowEngine:
@@ -170,11 +190,17 @@ class PairFlowEngine:
         must share them — the defaults are used everywhere in practice.
     executor:
         Pre-built :class:`Executor` overriding ``flow_jobs``.
+    session:
+        External, caller-owned :class:`ExecutionSession` (worker pool).
+        The engine borrows it for every evaluation and never closes it —
+        this is how the analyzer reuses **one** pool across the engines of
+        consecutive snapshots: only the compact network changes between
+        snapshots (shipped under a fresh epoch), the processes persist.
 
-    The engine may be used as a context manager; inside a ``with`` block
-    one executor session (process pool) is pinned across all evaluations,
-    which the analyzer uses to share a pool between the minimum and
-    average passes of one snapshot.
+    The engine may also be used as a context manager; inside a ``with``
+    block one executor session (process pool) is pinned across all
+    evaluations, which shares a pool between the minimum and average
+    passes of one snapshot.
     """
 
     def __init__(
@@ -185,6 +211,7 @@ class PairFlowEngine:
         shard_size: int = DEFAULT_SHARD_SIZE,
         wave_width: int = DEFAULT_WAVE_WIDTH,
         executor: Optional[Executor] = None,
+        session=None,
     ) -> None:
         if shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
@@ -198,19 +225,21 @@ class PairFlowEngine:
         self.executor = executor or make_executor(flow_jobs)
         self.transform: IndexedEvenTransform = indexed_even_transform(graph)
         self._compact: Optional[CompactNetwork] = None
+        self._epoch = next(_EPOCH_COUNTER)
+        self._payload_shipped = False
+        self._external_session = session
         self._session = None
-        self._session_cm = None
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "PairFlowEngine":
-        self._session_cm = self._new_session()
-        self._session = self._session_cm.__enter__()
+        if self._external_session is None:
+            self._session = self._make_session()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        cm, self._session_cm, self._session = self._session_cm, None, None
-        if cm is not None:
-            cm.__exit__(exc_type, exc, tb)
+        session, self._session = self._session, None
+        if session is not None:
+            session.close()
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -244,10 +273,23 @@ class PairFlowEngine:
         evaluated_positions: List[int] = []
         running = initial_minimum
         wave_width = self.wave_width
-        with self._open_session() as session:
+        epoch = self._epoch
+        algorithm = self.algorithm
+        session, owns_session = self._acquire_session()
+        try:
+            serial = isinstance(session, _EngineLocalSession)
             for wave_start in range(0, len(shards), wave_width):
                 if stop_at_zero and running == 0:
                     break
+                # Ship the compact network with the engine's very first
+                # wave so a cold pool thaws it without an extra round
+                # trip; workers that first see this epoch later (or after
+                # another engine's epoch displaced it) answer with a
+                # payload miss and get the shards re-sent with payload.
+                compact = None
+                if not serial and not self._payload_shipped:
+                    compact = self._compact_payload()
+                    self._payload_shipped = True
                 wave = shards[wave_start:wave_start + wave_width]
                 tasks = [
                     PairFlowShard(
@@ -255,10 +297,28 @@ class PairFlowEngine:
                         cutoff=running,
                         use_cutoff=use_cutoff,
                         stop_at_zero=stop_at_zero,
+                        epoch=epoch,
+                        algorithm=algorithm,
+                        compact=compact,
                     )
                     for shard in wave
                 ]
                 shard_results = session.map(_execute_shard, tasks)
+                missed = [
+                    index
+                    for index, result in enumerate(shard_results)
+                    if result is None
+                ]
+                if missed:
+                    payload = self._compact_payload()
+                    retries = [
+                        replace(tasks[index], compact=payload)
+                        for index in missed
+                    ]
+                    for index, result in zip(
+                        missed, session.map(_execute_shard, retries)
+                    ):
+                        shard_results[index] = result
                 for offset, shard_values in enumerate(shard_results):
                     base = (wave_start + offset) * shard_size
                     values.extend(shard_values)
@@ -268,6 +328,9 @@ class PairFlowEngine:
                     for value in shard_values:
                         if running is None or value < running:
                             running = value
+        finally:
+            if owns_session:
+                session.close()
 
         if not values:
             return PairFlowOutcome(
@@ -336,30 +399,39 @@ class PairFlowEngine:
         return outcome.average, outcome.pairs_evaluated
 
     # ------------------------------------------------------------------
-    def _open_session(self):
-        """Reuse the pinned session inside a ``with`` block, else open one."""
-        if self._session is not None:
-            return _BorrowedSession(self._session)
-        return self._new_session()
+    def _acquire_session(self):
+        """Return ``(session, owns)`` — the session to evaluate on.
 
-    def _new_session(self):
+        Priority: the session pinned by ``with`` (borrowed), then the
+        caller-provided external session (borrowed), then a fresh one the
+        caller of this method must close (``owns=True``).
+        """
+        if self._session is not None:
+            return self._session, False
+        if self._external_session is not None:
+            return self._external_session, False
+        return self._make_session(), True
+
+    def _make_session(self):
         """Open a fresh session of the right flavour for this executor.
 
         A :class:`SerialExecutor` evaluates shards directly against the
         engine's own network — no worker globals, no compact snapshot, so
         two serial engines can be open concurrently without interference.
-        Parallel executors get the compact snapshot (built lazily on
-        first need) shipped once per worker through the pool initializer.
+        Parallel executors get a caller-owned pool session; the compact
+        network travels with the first wave (and on payload misses).
         """
         from repro.runtime.executor import SerialExecutor
 
         if isinstance(self.executor, SerialExecutor):
             return _EngineLocalSession(self.transform.network, self._flow_fn)
+        return self.executor.open_session()
+
+    def _compact_payload(self) -> CompactNetwork:
+        """Build (lazily) the picklable network payload shipped to workers."""
         if self._compact is None:
             self._compact = self.transform.compact()
-        return self.executor.session(
-            _initialize_worker, (self._compact, self.algorithm)
-        )
+        return self._compact
 
 
 class _EngineLocalSession:
@@ -377,21 +449,12 @@ class _EngineLocalSession:
 
     def map(self, fn, shards) -> List[List[int]]:
         # ``fn`` is always _execute_shard here; run its body against the
-        # engine-local state instead of the worker-pool globals.
+        # engine-local state instead of the worker-pool globals (epoch and
+        # compact payload are irrelevant in-process).
         return [
             _run_shard_on(self._network, self._flow_fn, shard)
             for shard in shards
         ]
 
-
-class _BorrowedSession:
-    """Context manager lending out an already-open session without closing it."""
-
-    def __init__(self, session) -> None:
-        self._session = session
-
-    def __enter__(self):
-        return self._session
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        return None
+    def close(self) -> None:
+        """Nothing to release; the engine owns the network."""

@@ -2,10 +2,44 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+import heapq
+from typing import Any, Callable, Optional, Tuple
 
 from repro.simulator.errors import SchedulingError
 from repro.simulator.events import Event, EventQueue
+
+
+class _PeriodicTask:
+    """Self-rescheduling callback used by :meth:`Simulator.schedule_periodic`.
+
+    A slotted instance instead of a per-schedule closure: the recurring
+    reschedule pushes the same callable object back onto the queue, so a
+    long-running periodic series allocates one object total (plus the heap
+    entries), not one cell-capturing closure per series.
+    """
+
+    __slots__ = ("simulator", "interval", "callback", "end", "label")
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        interval: float,
+        callback: Callable[[], Any],
+        end: Optional[float],
+        label: str,
+    ) -> None:
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self.end = end
+        self.label = label
+
+    def __call__(self) -> None:
+        self.callback()
+        simulator = self.simulator
+        next_time = simulator._now + self.interval
+        if self.end is None or next_time <= self.end:
+            simulator._queue.push(next_time, self, label=self.label)
 
 
 class Simulator:
@@ -35,6 +69,14 @@ class Simulator:
         """Current simulated time in minutes."""
         return self._now
 
+    def clock(self) -> float:
+        """Return the current simulated time (bound-method form of ``now``).
+
+        Protocols hold this method as their clock callable; calling a bound
+        method is cheaper than the lambda-over-property chain it replaces.
+        """
+        return self._now
+
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (diagnostics)."""
@@ -42,27 +84,44 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still scheduled."""
+        """Number of live events still scheduled — O(1).
+
+        Cancelled-but-unpopped events are excluded: the queue counts them
+        exactly, so this figure does not drift when the heap compacts.
+        """
         return len(self._queue)
+
+    @property
+    def cancelled_pending_events(self) -> int:
+        """Cancelled events still occupying heap slots (diagnostics)."""
+        return self._queue.cancelled_pending
 
     # ------------------------------------------------------------------
     def schedule_at(
-        self, time: float, callback: Callable[[], Any], label: str = ""
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        label: str = "",
+        args: Tuple[Any, ...] = (),
     ) -> Event:
-        """Schedule ``callback`` at absolute simulated ``time``."""
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        return self._queue.push(time, callback, label=label)
+        return self._queue.push(time, callback, label=label, args=args)
 
     def schedule_in(
-        self, delay: float, callback: Callable[[], Any], label: str = ""
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        label: str = "",
+        args: Tuple[Any, ...] = (),
     ) -> Event:
-        """Schedule ``callback`` after ``delay`` simulated minutes."""
+        """Schedule ``callback(*args)`` after ``delay`` simulated minutes."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
-        return self._queue.push(self._now + delay, callback, label=label)
+        return self._queue.push(self._now + delay, callback, label=label, args=args)
 
     def schedule_periodic(
         self,
@@ -80,44 +139,64 @@ class Simulator:
         if interval <= 0:
             raise SchedulingError(f"non-positive interval {interval}")
         first = self._now + interval if start is None else start
-
-        def _tick() -> None:
-            callback()
-            next_time = self._now + interval
-            if end is None or next_time <= end:
-                self._queue.push(next_time, _tick, label=label)
-
         if end is None or first <= end:
-            self.schedule_at(first, _tick, label=label)
+            task = _PeriodicTask(self, interval, callback, end, label)
+            self.schedule_at(first, task, label=label)
 
     # ------------------------------------------------------------------
     def run_until(self, end_time: float) -> None:
-        """Execute events up to and including ``end_time``; advance the clock."""
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > end_time:
+        """Execute events up to and including ``end_time``; advance the clock.
+
+        The loop reads the heap directly instead of going through
+        ``peek_time()`` + ``pop()``, which would pay two heap traversals
+        per event; compaction mutates the heap list in place, so the local
+        reference stays valid across callbacks.
+        """
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        processed = 0
+        while heap:
+            time = heap[0][0]
+            if time > end_time:
                 break
-            event = self._queue.pop()
-            if event is None:
-                break
-            self._now = event.time
-            event.callback()
-            self._events_processed += 1
-        self._now = max(self._now, end_time)
+            event = heappop(heap)[2]
+            if event.cancelled:
+                queue._cancelled -= 1
+                continue
+            # Detach before firing: a late cancel() on an already-fired
+            # event must not touch the queue's cancellation counter.
+            event._queue = None
+            self._now = time
+            event.callback(*event.args)
+            processed += 1
+        self._events_processed += processed
+        if end_time > self._now:
+            self._now = end_time
 
     def run_all(self, max_events: Optional[int] = None) -> None:
-        """Run until the event queue drains (or ``max_events`` is reached)."""
+        """Run until the event queue drains (or ``max_events`` is reached).
+
+        ``max_events`` counts **executed** events only: cancelled entries
+        popped off the heap are accounted to the queue's cancellation
+        counter, never against the caller's budget.
+        """
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
         executed = 0
-        while True:
+        while heap:
             if max_events is not None and executed >= max_events:
                 break
-            event = self._queue.pop()
-            if event is None:
-                break
+            event = heappop(heap)[2]
+            if event.cancelled:
+                queue._cancelled -= 1
+                continue
+            event._queue = None
             self._now = event.time
-            event.callback()
-            self._events_processed += 1
+            event.callback(*event.args)
             executed += 1
+        self._events_processed += executed
 
     def reset(self, start_time: float = 0.0) -> None:
         """Drop all pending events and rewind the clock."""

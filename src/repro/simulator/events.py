@@ -1,66 +1,160 @@
-"""Event objects and the event queue used by the simulator."""
+"""Event objects and the event queue used by the simulator.
+
+The queue is the innermost loop of every simulation, so it is built around
+a plain binary heap of ``(time, sequence, event)`` tuples: heap sift
+comparisons stay entirely inside CPython's C tuple comparison (the
+``sequence`` tie-break is always decisive, so the :class:`Event` payload is
+never compared).  The previous implementation heapified ``dataclass
+(order=True)`` instances, which routed every comparison through a generated
+Python ``__lt__``.
+
+Cancellation is lazy: a cancelled event stays in the heap (marked dead) and
+is dropped when it surfaces.  The queue keeps an exact count of dead
+entries, which makes ``len()`` O(1) instead of an O(n) scan, and compacts
+the heap in place once more than half of it is dead, so a workload that
+cancels aggressively cannot grow the heap without bound.
+"""
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (the handle returned by :meth:`EventQueue.push`).
 
     Events order by ``(time, sequence)``: the sequence number is a
     monotonically increasing counter, so two events scheduled for the same
     simulated time fire in scheduling order.  That tie-break is what makes
     simulation runs deterministic for a fixed seed.
+
+    ``args`` (stored once at scheduling time) are passed to ``callback``
+    when the event fires; scheduling a bound method plus its arguments this
+    way avoids allocating a dedicated closure per event on hot paths such
+    as traffic-action delivery.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "args", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+        queue: "Optional[EventQueue]" = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancelled()
+
+    def fire(self) -> Any:
+        """Invoke the callback with the stored arguments."""
+        return self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.sequence}, label={self.label!r}{state})"
 
 
 class EventQueue:
     """A binary-heap event queue with stable ordering and lazy cancellation."""
 
+    __slots__ = ("_heap", "_next_sequence", "_cancelled")
+
     def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._next_sequence = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events — O(1)."""
+        return len(self._heap) - self._cancelled
 
-    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
-        """Schedule ``callback`` at simulated ``time`` and return the Event."""
-        event = Event(
-            time=time, sequence=next(self._counter), callback=callback, label=label
-        )
-        heapq.heappush(self._heap, event)
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._cancelled
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        label: str = "",
+        args: Tuple[Any, ...] = (),
+    ) -> Event:
+        """Schedule ``callback(*args)`` at simulated ``time``; return the Event."""
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        event = Event(time, sequence, callback, args, label, self)
+        heapq.heappush(self._heap, (time, sequence, event))
         return event
 
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event (None if empty)."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
+        """Remove and return the earliest non-cancelled event (None if empty).
+
+        The returned event is detached from the queue, so a later
+        ``cancel()`` on it (the common cancel-if-not-yet-fired timeout
+        idiom) cannot corrupt the live-event count.
+        """
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            if event.cancelled:
+                self._cancelled -= 1
+            else:
+                event._queue = None
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next non-cancelled event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][0] if heap else None
 
     def clear(self) -> None:
         """Drop all pending events."""
-        self._heap.clear()
+        # Detach outstanding handles so a later cancel() on one of them
+        # cannot corrupt the dead-entry count of the emptied queue.
+        for entry in self._heap:
+            entry[2]._queue = None
+        del self._heap[:]
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Account for one cancellation; compact once half the heap is dead."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify, preserving list identity.
+
+        In-place (slice assignment) so that any caller holding a reference
+        to the heap list — the simulator's run loop does, for speed — keeps
+        seeing the live heap.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

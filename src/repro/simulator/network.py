@@ -56,6 +56,17 @@ class Network:
         node = self._nodes.get(node_id)
         return node is not None and node.alive
 
+    def get_alive(self, node_id: int) -> Optional[SimNode]:
+        """Return the node if it exists and is alive, else None.
+
+        One dict probe instead of the ``contains`` + ``is_alive`` + ``get``
+        triple — this sits on the transport's per-RPC fast path.
+        """
+        node = self._nodes.get(node_id)
+        if node is not None and node.alive:
+            return node
+        return None
+
     def __len__(self) -> int:
         return len(self._nodes)
 

@@ -24,7 +24,7 @@ from typing import Any, Optional, Tuple
 from repro.simulator.network import Network
 
 
-@dataclass
+@dataclass(slots=True)
 class TransportStats:
     """Counters describing the traffic a simulation produced."""
 
@@ -96,32 +96,38 @@ class Transport:
         Returns ``(success, response)``.  ``success`` is False when the
         target is dead/unknown, the request leg was lost, the target chose
         not to answer, or the response leg was lost.
+
+        The loss draws replicate :meth:`one_way_lost` inline (drawing from
+        the same stream in the same order), and target resolution is a
+        single dict probe — this method runs once per simulated round-trip.
         """
-        self.stats.requests_sent += 1
+        stats = self.stats
+        stats.requests_sent += 1
 
-        if not self.network.contains(target_id) or not self.network.is_alive(target_id):
-            self.stats.requests_to_dead_nodes += 1
+        target = self.network.get_alive(target_id)
+        if target is None:
+            stats.requests_to_dead_nodes += 1
             return False, None
 
-        if self.one_way_lost():
-            self.stats.requests_lost += 1
+        loss = self.loss_probability
+        if loss > 0.0 and self.rng.random() < loss:
+            stats.requests_lost += 1
             return False, None
 
-        target = self.network.get(target_id)
         protocol = target.protocols.get(self.protocol_name)
         if protocol is None:
-            self.stats.requests_to_dead_nodes += 1
+            stats.requests_to_dead_nodes += 1
             return False, None
         response = protocol.handle_request(sender_id, request)
         if response is None:
-            self.stats.responses_lost += 1
+            stats.responses_lost += 1
             return False, None
 
-        if self.one_way_lost():
-            self.stats.responses_lost += 1
+        if loss > 0.0 and self.rng.random() < loss:
+            stats.responses_lost += 1
             return False, None
 
-        self.stats.round_trips_ok += 1
+        stats.round_trips_ok += 1
         return True, response
 
     # ------------------------------------------------------------------

@@ -1,0 +1,151 @@
+"""The incrementally maintained snapshot graph must equal the fresh build."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.analyzer import ConnectivityAnalyzer
+from repro.core.connectivity_graph import build_connectivity_graph
+from repro.core.incremental import IncrementalGraphMaintainer
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import get_scenario
+from repro.kademlia.protocol import KademliaProtocol
+
+
+def fresh_graph(network):
+    # The protocol-level snapshot view — extension protocols may merge
+    # state beyond the routing table into it (supplemental links).
+    tables = {
+        node.node_id: node.protocol("kademlia").routing_table_snapshot()
+        for node in network.alive_nodes()
+    }
+    return build_connectivity_graph(tables)
+
+
+def assert_graphs_equal(maintained, fresh):
+    # Vertex order matters (degree-ranked source selection breaks ties by
+    # it); per-row edge *content* matters, per-row order does not (no
+    # statistic observes it — max-flow values are exact for any arc order).
+    assert maintained.vertices() == fresh.vertices()
+    for vertex in fresh.vertices():
+        assert set(maintained._succ[vertex]) == set(fresh._succ[vertex]), vertex
+        assert set(maintained._pred[vertex]) == set(fresh._pred[vertex]), vertex
+
+
+def build_simulation(
+    scenario_name="E", profile="tiny", seed=7, hardening=None, bucket_size=None
+):
+    runner = ExperimentRunner(profile=profile, seed=seed)
+    scenario = get_scenario(scenario_name)
+    if bucket_size is not None:
+        scenario = dataclasses.replace(scenario, bucket_size=bucket_size)
+    simulation = runner.build_simulation(scenario, hardening=hardening)
+    phases = runner.phase_schedule(scenario)
+    size = runner.profile.network_size(scenario.size_class)
+    simulation.schedule_setup(size, runner.profile.setup_minutes)
+    simulation.schedule_traffic(1.0, phases.simulation_end)
+    simulation.schedule_churn(phases.stabilization_end, phases.simulation_end)
+    return simulation, phases
+
+
+class TestIncrementalEqualsFresh:
+    @pytest.mark.parametrize("scenario_name", ["A", "E", "K"])
+    def test_equal_at_every_step(self, scenario_name):
+        simulation, phases = build_simulation(scenario_name)
+        step = max(phases.simulation_end / 12.0, 1.0)
+        t = step
+        while t <= phases.simulation_end:
+            simulation.run_until(t)
+            maintained = simulation.connectivity_graph()
+            assert_graphs_equal(maintained, fresh_graph(simulation.network))
+            t += step
+
+    def test_equal_with_supplemental_links_protocol(self):
+        # The supplemental-links extension merges its overflow list into
+        # routing_table_snapshot(); the maintained graph must reflect it
+        # (this is the regression that made the hardening ablation's
+        # extra-links rows lose their supplemental edges).
+        from repro.extensions.hardening import HardeningConfig
+
+        hardening = HardeningConfig(supplemental_links=6)
+        simulation, phases = build_simulation(
+            "E", hardening=hardening, bucket_size=4
+        )
+        step = max(phases.simulation_end / 8.0, 1.0)
+        t = step
+        supplemental_seen = 0
+        while t <= phases.simulation_end:
+            simulation.run_until(t)
+            maintained = simulation.connectivity_graph()
+            assert_graphs_equal(maintained, fresh_graph(simulation.network))
+            for node in simulation.network.alive_nodes():
+                supplemental_seen += len(node.protocol("kademlia")._supplemental)
+            t += step
+        assert supplemental_seen > 0, "scenario never exercised supplemental links"
+
+    def test_reports_identical_to_snapshot_analysis(self):
+        simulation, phases = build_simulation("E")
+        simulation.run_until(phases.simulation_end)
+        maintained = simulation.connectivity_graph()
+        tables = {
+            node.node_id: node.protocol(
+                KademliaProtocol.protocol_name
+            ).routing_table_snapshot()
+            for node in simulation.network.alive_nodes()
+        }
+        inc_report = ConnectivityAnalyzer(seed=0).analyze_graph(maintained)
+        fresh_report = ConnectivityAnalyzer(seed=0).analyze_snapshot(tables)
+        a, b = inc_report.as_dict(), fresh_report.as_dict()
+        a.pop("elapsed_seconds")
+        b.pop("elapsed_seconds")
+        assert a == b
+
+
+class TestIncrementality:
+    def test_unchanged_tables_are_not_rebuilt(self):
+        simulation, phases = build_simulation("E")
+        simulation.run_until(phases.stabilization_end)
+        maintainer = simulation.graph_maintainer
+        simulation.connectivity_graph()
+        before = maintainer.rows_rebuilt
+        # No simulated time passes: nothing changed, no row rebuilds.
+        simulation.connectivity_graph()
+        assert maintainer.rows_rebuilt == before
+        assert maintainer.refreshes >= 2
+
+    def test_partial_rebuild_after_local_change(self):
+        simulation, phases = build_simulation("E")
+        simulation.run_until(phases.stabilization_end)
+        graph = simulation.connectivity_graph()
+        maintainer = simulation.graph_maintainer
+        alive = simulation.network.alive_nodes()
+        # Mutate one node's table membership directly.
+        protocol = alive[0].protocol("kademlia")
+        victim = protocol.routing_table.contact_ids()[0]
+        protocol.routing_table.remove_contact(victim)
+        before = maintainer.rows_rebuilt
+        refreshed = simulation.connectivity_graph()
+        assert maintainer.rows_rebuilt == before + 1
+        assert_graphs_equal(refreshed, fresh_graph(simulation.network))
+
+    def test_departed_vertex_disappears_with_incident_edges(self):
+        simulation, phases = build_simulation("E")
+        simulation.run_until(phases.stabilization_end)
+        simulation.connectivity_graph()
+        departed = simulation.remove_random_node()
+        assert departed is not None
+        refreshed = simulation.connectivity_graph()
+        assert departed not in refreshed
+        assert_graphs_equal(refreshed, fresh_graph(simulation.network))
+
+
+class TestMaintainerStandalone:
+    def test_empty_network(self):
+        maintainer = IncrementalGraphMaintainer()
+
+        class _EmptyNetwork:
+            def alive_nodes(self):
+                return []
+
+        graph = maintainer.refresh(_EmptyNetwork())
+        assert graph.number_of_vertices() == 0

@@ -1,0 +1,92 @@
+"""Seeded-run digests pinned across the simulator fast-path rewrite.
+
+The fast-path PR (tuple-heap scheduler, allocation-lean Kademlia
+messaging, incremental snapshot graphs, flow-pool reuse) must preserve
+**bit-identical trajectories**: same seed ⇒ same event order, same
+snapshots, same per-snapshot connectivity statistics.  The constants
+below were captured by running the *pre-rewrite* implementation (commit
+``7ef2694``) on this exact scenario/profile/seed matrix; the suite
+asserts the current implementation still reproduces them.
+
+The digest (:func:`repro.experiments.persistence.trajectory_digest`)
+covers the full result document — transport counters, join/leave counts,
+the connectivity time series and the raw routing-table snapshots
+(including row order, which encodes the buckets' least-recently-seen
+order) — excluding only wall-clock timings.  Event counts and snapshot
+times are asserted separately so a failure localises quickly.
+
+If a change breaks these digests it changes simulated trajectories:
+either fix it, or (for an intentional semantic change) re-baseline the
+constants AND invalidate the persistent result cache in the same PR.
+"""
+
+import pytest
+
+from repro.experiments.persistence import trajectory_digest
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import get_scenario
+
+SEED = 42
+
+#: (profile, scenario) -> digest of the pre-rewrite implementation.
+GOLDEN_DIGESTS = {
+    ("tiny", "A"): "cf0f4cb8bbd8a497cef3a11ffaf3c432c46ecd92687f77000b93815d1a41dab9",
+    ("tiny", "E"): "fc166f8e8625eed963ae20e200a3027bf2b93f8174aff5307c98975aa0d5986f",
+    ("tiny", "K"): "a4c1ad2f2b00413696e8ef37f92c6a9b5ec561092faaa37a547f2186f510fc5d",
+    ("smoke", "E"): "0a3ce5fa0536a348de7460626991bc2489fb01ba13b9a1dd1ddab0d5b59a913b",
+}
+
+#: (profile, scenario) -> (events processed, live pending events at the end,
+#: snapshot times) of the pre-rewrite event loop.
+GOLDEN_EVENTS = {
+    ("tiny", "A"): (94, 16, [4.0, 8.0, 12.0, 16.0, 20.0, 24.0]),
+    ("tiny", "E"): (1203, 26, [4.0, 8.0, 12.0, 16.0, 20.0, 22.0]),
+    ("tiny", "K"): (2289, 40, [4.0, 8.0, 12.0, 16.0, 20.0, 22.0]),
+    ("smoke", "E"): (1511, 36, [4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 27.0]),
+}
+
+
+def run_result(profile: str, scenario: str, flow_jobs: int = 1):
+    runner = ExperimentRunner(
+        profile=profile, seed=SEED, keep_snapshots=True, flow_jobs=flow_jobs
+    )
+    return runner.run(get_scenario(scenario))
+
+
+class TestTrajectoryDigests:
+    @pytest.mark.parametrize("profile,scenario", sorted(GOLDEN_DIGESTS))
+    def test_serial_digest_matches_pre_rewrite(self, profile, scenario):
+        result = run_result(profile, scenario)
+        assert trajectory_digest(result) == GOLDEN_DIGESTS[(profile, scenario)]
+
+    def test_parallel_flow_jobs_digest_matches_serial(self):
+        # --flow-jobs is an execution knob, not an experiment parameter:
+        # the shard/wave structure (and with it every statistic) must not
+        # depend on the worker count, including with the run-wide shared
+        # worker pool.
+        result = run_result("tiny", "E", flow_jobs=2)
+        assert trajectory_digest(result) == GOLDEN_DIGESTS[("tiny", "E")]
+
+
+class TestEventAccounting:
+    @pytest.mark.parametrize("profile,scenario", sorted(GOLDEN_EVENTS))
+    def test_event_counts_and_snapshot_times(self, profile, scenario):
+        runner = ExperimentRunner(profile=profile, seed=SEED)
+        scen = get_scenario(scenario)
+        simulation = runner.build_simulation(scen)
+        phases = runner.phase_schedule(scen)
+        size = runner.profile.network_size(scen.size_class)
+        snapshots = []
+        simulation.schedule_setup(size, runner.profile.setup_minutes)
+        simulation.schedule_traffic(1.0, phases.simulation_end)
+        simulation.schedule_churn(phases.stabilization_end, phases.simulation_end)
+        simulation.schedule_snapshots(
+            phases.snapshot_times(runner.profile.snapshot_interval_minutes),
+            snapshots.append,
+        )
+        simulation.run_until(phases.simulation_end)
+
+        events, pending, times = GOLDEN_EVENTS[(profile, scenario)]
+        assert simulation.simulator.events_processed == events
+        assert simulation.simulator.pending_events == pending
+        assert [snapshot.time for snapshot in snapshots] == times

@@ -230,3 +230,62 @@ class TestAnalyzerEquivalence:
             serial_dict.pop("elapsed_seconds")
             parallel_dict.pop("elapsed_seconds")
             assert serial_dict == parallel_dict
+
+
+class TestPoolReuseAcrossSnapshots:
+    """One worker pool serves the engines of consecutive snapshots: only
+    the compact network (under a fresh epoch) travels between engines."""
+
+    def test_external_session_shared_by_consecutive_engines(self):
+        from repro.runtime.executor import ParallelExecutor
+
+        executor = ParallelExecutor(jobs=2)
+        graphs = [circulant_graph(10, [1]), circulant_graph(10, [1, 2, 3])]
+        expected = [2, 6]
+        session = executor.open_session()
+        try:
+            for graph, kappa in zip(graphs, expected):
+                engine = PairFlowEngine(
+                    graph, executor=executor, session=session
+                )
+                outcome = engine.evaluate([(0, 5), (1, 6)])
+                assert outcome.values == [kappa, kappa]
+        finally:
+            session.close()
+
+    def test_payload_miss_is_resent(self):
+        from repro.runtime.executor import ParallelExecutor
+
+        executor = ParallelExecutor(jobs=2)
+        graph = circulant_graph(8, [1, 2])
+        session = executor.open_session()
+        try:
+            engine = PairFlowEngine(graph, executor=executor, session=session)
+            # Pretend the payload already shipped: every worker will miss
+            # this engine's epoch and must be answered via the re-send path.
+            engine._payload_shipped = True
+            outcome = engine.evaluate([(0, 4), (1, 5), (2, 6)])
+            assert outcome.values == [4, 4, 4]
+        finally:
+            session.close()
+
+    def test_analyzer_reuses_one_pool_across_graphs(self):
+        analyzer = ConnectivityAnalyzer(seed=5, flow_jobs=2)
+        serial = ConnectivityAnalyzer(seed=5, flow_jobs=1)
+        graphs = [
+            make_random_graph(9, 0.5, seed)
+            for seed in (21, 22, 23)
+        ]
+        with analyzer:
+            first_session = None
+            for graph in graphs:
+                parallel_report = analyzer.analyze_graph(graph).as_dict()
+                serial_report = serial.analyze_graph(graph).as_dict()
+                parallel_report.pop("elapsed_seconds")
+                serial_report.pop("elapsed_seconds")
+                assert parallel_report == serial_report
+                if first_session is None:
+                    first_session = analyzer._flow_session
+                else:
+                    assert analyzer._flow_session is first_session
+        assert analyzer._flow_session is None  # released on close

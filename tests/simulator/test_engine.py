@@ -46,6 +46,57 @@ class TestEventQueue:
         assert queue.pop() is None
 
 
+class TestLazyCancellation:
+    def test_len_is_live_count(self):
+        queue = EventQueue()
+        events = [queue.push(float(t), lambda: None) for t in range(10)]
+        assert len(queue) == 10
+        for event in events[:4]:
+            event.cancel()
+        assert len(queue) == 6
+        # Double-cancel must not double-count.
+        events[0].cancel()
+        assert len(queue) == 6
+
+    def test_compaction_drops_dead_entries(self):
+        queue = EventQueue()
+        events = [queue.push(float(t), lambda: None) for t in range(10)]
+        for event in events[:6]:
+            event.cancel()
+        # More than half the heap was dead: the queue compacted in place.
+        assert len(queue._heap) == len(queue) == 4
+        assert queue.cancelled_pending == 0
+        assert [queue.pop().time for _ in range(4)] == [6.0, 7.0, 8.0, 9.0]
+        assert queue.pop() is None
+
+    def test_cancel_after_fire_is_harmless(self):
+        # The cancel-if-not-yet-fired timeout idiom: cancelling an event
+        # that already popped must not corrupt the live count.
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        first.cancel()
+        assert len(queue) == 1
+        assert queue.cancelled_pending == 0
+
+    def test_cancel_after_clear_is_harmless(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.clear()
+        event.cancel()
+        assert len(queue) == 0
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 1
+
+    def test_event_args_are_passed(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, fired.append, args=(42,))
+        queue.pop().fire()
+        assert fired == [42]
+
+
 class TestSimulator:
     def test_runs_events_in_order(self):
         sim = Simulator()
@@ -130,3 +181,61 @@ class TestSimulator:
         sim.run_until(4.0)
         sim.run_until(2.0)
         assert sim.now == 4.0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = [sim.schedule_at(float(t), lambda: None) for t in (1, 2, 3)]
+        doomed = [sim.schedule_at(float(t), lambda: None) for t in (4, 5, 6, 7)]
+        for event in doomed:
+            event.cancel()
+        # The heap compacted (4 of 7 dead) and the live count stayed exact.
+        assert sim.pending_events == 3
+        assert sim.cancelled_pending_events == 0
+        keep[0].cancel()
+        assert sim.pending_events == 2
+
+    def test_run_all_max_events_ignores_cancelled(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        cancelled = sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.schedule_at(3.0, lambda: fired.append(3))
+        sim.schedule_at(4.0, lambda: fired.append(4))
+        cancelled.cancel()
+        # Budget of 2 executed events: the cancelled one must not consume it.
+        sim.run_all(max_events=2)
+        assert fired == [1, 3]
+        assert sim.events_processed == 2
+        assert sim.pending_events == 1
+
+    def test_run_until_with_cancellations_during_callbacks(self):
+        sim = Simulator()
+        fired = []
+        later = [sim.schedule_at(5.0 + t, lambda t=t: fired.append(t)) for t in range(6)]
+
+        def cancel_most():
+            fired.append("cancel")
+            for event in later[1:]:
+                event.cancel()
+
+        sim.schedule_at(1.0, cancel_most)
+        sim.run_until(20.0)
+        assert fired == ["cancel", 0]
+        assert sim.pending_events == 0
+
+    def test_late_cancel_of_fired_event_keeps_pending_exact(self):
+        sim = Simulator()
+        fired = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run_until(1.5)
+        fired.cancel()  # already executed: must be a no-op
+        assert sim.pending_events == 1
+        assert sim.cancelled_pending_events == 0
+
+    def test_scheduling_with_args(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, args=("at",))
+        sim.schedule_in(2.0, fired.append, args=("in",))
+        sim.run_until(5.0)
+        assert fired == ["at", "in"]
