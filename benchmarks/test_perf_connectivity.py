@@ -267,3 +267,130 @@ def test_perf_connectivity_trajectory(output_dir):
     # the parallel ratio is recorded, not asserted, because it depends on
     # the runner's core count.
     assert speedup(minimum_pass, "engine_serial") > 1.0
+
+
+# ----------------------------------------------------------------------
+# Campaign scheduler benchmark: time-to-first-figure on a mixed-cost sweep.
+# ----------------------------------------------------------------------
+
+#: Mixed-cost task set, deliberately submitted most-expensive-first (the
+#: adversarial order for FIFO): tiny K is a large-network churn+loss run,
+#: tiny E a small churn run, tiny A a small no-traffic 0/1 run — observed
+#: costs span roughly an order of magnitude.
+SCHEDULER_SCENARIOS = ("K", "E", "A")
+SCHEDULER_PROFILE = "tiny"
+
+
+def test_perf_scheduler_time_to_first_figure(output_dir, tmp_path):
+    """Record the cheapest-first scheduling win in BENCH_connectivity.json.
+
+    Two passes over the same mixed-cost batch, both *uncached* so every
+    task really executes:
+
+    * ``fifo`` — submission order, cold cost model.  Its per-task
+      wall-clocks warm the ``_costs.json`` sidecar.
+    * ``cheapest`` — the warmed model reorders dispatch cheapest-first.
+
+    Time-to-first-result is the scheduling payoff (the campaign streams
+    each result through its progress callback the moment it completes);
+    the results themselves must be bit-identical, pass to pass.
+    """
+    from repro.experiments.persistence import trajectory_digest
+    from repro.experiments.scenarios import get_scenario
+    from repro.runtime import Campaign, ExperimentTask, TaskCostModel
+    from repro.runtime.costmodel import COSTS_FILENAME
+
+    tasks = [
+        ExperimentTask.create(
+            scenario=get_scenario(name),
+            profile=SCHEDULER_PROFILE,
+            seed=BENCH_SEED,
+            adaptive_shards=True,
+        )
+        for name in SCHEDULER_SCENARIOS
+    ]
+    sidecar = tmp_path / COSTS_FILENAME
+
+    def timed_campaign(schedule: str):
+        started = time.perf_counter()
+        first_result_at = None
+        completion_order = []
+
+        def progress(event):
+            nonlocal first_result_at
+            if first_result_at is None:
+                first_result_at = time.perf_counter() - started
+            completion_order.append(event.task.scenario.name)
+
+        campaign = Campaign(
+            progress=progress,
+            schedule=schedule,
+            cost_model=TaskCostModel(sidecar),
+        )
+        results = campaign.run(tasks)
+        total = time.perf_counter() - started
+        return {
+            "results": results,
+            "completion_order": completion_order,
+            "time_to_first_result": round(first_result_at, 6),
+            "total_seconds": round(total, 6),
+        }
+
+    fifo = timed_campaign("fifo")
+    cheapest = timed_campaign("cheapest")
+
+    # Scheduling is order-only: the two passes return bit-identical
+    # results in submission order ...
+    fifo_digests = [trajectory_digest(result) for result in fifo["results"]]
+    cheapest_digests = [
+        trajectory_digest(result) for result in cheapest["results"]
+    ]
+    assert fifo_digests == cheapest_digests
+    # ... while the warmed model really inverted the dispatch order and
+    # with it the time to the first streamed figure.
+    assert fifo["completion_order"] == list(SCHEDULER_SCENARIOS)
+    assert cheapest["completion_order"] == list(reversed(SCHEDULER_SCENARIOS))
+    assert cheapest["time_to_first_result"] < fifo["time_to_first_result"]
+
+    def pass_record(record):
+        return {
+            "completion_order": record["completion_order"],
+            "time_to_first_result_seconds": record["time_to_first_result"],
+            "total_seconds": record["total_seconds"],
+        }
+
+    section = {
+        "description": (
+            "mixed-cost tiny sweep (scenarios submitted most-expensive-"
+            "first), uncached, --adaptive-shards; cheapest-first dispatch "
+            "via the _costs.json cost model warmed by the fifo pass"
+        ),
+        "scenarios_submission_order": list(SCHEDULER_SCENARIOS),
+        "profile": SCHEDULER_PROFILE,
+        "fifo": pass_record(fifo),
+        "cheapest": pass_record(cheapest),
+        "time_to_first_result_speedup": round(
+            fifo["time_to_first_result"] / cheapest["time_to_first_result"], 3
+        ),
+        "results_bit_identical": True,
+    }
+
+    path = output_dir / "BENCH_connectivity.json"
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["scheduler"] = section
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    summary = (
+        f"scheduler: time-to-first-figure {fifo['time_to_first_result']}s "
+        f"(fifo) -> {cheapest['time_to_first_result']}s (cheapest), "
+        f"{section['time_to_first_result_speedup']}x, results bit-identical"
+    )
+    txt_path = output_dir / "BENCH_connectivity.txt"
+    lines = [
+        line
+        for line in txt_path.read_text(encoding="utf-8").splitlines()
+        if not line.startswith("scheduler:")
+    ]
+    lines.append(summary)
+    txt_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"\n[scheduler -> {path}]\n{summary}")

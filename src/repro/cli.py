@@ -28,10 +28,15 @@ Subcommands:
 
 Simulation commands accept ``--jobs N`` (process-pool execution across
 experiment tasks), ``--flow-jobs N`` (process-pool execution of the
-per-snapshot pair-flow batches *inside* a task) and ``--cache-dir DIR``
-(content-addressed result reuse across invocations); all combinations
-produce bit-identical output.  Progress and cache statistics go to stderr
-so stdout stays identical regardless of parallelism or cache state.
+per-snapshot pair-flow batches *inside* a task), ``--cache-dir DIR``
+(content-addressed result reuse across invocations), ``--schedule
+{fifo,cheapest}`` (dispatch pending tasks in submission order or
+cheapest-first by the ``_costs.json`` cost model beside the cache) and
+``--adaptive-shards`` (cost-aware pair-flow shard sizing and wave
+ordering); all combinations produce bit-identical output — scheduling
+knobs change only *when* work runs, never what it computes.  Progress and
+cache statistics go to stderr so stdout stays identical regardless of
+parallelism, schedule or cache state.
 """
 
 from __future__ import annotations
@@ -59,6 +64,22 @@ from repro.runtime.campaign import Campaign, sweep_tasks
 from repro.runtime.executor import make_executor
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: an integer >= 1.
+
+    Rejecting zero/negative values here turns what used to be a deep
+    traceback (or a silent fallback to serial execution) into a one-line
+    ``error: argument --jobs: ...`` message with exit code 2.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile", default="bench", choices=sorted(PROFILES),
@@ -80,11 +101,11 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         help="override the message loss scenario",
     )
     parser.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=_positive_int, default=1,
         help="number of worker processes (1 = run in-process; default: 1)",
     )
     parser.add_argument(
-        "--flow-jobs", type=int, default=1,
+        "--flow-jobs", type=_positive_int, default=1,
         help=(
             "worker processes for the per-snapshot pair-flow engine "
             "(bit-identical output for any value; default: 1)"
@@ -93,6 +114,23 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None,
         help="directory of the content-addressed result cache (default: off)",
+    )
+    parser.add_argument(
+        "--schedule", default="fifo", choices=["fifo", "cheapest"],
+        help=(
+            "dispatch order of uncached tasks: submission order (fifo, "
+            "default) or ascending estimated cost from the _costs.json "
+            "sidecar beside --cache-dir (cheapest; order-only — results "
+            "are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive-shards", action="store_true",
+        help=(
+            "cost-aware pair-flow scheduling inside each task (adaptive "
+            "shard sizing, tightness-ordered minimum passes; "
+            "bit-identical output)"
+        ),
     )
     parser.add_argument(
         "--progress", action="store_true",
@@ -140,6 +178,20 @@ def _make_progress(args: argparse.Namespace):
     return lambda event: print(event.describe(), file=sys.stderr)
 
 
+def _warn_schedule_without_cache(args: argparse.Namespace) -> None:
+    # The cost model lives beside the result cache; without --cache-dir
+    # there is nothing to estimate from and cheapest-first degrades to
+    # submission order.  Results are identical either way, but the user
+    # should know the flag had no effect.
+    if args.schedule == "cheapest" and not args.cache_dir:
+        print(
+            "warning: --schedule cheapest needs --cache-dir (the "
+            "_costs.json cost model lives beside the result cache); "
+            "dispatching in submission order",
+            file=sys.stderr,
+        )
+
+
 def _report_cache_stats(cache: Optional[ResultCache]) -> None:
     if cache is None:
         return
@@ -166,11 +218,13 @@ def _apply_overrides(scenario, args):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
+    _warn_schedule_without_cache(args)
     cache = _make_cache(args)
     result = run_scenario(
         scenario, profile=args.profile, seed=args.seed,
         jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
         progress=_make_progress(args),
+        schedule=args.schedule, adaptive_shards=args.adaptive_shards,
     )
     _report_cache_stats(cache)
     print(format_summaries([result]))
@@ -189,11 +243,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep_k(args: argparse.Namespace) -> int:
     scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
+    _warn_schedule_without_cache(args)
     cache = _make_cache(args)
     results = run_bucket_size_sweep(
         scenario, bucket_sizes=args.k, profile=args.profile, seed=args.seed,
         jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
         progress=_make_progress(args),
+        schedule=args.schedule, adaptive_shards=args.adaptive_shards,
     )
     _report_cache_stats(cache)
     print(format_figure(results, f"Scenario {scenario.name}: bucket-size sweep"))
@@ -206,6 +262,7 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
+    _warn_schedule_without_cache(args)
     cache = _make_cache(args)
     # One batch across all four scenarios so --jobs parallelises the whole
     # E-H x k grid through a single process pool.
@@ -216,11 +273,12 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             get_scenario(name),
             [{"bucket_size": k} for k in args.k],
             profile=args.profile, seed=args.seed, flow_jobs=args.flow_jobs,
+            adaptive_shards=args.adaptive_shards,
         )
     ]
     campaign = Campaign(
         executor=make_executor(args.jobs), cache=cache,
-        progress=_make_progress(args),
+        progress=_make_progress(args), schedule=args.schedule,
     )
     results = campaign.run(tasks)
     _report_cache_stats(cache)
@@ -236,6 +294,7 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     print(f"entries:         {info.entries}")
     print(f"total bytes:     {info.total_bytes}")
     print(f"evictions:       {info.evictions}")
+    print(f"stores dropped:  {info.stores_dropped}")
     return 0
 
 
@@ -246,18 +305,44 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    if args.max_bytes is None:
+        # ResultCache.prune() without a cap prunes nothing by design;
+        # reaching it from the CLI is always a mistake, so say what to do
+        # instead of silently succeeding.
+        print(
+            "error: this cache has no size cap configured, so there is "
+            "nothing to prune to; pass --max-bytes N to evict "
+            "least-recently-used entries down to N bytes "
+            "(--max-bytes 0 empties the cache)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     if args.max_bytes < 0:
         print(f"error: --max-bytes must be >= 0, got {args.max_bytes}",
               file=sys.stderr)
         raise SystemExit(2)
     cache = ResultCache(args.cache_dir)
+    if not cache.directory.is_dir():
+        print(
+            f"error: cache directory {args.cache_dir} does not exist; "
+            "nothing to prune",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     evicted = cache.prune(max_bytes=args.max_bytes)
     info = cache.info()
-    print(
-        f"evicted {evicted} least-recently-used entries from {args.cache_dir} "
-        f"({info.entries} entries, {info.total_bytes} bytes remain; "
-        f"cap {args.max_bytes})"
-    )
+    if evicted:
+        print(
+            f"evicted {evicted} least-recently-used entries from "
+            f"{args.cache_dir} ({info.entries} entries, {info.total_bytes} "
+            f"bytes remain; cap {args.max_bytes})"
+        )
+    else:
+        print(
+            f"nothing evicted: {args.cache_dir} already fits the cap "
+            f"({info.entries} entries, {info.total_bytes} bytes "
+            f"<= cap {args.max_bytes})"
+        )
     return 0
 
 
@@ -349,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="max-flow algorithm for the pair-flow engine (default: dinic)",
     )
     analyze_parser.add_argument(
-        "--flow-jobs", type=int, default=1,
+        "--flow-jobs", type=_positive_int, default=1,
         help="worker processes for the pair-flow engine (default: 1)",
     )
     analyze_parser.set_defaults(func=_cmd_analyze_snapshot)
@@ -391,8 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", required=True, help="result cache directory"
     )
     cache_prune_parser.add_argument(
-        "--max-bytes", type=int, required=True,
-        help="target size cap in bytes (0 empties the cache)",
+        "--max-bytes", type=int, default=None,
+        help=(
+            "target size cap in bytes (0 empties the cache); required — "
+            "omitting it means the cache is uncapped and there is nothing "
+            "to prune to"
+        ),
     )
     cache_prune_parser.set_defaults(func=_cmd_cache_prune)
 

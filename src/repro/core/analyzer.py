@@ -136,6 +136,14 @@ class ConnectivityAnalyzer:
     flow_shard_size / flow_wave_width:
         Engine scheduling granularity overrides (``None`` keeps the
         engine defaults).
+    adaptive_shards:
+        Enable the engine's cost-aware scheduling (shard sizes derived
+        from the observed per-pair cost, tightness-ordered minimum
+        passes).  One cost tracker is shared across every snapshot the
+        analyzer sees, so costs observed early in a run schedule the
+        later snapshots.  Purely an execution knob: reports are
+        bit-identical with it on or off (the order-invariance guarantee
+        asserted by the determinism digest suite).
     """
 
     def __init__(
@@ -150,6 +158,7 @@ class ConnectivityAnalyzer:
         flow_jobs: int = 1,
         flow_shard_size: Optional[int] = None,
         flow_wave_width: Optional[int] = None,
+        adaptive_shards: bool = False,
     ) -> None:
         if source_fraction is not None and source_fraction <= 0:
             raise ValueError("source_fraction must be positive or None")
@@ -166,6 +175,12 @@ class ConnectivityAnalyzer:
         self.flow_jobs = flow_jobs
         self.flow_shard_size = flow_shard_size
         self.flow_wave_width = flow_wave_width
+        self.adaptive_shards = adaptive_shards
+        self._pair_costs = None
+        if adaptive_shards:
+            from repro.runtime.costmodel import PairCostTracker
+
+            self._pair_costs = PairCostTracker()
         self._rng = random.Random(seed)
         self._flow_session = None
 
@@ -225,6 +240,8 @@ class ConnectivityAnalyzer:
                 if self.flow_wave_width is None
                 else self.flow_wave_width
             ),
+            adaptive=self.adaptive_shards,
+            cost_tracker=self._pair_costs,
             session=self._flow_pool(),
         )
 

@@ -19,7 +19,12 @@ from repro.experiments.profiles import ScaleProfile
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import Scenario
 from repro.runtime.cache import ResultCache
-from repro.runtime.campaign import Campaign, ProgressCallback, replication_tasks
+from repro.runtime.campaign import (
+    SCHEDULE_FIFO,
+    Campaign,
+    ProgressCallback,
+    replication_tasks,
+)
 from repro.runtime.executor import Executor, make_executor
 
 
@@ -100,13 +105,18 @@ def replicate_scenario(
     cache: "ResultCache | None" = None,
     executor: "Executor | None" = None,
     progress: "ProgressCallback | None" = None,
+    schedule: str = SCHEDULE_FIFO,
+    adaptive_shards: bool = False,
 ) -> ReplicationSummary:
     """Run ``scenario`` once per seed and aggregate the summary statistics.
 
     Replications are independent tasks, so they dispatch through
     :mod:`repro.runtime`: ``jobs > 1`` runs them in parallel with identical
     output, and a :class:`~repro.runtime.cache.ResultCache` lets repeated
-    invocations (or a grown seed list) reuse finished runs.
+    invocations (or a grown seed list) reuse finished runs.  ``schedule``
+    and ``adaptive_shards`` are the cost-aware dispatch knobs of
+    :class:`Campaign` / the pair-flow engine — ordering only, results are
+    identical for every combination.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
@@ -114,9 +124,13 @@ def replicate_scenario(
         executor=executor if executor is not None else make_executor(jobs),
         cache=cache,
         progress=progress,
+        schedule=schedule,
     )
     results = campaign.run(
-        replication_tasks(scenario, seeds, profile=profile, algorithm=algorithm)
+        replication_tasks(
+            scenario, seeds, profile=profile, algorithm=algorithm,
+            adaptive_shards=adaptive_shards,
+        )
     )
     statistics = {
         name: ReplicatedStatistic(

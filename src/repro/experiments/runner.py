@@ -101,6 +101,11 @@ class ExperimentRunner:
         (see :class:`repro.core.analyzer.ConnectivityAnalyzer`).  Purely
         an execution knob: any value yields bit-identical results, so it
         is not part of the experiment's identity.
+    adaptive_shards:
+        Cost-aware pair-flow scheduling (adaptive shard sizing plus
+        tightness-ordered minimum passes).  Like ``flow_jobs``, an
+        execution knob with bit-identical output, excluded from the
+        experiment's identity.
     """
 
     def __init__(
@@ -110,12 +115,14 @@ class ExperimentRunner:
         keep_snapshots: bool = False,
         algorithm: str = "dinic",
         flow_jobs: int = 1,
+        adaptive_shards: bool = False,
     ) -> None:
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.seed = seed
         self.keep_snapshots = keep_snapshots
         self.algorithm = algorithm
         self.flow_jobs = flow_jobs
+        self.adaptive_shards = adaptive_shards
 
     # ------------------------------------------------------------------
     def build_simulation(
@@ -178,6 +185,7 @@ class ExperimentRunner:
             average_pairs=profile.average_pairs,
             seed=self.seed,
             flow_jobs=self.flow_jobs,
+            adaptive_shards=self.adaptive_shards,
         )
 
     # ------------------------------------------------------------------

@@ -25,7 +25,12 @@ from repro.experiments.scenarios import (
     Scenario,
 )
 from repro.runtime.cache import ResultCache
-from repro.runtime.campaign import Campaign, ProgressCallback, sweep_tasks
+from repro.runtime.campaign import (
+    SCHEDULE_FIFO,
+    Campaign,
+    ProgressCallback,
+    sweep_tasks,
+)
 from repro.runtime.executor import Executor, make_executor
 
 
@@ -34,11 +39,13 @@ def _make_campaign(
     cache: Optional[ResultCache],
     executor: Optional[Executor],
     progress: Optional[ProgressCallback],
+    schedule: str = SCHEDULE_FIFO,
 ) -> Campaign:
     return Campaign(
         executor=executor if executor is not None else make_executor(jobs),
         cache=cache,
         progress=progress,
+        schedule=schedule,
     )
 
 
@@ -52,17 +59,21 @@ def run_scenario(
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    schedule: str = SCHEDULE_FIFO,
+    adaptive_shards: bool = False,
 ) -> ExperimentResult:
     """Run a single scenario with the given profile and seed.
 
     ``jobs`` parallelises across tasks; ``flow_jobs`` parallelises the
     per-snapshot connectivity analysis *within* a task (see README
-    "Performance" for how the two compose).
+    "Performance" for how the two compose).  ``schedule`` and
+    ``adaptive_shards`` select cost-aware dispatch (order/grouping only;
+    results are bit-identical for every combination).
     """
-    campaign = _make_campaign(jobs, cache, executor, progress)
+    campaign = _make_campaign(jobs, cache, executor, progress, schedule)
     tasks = sweep_tasks(
         scenario, [{}], profile=profile, seed=seed, algorithm=algorithm,
-        flow_jobs=flow_jobs,
+        flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
     return campaign.run(tasks)[0]
 
@@ -78,16 +89,19 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    schedule: str = SCHEDULE_FIFO,
+    adaptive_shards: bool = False,
 ) -> List[ExperimentResult]:
     """Run one variant of ``base`` per override set and return the results.
 
     The generic form behind every named sweep below; exposed for callers
-    (CLI, benchmarks) that sweep custom dimension combinations.
+    (CLI, benchmarks) that sweep custom dimension combinations.  Results
+    come back in override order whatever the ``schedule``.
     """
-    campaign = _make_campaign(jobs, cache, executor, progress)
+    campaign = _make_campaign(jobs, cache, executor, progress, schedule)
     tasks = sweep_tasks(
         base, overrides, profile=profile, seed=seed, algorithm=algorithm,
-        flow_jobs=flow_jobs,
+        flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
     return campaign.run(tasks)
 
@@ -102,6 +116,8 @@ def run_bucket_size_sweep(
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    schedule: str = SCHEDULE_FIFO,
+    adaptive_shards: bool = False,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per bucket size (the k-sweep of Figures 2–9)."""
     bucket_sizes = list(bucket_sizes)
@@ -110,6 +126,7 @@ def run_bucket_size_sweep(
         [{"bucket_size": k} for k in bucket_sizes],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
+        schedule=schedule, adaptive_shards=adaptive_shards,
     )
     return dict(zip(bucket_sizes, results))
 
@@ -125,6 +142,8 @@ def run_alpha_sweep(
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    schedule: str = SCHEDULE_FIFO,
+    adaptive_shards: bool = False,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the (alpha, k) grid behind Figure 10; keys are ``(alpha, k)``."""
     keys = [(alpha, k) for alpha in alphas for k in bucket_sizes]
@@ -133,6 +152,7 @@ def run_alpha_sweep(
         [{"alpha": alpha, "bucket_size": k} for alpha, k in keys],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
+        schedule=schedule, adaptive_shards=adaptive_shards,
     )
     return dict(zip(keys, results))
 
@@ -147,6 +167,8 @@ def run_staleness_sweep(
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    schedule: str = SCHEDULE_FIFO,
+    adaptive_shards: bool = False,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per staleness limit (Figure 11)."""
     staleness_values = list(staleness_values)
@@ -155,6 +177,7 @@ def run_staleness_sweep(
         [{"staleness_limit": s} for s in staleness_values],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
+        schedule=schedule, adaptive_shards=adaptive_shards,
     )
     return dict(zip(staleness_values, results))
 
@@ -170,6 +193,8 @@ def run_loss_sweep(
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    schedule: str = SCHEDULE_FIFO,
+    adaptive_shards: bool = False,
 ) -> Dict[Tuple[str, int], ExperimentResult]:
     """Run the (loss, s) grid behind Figures 12–14; keys are ``(loss, s)``."""
     keys = [(loss, s) for loss in loss_levels for s in staleness_values]
@@ -178,5 +203,6 @@ def run_loss_sweep(
         [{"loss": loss, "staleness_limit": s} for loss, s in keys],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
+        schedule=schedule, adaptive_shards=adaptive_shards,
     )
     return dict(zip(keys, results))

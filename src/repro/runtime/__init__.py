@@ -16,7 +16,13 @@ execution harness:
   hit/miss statistics and an eviction API;
 * :mod:`repro.runtime.campaign` — :class:`Campaign`, the driver that
   expresses sweeps and replications as task batches and streams progress
-  while dispatching them through executor and cache.
+  (with per-task results) while dispatching them through executor and
+  cache, in submission order or cheapest-first;
+* :mod:`repro.runtime.costmodel` — the persistent cost models behind
+  cost-aware scheduling: :class:`TaskCostModel` (wall-clock by coarse
+  task shape, ``_costs.json`` sidecar beside the result cache) and
+  :class:`PairCostTracker` (per-pair max-flow cost feeding the pair-flow
+  engine's adaptive shard sizing).
 
 Every higher layer (``repro.experiments.sweep``, ``repro.experiments
 .replication``, the CLI and the benchmark harness) dispatches its runs
@@ -25,7 +31,18 @@ backends) only has to provide a new :class:`Executor`.
 """
 
 from repro.runtime.cache import CacheInfo, CacheStats, ResultCache
-from repro.runtime.campaign import Campaign, TaskProgress
+from repro.runtime.campaign import (
+    SCHEDULE_CHEAPEST,
+    SCHEDULE_FIFO,
+    Campaign,
+    TaskProgress,
+)
+from repro.runtime.costmodel import (
+    CostModel,
+    PairCostTracker,
+    TaskCostModel,
+    task_shape_key,
+)
 from repro.runtime.executor import (
     ExecutionSession,
     Executor,
@@ -40,16 +57,22 @@ __all__ = [
     "CacheInfo",
     "CacheStats",
     "Campaign",
+    "CostModel",
     "ExecutionSession",
     "Executor",
     "ExperimentTask",
+    "PairCostTracker",
     "PairFlowEngine",
     "PairFlowOutcome",
     "ParallelExecutor",
     "ResultCache",
+    "SCHEDULE_CHEAPEST",
+    "SCHEDULE_FIFO",
     "SerialExecutor",
+    "TaskCostModel",
     "TaskProgress",
     "derive_seed",
     "execute_task",
     "make_executor",
+    "task_shape_key",
 ]

@@ -10,16 +10,21 @@ the requesting task (guarding against fingerprint-format drift) and lets
 
 The cache can be size-capped (``max_bytes``): after every store the
 least-recently-used entries are evicted until the directory fits the cap
-again.  Recency is tracked through file modification times — a hit touches
-its entry — so the policy survives process restarts without any index
-file.  A cumulative eviction counter is persisted in a ``_meta.json``
-sidecar (never counted as an entry) and surfaced by ``cache info``.
+again.  Recency is tracked through file modification times — a hit
+(``get``) *and* a positive existence probe (``contains``) touch the
+entry — so the policy survives process restarts without any index file.
+Cumulative eviction / dropped-store counters are persisted in a
+``_meta.json`` sidecar (never counted as an entry) and surfaced by
+``cache info``.  The campaign scheduler's cost model lives in a sibling
+``_costs.json`` sidecar (see :mod:`repro.runtime.costmodel`), equally
+outside the entry namespace.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Union
@@ -39,12 +44,18 @@ META_FILENAME = "_meta.json"
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`ResultCache` instance."""
+    """Hit/miss counters of one :class:`ResultCache` instance.
+
+    ``stores_dropped`` counts stores whose entry exceeded the size cap on
+    its own and therefore never persisted (see :meth:`ResultCache.put`);
+    such a store is *not* counted as an eviction.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    stores_dropped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -64,14 +75,17 @@ class CacheInfo:
     """Summary of the on-disk state of a cache directory.
 
     ``evictions`` is the cumulative number of size-cap evictions ever
-    performed on this directory (persisted across processes); ``max_bytes``
-    echoes the cap of the inspecting cache instance (``None`` = uncapped).
+    performed on this directory and ``stores_dropped`` the cumulative
+    number of stores whose single entry exceeded the cap (both persisted
+    across processes); ``max_bytes`` echoes the cap of the inspecting
+    cache instance (``None`` = uncapped).
     """
 
     path: str
     entries: int
     total_bytes: int
     evictions: int = 0
+    stores_dropped: int = 0
     max_bytes: Optional[int] = None
 
 
@@ -84,9 +98,10 @@ class ResultCache:
         Cache root; created (with parents) on first use.
     max_bytes:
         Optional size cap.  After every store, least-recently-used entries
-        are evicted until the total entry size fits the cap (in the
-        degenerate case of a single entry larger than the cap, that entry
-        itself is evicted and the store effectively does not persist).
+        are evicted until the total entry size fits the cap.  A single
+        entry larger than the cap on its own is dropped up front with a
+        warning and counted in ``stats.stores_dropped`` (see
+        :meth:`put`); it never displaces the existing entries.
     """
 
     def __init__(self, directory: PathLike, max_bytes: Optional[int] = None) -> None:
@@ -115,8 +130,22 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def contains(self, task: ExperimentTask) -> bool:
-        """Return whether an entry for ``task`` exists (no stats update)."""
-        return self._entry_path(task.key()).exists()
+        """Return whether an entry for ``task`` exists (no stats update).
+
+        A positive answer refreshes the entry's LRU recency exactly like
+        :meth:`get` — callers pre-scanning a batch (``contains`` now,
+        ``get`` later) and the eviction policy must agree on what was
+        recently used, otherwise a size-cap prune between the scan and
+        the read can evict an entry the scan just promised.
+        """
+        path = self._entry_path(task.key())
+        if not path.exists():
+            return False
+        try:
+            os.utime(path)  # refresh LRU recency, same as a hit
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return True
 
     def get(self, task: ExperimentTask) -> Optional[ExperimentResult]:
         """Return the cached result of ``task``, or ``None`` on a miss.
@@ -155,6 +184,15 @@ class ResultCache:
         Snapshots are always included so a cached result is as faithful as a
         fresh run; the write goes through a temporary file so a concurrent
         reader never sees a partial entry.
+
+        An entry larger than ``max_bytes`` on its own can never fit the
+        cap.  Handing it to the LRU prune would first evict every *older*
+        entry and then the new one — silently emptying the cache for a
+        store that fails anyway — so the oversized entry is dropped
+        directly instead: a warning is emitted, ``stats.stores_dropped``
+        (and the persistent counter surfaced by ``cache info``) is
+        incremented, and the other entries are left untouched.  The
+        returned path does not exist in that case.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._entry_path(task.key())
@@ -167,6 +205,21 @@ class ResultCache:
         # never interleave into one file, and replace() stays atomic.
         tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
         tmp_path.write_text(json.dumps(document), encoding="utf-8")
+        if self.max_bytes is not None:
+            entry_bytes = tmp_path.stat().st_size
+            if entry_bytes > self.max_bytes:
+                tmp_path.unlink(missing_ok=True)
+                self.stats.stores_dropped += 1
+                self._bump_persistent_counter("stores_dropped", 1)
+                warnings.warn(
+                    f"result of task {task.key()[:12]} is {entry_bytes} bytes, "
+                    f"larger than the cache cap of {self.max_bytes} bytes; "
+                    "the store was dropped (raise max_bytes to cache results "
+                    "of this size)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return path
         tmp_path.replace(path)
         self.stats.stores += 1
         if self.max_bytes is not None:
@@ -196,6 +249,8 @@ class ResultCache:
             for stale in self.directory.glob("*.tmp"):
                 stale.unlink()
             for stale in self.directory.glob("*.metatmp"):
+                stale.unlink()
+            for stale in self.directory.glob("*.coststmp"):
                 stale.unlink()
         return removed
 
@@ -230,39 +285,51 @@ class ResultCache:
             evicted += 1
         if evicted:
             self.stats.evictions += evicted
-            self._bump_persistent_evictions(evicted)
+            self._bump_persistent_counter("evictions", evicted)
         return evicted
 
     # ------------------------------------------------------------------
     def _meta_path(self) -> Path:
         return self.directory / META_FILENAME
 
-    def _read_persistent_evictions(self) -> int:
+    def _read_meta(self) -> dict:
         try:
             meta = json.loads(self._meta_path().read_text(encoding="utf-8"))
-            return int(meta.get("evictions", 0))
-        except (OSError, ValueError, TypeError, AttributeError):
+            return meta if isinstance(meta, dict) else {}
+        except (OSError, ValueError):
+            return {}
+
+    def _read_persistent_counter(self, name: str) -> int:
+        try:
+            return int(self._read_meta().get(name, 0))
+        except (ValueError, TypeError):
             return 0
 
-    def _bump_persistent_evictions(self, count: int) -> None:
+    def _bump_persistent_counter(self, name: str, count: int) -> None:
         # The read-modify-write is guarded by an advisory lock so two
         # processes pruning one shared directory cannot lose increments;
-        # everything here is best-effort (the counter is diagnostics, the
-        # cache itself never depends on it).
+        # everything here is best-effort (the counters are diagnostics,
+        # the cache itself never depends on them).
         lock_path = self.directory / "_meta.lock"
         try:
             import fcntl
 
             with open(lock_path, "a+", encoding="utf-8") as lock_file:
                 fcntl.flock(lock_file, fcntl.LOCK_EX)
-                self._write_evictions(self._read_persistent_evictions() + count)
+                self._write_meta_counter(name, count)
         except (ImportError, OSError):  # pragma: no cover - lockless platform
-            self._write_evictions(self._read_persistent_evictions() + count)
+            self._write_meta_counter(name, count)
 
-    def _write_evictions(self, total: int) -> None:
+    def _write_meta_counter(self, name: str, count: int) -> None:
+        meta = self._read_meta()
+        try:
+            current = int(meta.get(name, 0))
+        except (TypeError, ValueError):
+            current = 0
+        meta[name] = current + count
         tmp = self._meta_path().with_suffix(f".{os.getpid()}.metatmp")
         try:
-            tmp.write_text(json.dumps({"evictions": total}), encoding="utf-8")
+            tmp.write_text(json.dumps(meta), encoding="utf-8")
             tmp.replace(self._meta_path())
         except OSError:  # pragma: no cover - metadata is best-effort
             tmp.unlink(missing_ok=True)
@@ -281,6 +348,7 @@ class ResultCache:
             path=str(self.directory),
             entries=entries,
             total_bytes=total,
-            evictions=self._read_persistent_evictions(),
+            evictions=self._read_persistent_counter("evictions"),
+            stores_dropped=self._read_persistent_counter("stores_dropped"),
             max_bytes=self.max_bytes,
         )

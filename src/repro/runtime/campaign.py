@@ -6,10 +6,20 @@ optional :class:`~repro.runtime.cache.ResultCache` and runs batches of
 
 1. every task is first looked up in the cache — hits are reported
    immediately and skip all simulation work;
-2. the remaining tasks are dispatched through the executor, and each result
-   is written back to the cache the moment it completes;
+2. the remaining tasks are dispatched through the executor — in submission
+   order (``schedule="fifo"``) or cheapest-first by the persistent cost
+   model (``schedule="cheapest"``) — and each result is written back to
+   the cache (and its wall-clock folded into the cost model) the moment
+   it completes;
 3. a progress callback receives one :class:`TaskProgress` event per task,
-   in completion order, so long campaigns can be monitored live.
+   in completion order and *carrying the task's result*, so long
+   campaigns can stream per-task figures incrementally instead of
+   waiting for the whole batch.
+
+Scheduling is **order-only** by construction: tasks are independent (each
+carries its own seed-derived random universe) and ``run`` returns results
+in submission order regardless of dispatch order, so the schedule can
+change when a figure appears but never a single bit of it.
 
 The module also provides the batch builders (:func:`sweep_tasks`,
 :func:`replication_tasks`) used by ``repro.experiments.sweep`` and
@@ -25,6 +35,7 @@ from repro.experiments.profiles import ScaleProfile
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import Scenario
 from repro.runtime.cache import ResultCache
+from repro.runtime.costmodel import TaskCostModel
 from repro.runtime.executor import Executor, SerialExecutor
 from repro.runtime.task import ExperimentTask, derive_seed
 
@@ -32,10 +43,21 @@ from repro.runtime.task import ExperimentTask, derive_seed
 CACHE_HIT = "hit"
 COMPLETED = "completed"
 
+#: Dispatch schedules.
+SCHEDULE_FIFO = "fifo"
+SCHEDULE_CHEAPEST = "cheapest"
+SCHEDULES = (SCHEDULE_FIFO, SCHEDULE_CHEAPEST)
+
 
 @dataclass(frozen=True)
 class TaskProgress:
-    """One per-task progress event of a campaign run."""
+    """One per-task progress event of a campaign run.
+
+    ``result`` is the task's :class:`ExperimentResult` (cached or fresh),
+    so a progress callback can render the task's figure the moment it
+    completes — with cheapest-first scheduling that is what turns the
+    schedule into a shorter time-to-first-figure.
+    """
 
     task: ExperimentTask
     index: int
@@ -43,6 +65,7 @@ class TaskProgress:
     status: str
     completed: int
     cache_hits: int
+    result: Optional[ExperimentResult] = None
 
     def describe(self) -> str:
         """One-line rendering used by the CLI's progress stream."""
@@ -56,17 +79,45 @@ ProgressCallback = Callable[[TaskProgress], None]
 
 
 class Campaign:
-    """Dispatches task batches through an executor and a result cache."""
+    """Dispatches task batches through an executor and a result cache.
+
+    Parameters
+    ----------
+    executor / cache / progress:
+        As before (see module docstring).
+    schedule:
+        ``"fifo"`` (default) dispatches pending tasks in submission
+        order; ``"cheapest"`` orders them by ascending estimated cost
+        from the cost model.  Purely an ordering knob — results are
+        returned in submission order and are bit-identical either way.
+    cost_model:
+        Explicit :class:`~repro.runtime.costmodel.TaskCostModel`.  When
+        omitted and a cache is configured, the model persisted in the
+        cache's ``_costs.json`` sidecar is used; observations are folded
+        in under every schedule (a FIFO campaign warms the model for a
+        later cheapest-first one).  Without cache or model, cheapest-first
+        degrades to submission order.
+    """
 
     def __init__(
         self,
         executor: Optional[Executor] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        schedule: str = SCHEDULE_FIFO,
+        cost_model: Optional[TaskCostModel] = None,
     ) -> None:
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; expected one of {SCHEDULES}"
+            )
         self.executor = executor or SerialExecutor()
         self.cache = cache
         self.progress = progress
+        self.schedule = schedule
+        if cost_model is None and cache is not None:
+            cost_model = TaskCostModel.for_cache(cache)
+        self.cost_model = cost_model
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[ExperimentTask]) -> List[ExperimentResult]:
@@ -84,24 +135,39 @@ class Campaign:
                 results[index] = cached
                 completed += 1
                 cache_hits += 1
-                self._emit(task, index, total, CACHE_HIT, completed, cache_hits)
+                self._emit(
+                    task, index, total, CACHE_HIT, completed, cache_hits, cached
+                )
             else:
                 pending_indices.append(index)
 
         if pending_indices:
+            dispatch_order = self._dispatch_order(tasks, pending_indices)
+
             def _on_result(batch_index: int, result: ExperimentResult) -> None:
                 nonlocal completed
-                index = pending_indices[batch_index]
+                index = dispatch_order[batch_index]
                 task = tasks[index]
                 results[index] = result
                 if self.cache is not None:
                     self.cache.put(task, result)
+                if self.cost_model is not None:
+                    self.cost_model.observe_task(task, result.wall_seconds)
                 completed += 1
-                self._emit(task, index, total, COMPLETED, completed, cache_hits)
+                self._emit(
+                    task, index, total, COMPLETED, completed, cache_hits, result
+                )
 
-            self.executor.run_tasks(
-                [tasks[index] for index in pending_indices], on_result=_on_result
-            )
+            try:
+                self.executor.run_tasks(
+                    [tasks[index] for index in dispatch_order],
+                    on_result=_on_result,
+                )
+            finally:
+                # Persist whatever was observed even when a task or the
+                # progress callback raised mid-batch.
+                if self.cost_model is not None:
+                    self.cost_model.save()
 
         return results  # type: ignore[return-value]
 
@@ -110,6 +176,18 @@ class Campaign:
         return self.run([task])[0]
 
     # ------------------------------------------------------------------
+    def _dispatch_order(
+        self, tasks: Sequence[ExperimentTask], pending_indices: List[int]
+    ) -> List[int]:
+        """Order the pending submission indices according to the schedule."""
+        if self.schedule != SCHEDULE_CHEAPEST or self.cost_model is None:
+            return pending_indices
+        pending_tasks = [tasks[index] for index in pending_indices]
+        return [
+            pending_indices[position]
+            for position in self.cost_model.cheapest_first(pending_tasks)
+        ]
+
     def _emit(
         self,
         task: ExperimentTask,
@@ -118,6 +196,7 @@ class Campaign:
         status: str,
         completed: int,
         cache_hits: int,
+        result: Optional[ExperimentResult],
     ) -> None:
         if self.progress is not None:
             self.progress(
@@ -128,6 +207,7 @@ class Campaign:
                     status=status,
                     completed=completed,
                     cache_hits=cache_hits,
+                    result=result,
                 )
             )
 
@@ -143,6 +223,7 @@ def sweep_tasks(
     algorithm: str = "dinic",
     keep_snapshots: bool = False,
     flow_jobs: int = 1,
+    adaptive_shards: bool = False,
 ) -> List[ExperimentTask]:
     """One task per override set applied to ``base`` (a parameter sweep)."""
     return [
@@ -153,6 +234,7 @@ def sweep_tasks(
             algorithm=algorithm,
             keep_snapshots=keep_snapshots,
             flow_jobs=flow_jobs,
+            adaptive_shards=adaptive_shards,
         )
         for changes in overrides
     ]
@@ -165,6 +247,7 @@ def replication_tasks(
     algorithm: str = "dinic",
     keep_snapshots: bool = False,
     flow_jobs: int = 1,
+    adaptive_shards: bool = False,
 ) -> List[ExperimentTask]:
     """One task per seed for the same scenario (multi-seed replication)."""
     return [
@@ -175,6 +258,7 @@ def replication_tasks(
             algorithm=algorithm,
             keep_snapshots=keep_snapshots,
             flow_jobs=flow_jobs,
+            adaptive_shards=adaptive_shards,
         )
         for seed in seeds
     ]

@@ -75,7 +75,16 @@ class _PoolSession(ExecutionSession):
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         futures = [self._pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # A failing call (or a worker initializer that broke the
+            # pool) must not leave the rest of the batch queued: cancel
+            # whatever has not started so the session can be closed (or
+            # reused, when the pool survived) immediately.
+            for future in futures:
+                future.cancel()
+            raise
 
     def close(self) -> None:
         """Shut down the pool if this session owns it (idempotent)."""
@@ -180,14 +189,24 @@ class ParallelExecutor(Executor):
                     pool.submit(execute_task, task): index
                     for index, task in enumerate(tasks)
                 }
-                while pending:
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index = pending.pop(future)
-                        result = future.result()
-                        results[index] = result
-                        if on_result is not None:
-                            on_result(index, result)
+                try:
+                    while pending:
+                        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            index = pending.pop(future)
+                            result = future.result()
+                            results[index] = result
+                            if on_result is not None:
+                                on_result(index, result)
+                except BaseException:
+                    # A failing task or a raising on_result callback ends
+                    # the batch: cancel everything not yet started so the
+                    # pool shutdown below only waits for the tasks that
+                    # are actually running, instead of silently executing
+                    # the rest of the batch first.
+                    for future in pending:
+                        future.cancel()
+                    raise
         return results  # type: ignore[return-value]
 
     @contextmanager
@@ -219,17 +238,23 @@ class ParallelExecutor(Executor):
         """Open a caller-owned pool session (see :meth:`Executor.open_session`).
 
         The exported package path stays in the environment until
-        ``close()`` because workers spawn lazily, on first submit.
+        ``close()`` because workers spawn lazily, on first submit.  If
+        pool construction itself fails, the stack unwinds immediately so
+        no environment mutation (or half-built pool) outlives the error.
         """
         stack = ExitStack()
-        stack.enter_context(_exported_package_path())
-        pool = stack.enter_context(
-            ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=initializer,
-                initargs=initargs,
+        try:
+            stack.enter_context(_exported_package_path())
+            pool = stack.enter_context(
+                ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=initializer,
+                    initargs=initargs,
+                )
             )
-        )
+        except BaseException:
+            stack.close()
+            raise
         return _PoolSession(pool, owned=stack)
 
 
@@ -237,9 +262,13 @@ def make_executor(jobs: Optional[int] = None) -> Executor:
     """Return the executor matching a ``--jobs`` value.
 
     ``None`` or ``1`` selects :class:`SerialExecutor`; anything larger a
-    :class:`ParallelExecutor` with that many workers.
+    :class:`ParallelExecutor` with that many workers.  Zero and negative
+    values are rejected — historically they silently degraded to serial
+    execution, which masked misconfigured callers.
     """
-    if jobs is None or jobs <= 1:
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs is None or jobs == 1:
         return SerialExecutor()
     return ParallelExecutor(jobs=jobs)
 

@@ -35,7 +35,11 @@ class ExperimentTask:
     is deliberately **excluded** from the fingerprint: the engine produces
     bit-identical statistics for any worker count, so two tasks differing
     only in ``flow_jobs`` are the same experiment and share one cache
-    entry.
+    entry.  ``adaptive_shards`` (cost-model-driven shard sizing and
+    tightness-ordered minimum passes, see
+    :mod:`repro.runtime.pairflow`) is excluded for the same reason:
+    scheduling changes only *when* flows run, never any recorded
+    statistic.
     """
 
     scenario: Scenario
@@ -44,6 +48,7 @@ class ExperimentTask:
     algorithm: str = "dinic"
     keep_snapshots: bool = False
     flow_jobs: int = 1
+    adaptive_shards: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -55,6 +60,7 @@ class ExperimentTask:
         algorithm: str = "dinic",
         keep_snapshots: bool = False,
         flow_jobs: int = 1,
+        adaptive_shards: bool = False,
     ) -> "ExperimentTask":
         """Build a task, resolving a profile name to its definition."""
         resolved = get_profile(profile) if isinstance(profile, str) else profile
@@ -65,6 +71,7 @@ class ExperimentTask:
             algorithm=algorithm,
             keep_snapshots=keep_snapshots,
             flow_jobs=int(flow_jobs),
+            adaptive_shards=bool(adaptive_shards),
         )
 
     # ------------------------------------------------------------------
@@ -72,8 +79,9 @@ class ExperimentTask:
         """Return the canonical JSON-serialisable identity of this task.
 
         Every field that influences the result is included (``flow_jobs``
-        is not — see the class docstring); two tasks are interchangeable
-        exactly when their fingerprints are equal.
+        and ``adaptive_shards`` are not — see the class docstring); two
+        tasks are interchangeable exactly when their fingerprints are
+        equal.
         """
         return {
             "format": TASK_FORMAT_VERSION,
@@ -112,6 +120,7 @@ class ExperimentTask:
             keep_snapshots=self.keep_snapshots,
             algorithm=self.algorithm,
             flow_jobs=self.flow_jobs,
+            adaptive_shards=self.adaptive_shards,
         )
         return runner.run(self.scenario)
 

@@ -20,6 +20,8 @@ either fix it, or (for an intentional semantic change) re-baseline the
 constants AND invalidate the persistent result cache in the same PR.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.persistence import trajectory_digest
@@ -27,6 +29,11 @@ from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import get_scenario
 
 SEED = 42
+
+#: CI sets REPRO_ADAPTIVE_SHARDS=1 to re-run this whole suite with the
+#: cost-aware pair-flow scheduling enabled: every golden digest below must
+#: hold with it on or off (the scheduler's order-invariance guarantee).
+ADAPTIVE_SHARDS = os.environ.get("REPRO_ADAPTIVE_SHARDS", "") == "1"
 
 #: (profile, scenario) -> digest of the pre-rewrite implementation.
 GOLDEN_DIGESTS = {
@@ -46,9 +53,15 @@ GOLDEN_EVENTS = {
 }
 
 
-def run_result(profile: str, scenario: str, flow_jobs: int = 1):
+def run_result(
+    profile: str,
+    scenario: str,
+    flow_jobs: int = 1,
+    adaptive_shards: bool = ADAPTIVE_SHARDS,
+):
     runner = ExperimentRunner(
-        profile=profile, seed=SEED, keep_snapshots=True, flow_jobs=flow_jobs
+        profile=profile, seed=SEED, keep_snapshots=True, flow_jobs=flow_jobs,
+        adaptive_shards=adaptive_shards,
     )
     return runner.run(get_scenario(scenario))
 
@@ -66,6 +79,53 @@ class TestTrajectoryDigests:
         # worker pool.
         result = run_result("tiny", "E", flow_jobs=2)
         assert trajectory_digest(result) == GOLDEN_DIGESTS[("tiny", "E")]
+
+    def test_adaptive_shards_digest_matches_canonical(self):
+        # --adaptive-shards reorders the minimum pass and resizes dispatch
+        # shards from observed costs; the trajectory (snapshots included)
+        # must not move by a single bit, serial or pooled.
+        result = run_result("tiny", "E", adaptive_shards=True)
+        assert trajectory_digest(result) == GOLDEN_DIGESTS[("tiny", "E")]
+        result = run_result("tiny", "E", flow_jobs=2, adaptive_shards=True)
+        assert trajectory_digest(result) == GOLDEN_DIGESTS[("tiny", "E")]
+
+
+class TestSchedulingOrderInvariance:
+    """--schedule cheapest + --adaptive-shards may change only *when* a
+    task runs, never its digest — gated on every push by CI."""
+
+    def test_cheapest_campaign_reproduces_golden_digests(self, tmp_path):
+        from repro.runtime import (
+            SCHEDULE_CHEAPEST,
+            Campaign,
+            ExperimentTask,
+            ResultCache,
+            TaskCostModel,
+        )
+
+        tasks = [
+            ExperimentTask.create(
+                scenario=get_scenario(scenario), profile=profile, seed=SEED,
+                keep_snapshots=True, adaptive_shards=True,
+            )
+            for profile, scenario in (("tiny", "E"), ("tiny", "A"))
+        ]
+        # Prime the model so "cheapest" really reorders: the expensive
+        # task (E, submitted first) must be dispatched after A.
+        model = TaskCostModel()
+        model.observe_task(tasks[0], 60.0)
+        model.observe_task(tasks[1], 1.0)
+        events = []
+        campaign = Campaign(
+            cache=ResultCache(tmp_path / "cache"),
+            progress=events.append,
+            schedule=SCHEDULE_CHEAPEST,
+            cost_model=model,
+        )
+        results = campaign.run(tasks)
+        assert [event.index for event in events] == [1, 0]  # reordered
+        assert trajectory_digest(results[0]) == GOLDEN_DIGESTS[("tiny", "E")]
+        assert trajectory_digest(results[1]) == GOLDEN_DIGESTS[("tiny", "A")]
 
 
 class TestEventAccounting:

@@ -185,3 +185,80 @@ class TestSizeCapEviction:
     def test_negative_cap_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             ResultCache(tmp_path / "cache", max_bytes=-1)
+
+
+class TestTouchSemantics:
+    def test_prescanned_hits_survive_eviction(self, result, tmp_path):
+        """contains() refreshes recency exactly like get().
+
+        A campaign pre-scan answers "is this cached?" with contains() and
+        reads the entry later; if the probe did not count as a use, a
+        size-cap prune between scan and read could evict the very entry
+        the scan just promised, ahead of colder ones.
+        """
+        import os
+
+        tasks = distinct_tasks(3)
+        cache = ResultCache(tmp_path / "cache")
+        paths = [cache.put(t, result) for t in tasks]
+        # Make recency explicit (mtime granularity): tasks[0] is the
+        # coldest on disk, then promoted by the pre-scan probe, leaving
+        # tasks[1] as the true LRU entry.
+        for age, path in enumerate(paths):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        assert cache.contains(tasks[0])
+        entry_bytes = paths[0].stat().st_size
+        assert cache.prune(max_bytes=2 * entry_bytes) == 1
+        assert cache.get(tasks[0]) is not None  # the promised entry survived
+        assert not cache.contains(tasks[1])     # the colder entry went
+        assert cache.contains(tasks[2])
+
+    def test_contains_still_false_for_missing_entry(self, task, tmp_path):
+        assert not ResultCache(tmp_path / "cache").contains(task)
+
+
+class TestOversizedStores:
+    def test_oversized_put_is_surfaced_and_drops_only_itself(
+        self, task, result, tmp_path
+    ):
+        """A store larger than the cap warns and never displaces entries.
+
+        Historically the oversized entry went through the LRU prune as
+        the newest file, which first evicted every *older* entry and then
+        the new one — one oversized store silently emptied the cache and
+        still looked like a success.
+        """
+        import dataclasses
+
+        small_result = dataclasses.replace(result, snapshots=[])
+        small_tasks = distinct_tasks(2)
+        probe = ResultCache(tmp_path / "probe")
+        small_bytes = probe.put(small_tasks[0], small_result).stat().st_size
+        big_bytes = probe.put(task, result).stat().st_size
+
+        cap = 2 * small_bytes + 2
+        assert big_bytes > cap, "snapshot-bearing entry must exceed the cap"
+        cache = ResultCache(tmp_path / "cache", max_bytes=cap)
+        for t in small_tasks:
+            cache.put(t, small_result)
+        with pytest.warns(RuntimeWarning, match="larger than the cache cap"):
+            dropped_path = cache.put(task, result)
+        assert not dropped_path.exists()
+        assert cache.stats.stores_dropped == 1
+        assert cache.stats.stores == 2  # the dropped store is not a store
+        assert cache.stats.evictions == 0
+        # The pre-existing entries are untouched and the counter persists.
+        for t in small_tasks:
+            assert cache.contains(t)
+        assert cache.info().stores_dropped == 1
+        assert ResultCache(tmp_path / "cache").info().stores_dropped == 1
+
+    def test_first_store_into_tiny_cap_is_dropped_with_warning(
+        self, task, result, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache", max_bytes=64)
+        with pytest.warns(RuntimeWarning):
+            cache.put(task, result)
+        assert cache.info().entries == 0
+        assert cache.stats.stores_dropped == 1
+        assert cache.get(task) is None  # and a later lookup is an honest miss

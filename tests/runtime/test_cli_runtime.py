@@ -55,6 +55,117 @@ class TestSweepAcceptance:
         assert "entries:         0" in info_out
 
 
+class TestScheduleAcceptance:
+    def test_cheapest_adaptive_output_identical_to_fifo(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        fifo_out, _ = run_cli(
+            capsys, SWEEP_ARGV + ["--cache-dir", cache_dir, "--schedule", "fifo"]
+        )
+        # The first run warmed the _costs.json sidecar; re-running with
+        # cost-aware scheduling must change stdout by not a single byte
+        # (here everything is even a cache hit — and a cold cache in a
+        # fresh directory gives the same stdout too).
+        cheap_out, cheap_err = run_cli(
+            capsys,
+            SWEEP_ARGV + [
+                "--cache-dir", cache_dir,
+                "--schedule", "cheapest", "--adaptive-shards",
+            ],
+        )
+        assert cheap_out == fifo_out
+        assert "2 hits, 0 misses" in cheap_err
+        fresh_dir = str(tmp_path / "fresh")
+        fresh_out, _ = run_cli(
+            capsys,
+            SWEEP_ARGV + [
+                "--cache-dir", fresh_dir,
+                "--schedule", "cheapest", "--adaptive-shards",
+            ],
+        )
+        assert fresh_out == fifo_out
+        assert (tmp_path / "cache" / "_costs.json").exists()
+
+    def test_rejects_unknown_schedule(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(SWEEP_ARGV + ["--schedule", "fastest"])
+        assert excinfo.value.code == 2
+
+    def test_cheapest_without_cache_dir_warns(self, capsys):
+        # No cost model without a cache: the flag silently doing nothing
+        # would let users believe they measured cheapest-first scheduling.
+        _, err = run_cli(capsys, SWEEP_ARGV + ["--schedule", "cheapest"])
+        assert "--schedule cheapest needs --cache-dir" in err
+
+    def test_fifo_without_cache_dir_does_not_warn(self, capsys):
+        _, err = run_cli(capsys, SWEEP_ARGV)
+        assert "needs --cache-dir" not in err
+
+
+class TestWorkerCountValidation:
+    @pytest.mark.parametrize("flag", ["--jobs", "--flow-jobs"])
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_non_positive_worker_counts_rejected(self, capsys, flag, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E", "--profile", "tiny", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+        assert "Traceback" not in err
+
+    def test_non_integer_worker_count_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E", "--profile", "tiny", "--jobs", "many"])
+        assert excinfo.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+
+class TestCachePruneMessages:
+    def _populate(self, capsys, cache_dir):
+        run_cli(capsys, SWEEP_ARGV + ["--cache-dir", cache_dir])
+
+    def test_prune_without_cap_is_an_actionable_error(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "prune", "--cache-dir", cache_dir])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no size cap" in err
+        assert "--max-bytes" in err
+
+    def test_prune_missing_directory_is_an_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "prune", "--cache-dir", str(tmp_path / "nope"),
+                  "--max-bytes", "1000"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_prune_within_cap_says_nothing_evicted(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        out, _ = run_cli(
+            capsys,
+            ["cache", "prune", "--cache-dir", cache_dir,
+             "--max-bytes", "999999999"],
+        )
+        assert "nothing evicted" in out
+        assert "already fits the cap" in out
+
+    def test_prune_reports_evictions(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        out, _ = run_cli(
+            capsys, ["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "0"]
+        )
+        assert "evicted 2 least-recently-used entries" in out
+
+    def test_cache_info_reports_dropped_stores(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        info_out, _ = run_cli(capsys, ["cache", "info", "--cache-dir", cache_dir])
+        assert "stores dropped:  0" in info_out
+
+
 class TestRunCommandCache:
     def test_run_uses_cache(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")

@@ -1,16 +1,21 @@
 """Executor equivalence and campaign driver tests."""
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.experiments.replication import replicate_scenario
 from repro.experiments.scenarios import get_scenario
 from repro.experiments.sweep import run_bucket_size_sweep
 from repro.runtime import (
+    SCHEDULE_CHEAPEST,
     Campaign,
     ExperimentTask,
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
+    TaskCostModel,
     make_executor,
 )
 
@@ -54,6 +59,13 @@ class TestExecutors:
         with pytest.raises(ValueError):
             ParallelExecutor(jobs=0)
 
+    def test_make_executor_rejects_non_positive_jobs(self):
+        # Historically 0 / negative silently degraded to serial execution.
+        with pytest.raises(ValueError):
+            make_executor(0)
+        with pytest.raises(ValueError):
+            make_executor(-3)
+
     def test_parallel_matches_serial(self):
         """Same seeds through both executors -> identical time series."""
         tasks = tiny_tasks()
@@ -71,6 +83,71 @@ class TestExecutors:
         tasks = tiny_tasks()
         SerialExecutor().run_tasks(tasks, on_result=lambda i, r: seen.append(i))
         assert sorted(seen) == list(range(len(tasks)))
+
+
+def _failing_shard(_item):
+    raise RuntimeError("shard failed")
+
+
+def _failing_initializer():
+    raise RuntimeError("initializer failed")
+
+
+class TestSessionLifecycle:
+    """A failing shard or worker initializer must not leak the pinned pool."""
+
+    @staticmethod
+    def _live_children():
+        return {p.pid for p in multiprocessing.active_children() if p.is_alive()}
+
+    def test_failing_shard_leaves_no_live_workers(self):
+        before = self._live_children()
+        original_pythonpath = os.environ.get("PYTHONPATH")
+        session = ParallelExecutor(jobs=2).open_session()
+        try:
+            with pytest.raises(RuntimeError, match="shard failed"):
+                session.map(_failing_shard, [1, 2, 3, 4])
+        finally:
+            session.close()
+        assert self._live_children() <= before
+        assert os.environ.get("PYTHONPATH") == original_pythonpath
+
+    def test_failing_initializer_leaves_no_live_workers(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        before = self._live_children()
+        original_pythonpath = os.environ.get("PYTHONPATH")
+        session = ParallelExecutor(jobs=2).open_session(
+            initializer=_failing_initializer
+        )
+        try:
+            with pytest.raises(BrokenProcessPool):
+                session.map(str, [1, 2])
+        finally:
+            session.close()
+        assert self._live_children() <= before
+        assert os.environ.get("PYTHONPATH") == original_pythonpath
+
+    def test_close_is_idempotent(self):
+        session = ParallelExecutor(jobs=2).open_session()
+        assert session.map(str, [1]) == ["1"]
+        session.close()
+        session.close()
+
+    def test_failing_shard_through_engine_releases_owned_session(self):
+        # The engine opens (and must close) its own session per evaluate
+        # call when none is pinned; a worker exception must not leak it.
+        from repro.graph.generators import circulant_graph
+        from repro.runtime.pairflow import PairFlowEngine
+
+        before = self._live_children()
+        engine = PairFlowEngine(
+            circulant_graph(8, [1, 2]), flow_jobs=2, algorithm="dinic"
+        )
+        engine.algorithm = "does-not-exist"  # workers fail resolving it
+        with pytest.raises(Exception):
+            engine.evaluate([(0, 4), (1, 5)])
+        assert self._live_children() <= before
 
 
 class TestCampaign:
@@ -101,6 +178,123 @@ class TestCampaign:
         assert [r.scenario.bucket_size for r in results] == [3, 5, 8]
         fresh = Campaign().run(tasks)
         assert series_of(results) == series_of(fresh)
+
+
+class TestProgressAccounting:
+    """Campaign._emit bookkeeping under mixed batches and failing callbacks."""
+
+    def test_mixed_hit_miss_batch_counts_stay_consistent(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8, 10))
+        Campaign(cache=cache).run(tasks[:2])  # warm two of four entries
+
+        events = []
+        results = Campaign(cache=cache, progress=events.append).run(tasks)
+        assert len(events) == len(tasks)
+        # completed increments by exactly one per event and every event
+        # carries the result of the task it reports.
+        assert [event.completed for event in events] == [1, 2, 3, 4]
+        assert all(event.total == len(tasks) for event in events)
+        for event in events:
+            assert event.result is results[event.index]
+        # Hits are reported first (pre-scan order) and the hit counter
+        # matches the number of hit events seen so far, then freezes.
+        assert [event.status for event in events] == [
+            "hit", "hit", "completed", "completed",
+        ]
+        assert [event.cache_hits for event in events] == [1, 2, 2, 2]
+        # Every task is reported exactly once.
+        assert sorted(event.index for event in events) == [0, 1, 2, 3]
+
+    def test_raising_callback_does_not_half_report_the_batch(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8))
+        seen = []
+
+        def explode_on_second(event):
+            seen.append(event)
+            if len(seen) == 2:
+                raise RuntimeError("observer failed")
+
+        campaign = Campaign(cache=cache, progress=explode_on_second)
+        with pytest.raises(RuntimeError, match="observer failed"):
+            campaign.run(tasks)
+
+        # The batch aborted cleanly after the failing event: the two
+        # reported tasks were completed, cached *before* their events
+        # fired, and reported exactly once; the third never ran.
+        assert [event.completed for event in seen] == [1, 2]
+        assert [event.index for event in seen] == [0, 1]
+        assert cache.contains(tasks[0]) and cache.contains(tasks[1])
+        assert not cache.contains(tasks[2])
+
+        # A re-run resumes from the cache without re-reporting the
+        # finished work as fresh completions.
+        events = []
+        results = Campaign(cache=cache, progress=events.append).run(tasks)
+        assert [event.status for event in events] == [
+            "hit", "hit", "completed",
+        ]
+        assert [event.completed for event in events] == [1, 2, 3]
+        assert series_of(results) == series_of(Campaign().run(tasks))
+
+    def test_raising_callback_on_cache_hit_loses_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = tiny_tasks(bucket_sizes=(3, 5))
+        Campaign(cache=cache).run(tasks)
+
+        def explode(event):
+            raise RuntimeError("observer failed")
+
+        with pytest.raises(RuntimeError):
+            Campaign(cache=cache, progress=explode).run(tasks)
+        # The entries the pre-scan already verified are still cached.
+        assert cache.contains(tasks[0]) and cache.contains(tasks[1])
+
+
+class TestCheapestSchedule:
+    def test_dispatch_order_is_cheapest_first_but_results_are_not(self, tmp_path):
+        base = get_scenario("E")
+        expensive = ExperimentTask.create(
+            scenario=get_scenario("K"), profile="tiny", seed=11
+        )
+        cheap = ExperimentTask.create(
+            scenario=base.with_overrides(bucket_size=3), profile="tiny", seed=11
+        )
+        model = TaskCostModel()
+        model.observe_task(expensive, 30.0)
+        model.observe_task(cheap, 0.5)
+
+        events = []
+        campaign = Campaign(
+            progress=events.append,
+            schedule=SCHEDULE_CHEAPEST,
+            cost_model=model,
+        )
+        results = campaign.run([expensive, cheap])  # expensive submitted first
+        # The cheap task ran (and streamed) first ...
+        assert [event.index for event in events] == [1, 0]
+        # ... but results stay in submission order, bit-identical to FIFO.
+        assert [r.scenario.name for r in results] == ["K", "E[bucket_size=3]"]
+        fifo = Campaign().run([expensive, cheap])
+        assert series_of(results) == series_of(fifo)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            Campaign(schedule="fastest")
+
+    def test_cost_model_sidecar_warms_across_campaigns(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = tiny_tasks(bucket_sizes=(3, 5))
+        Campaign(cache=cache).run(tasks)  # FIFO run observes costs
+        model = TaskCostModel.for_cache(cache)
+        assert model.estimate_task(tasks[0]) is not None
+
+    def test_cheapest_without_model_degrades_to_fifo(self):
+        events = []
+        tasks = tiny_tasks()
+        Campaign(progress=events.append, schedule=SCHEDULE_CHEAPEST).run(tasks)
+        assert [event.index for event in events] == list(range(len(tasks)))
 
 
 class TestRewiredSweeps:
