@@ -1,0 +1,119 @@
+"""Perf regression gates over the committed benchmark trend lines.
+
+Compares freshly generated ``benchmarks/output/BENCH_*.json`` documents
+against the versions committed at a git ref (default ``HEAD``) and fails
+when a gated metric dropped more than the allowed fraction.  This is the
+single entry point CI invokes instead of per-gate inline heredocs, so
+adding a gate means adding one entry to :data:`GATES`.
+
+Gates:
+
+``simulator``
+    Simulation events/sec (smoke profile, scenario E) — the event-loop
+    fast path.
+``connectivity``
+    Minimum-pass engine-vs-baseline speedup (the 4-worker batched
+    pair-flow engine over the per-pair serial baseline) — the snapshot
+    connectivity fast path.  A ratio of two numbers measured in the same
+    process, so host-speed variance largely cancels.
+
+Usage::
+
+    python benchmarks/check_regression.py simulator connectivity
+    python benchmarks/check_regression.py --ref HEAD~1 --threshold 0.75 simulator
+
+The committed baselines were measured on the maintainer container;
+GitHub's hosted runners are comparable or faster, so a >20% drop signals
+a code regression rather than hardware variance.  If the runner fleet
+changes, re-baseline the committed JSON rather than loosening the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def _simulator_metric(document: dict) -> float:
+    return float(document["events_per_sec"]["events_per_sec"])
+
+
+def _connectivity_metric(document: dict) -> float:
+    return float(document["headline"]["speedup"])
+
+
+#: gate name -> (benchmark JSON file, metric extractor, metric description)
+GATES = {
+    "simulator": (
+        "BENCH_simulator.json",
+        _simulator_metric,
+        "simulation events/sec",
+    ),
+    "connectivity": (
+        "BENCH_connectivity.json",
+        _connectivity_metric,
+        "minimum-pass engine-vs-baseline speedup",
+    ),
+}
+
+
+def committed_document(ref: str, filename: str) -> dict:
+    """Load ``benchmarks/output/<filename>`` as committed at ``ref``."""
+    blob = subprocess.run(
+        ["git", "show", f"{ref}:benchmarks/output/{filename}"],
+        check=True,
+        capture_output=True,
+        cwd=Path(__file__).resolve().parent.parent,
+    ).stdout
+    return json.loads(blob)
+
+
+def check_gate(name: str, ref: str, threshold: float) -> bool:
+    """Return whether gate ``name`` passes; print a one-line verdict."""
+    filename, metric, description = GATES[name]
+    reference = metric(committed_document(ref, filename))
+    fresh_path = OUTPUT_DIR / filename
+    measured = metric(json.loads(fresh_path.read_text(encoding="utf-8")))
+    floor = threshold * reference
+    verdict = "ok" if measured >= floor else "REGRESSED"
+    print(
+        f"[{name}] {description}: committed={reference} measured={measured} "
+        f"floor={floor:.3f} -> {verdict}"
+    )
+    return measured >= floor
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "gates", nargs="+", choices=sorted(GATES),
+        help="which trend lines to check",
+    )
+    parser.add_argument(
+        "--ref", default="HEAD",
+        help="git ref holding the committed baselines (default: HEAD)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.8,
+        help="allowed fraction of the committed metric (default: 0.8, "
+        "i.e. fail on a >20%% drop)",
+    )
+    args = parser.parse_args(argv)
+    failed = [
+        name
+        for name in args.gates
+        if not check_gate(name, args.ref, args.threshold)
+    ]
+    if failed:
+        print(f"perf regression gates failed: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

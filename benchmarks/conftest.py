@@ -81,6 +81,14 @@ class ScenarioCache:
             self._results[key] = self.campaign.run_one(task)
         return self._results[key]
 
+    def close(self) -> None:
+        """Release the campaign's persistent worker session, if any.
+
+        Relevant when ``REPRO_CAMPAIGN_BATCH`` enables batching: the
+        campaign then owns a pinned worker pool for its whole lifetime.
+        """
+        self.campaign.close()
+
     def analyzer(self):
         """A fresh connectivity analyzer configured like the benchmark runs."""
         return ExperimentRunner(
@@ -89,9 +97,11 @@ class ScenarioCache:
 
 
 @pytest.fixture(scope="session")
-def scenario_cache() -> ScenarioCache:
+def scenario_cache():
     """Session-scoped cache of scenario runs shared by all benchmarks."""
-    return ScenarioCache()
+    cache = ScenarioCache()
+    yield cache
+    cache.close()
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,6 @@ connectivity stays near k and rises far more slowly.
 from benchmarks.conftest import benchmark_final_snapshot_analysis, write_artefact
 from repro.experiments.report import format_figure
 from repro.experiments.scenarios import get_scenario
-from repro.experiments.sweep import run_loss_sweep
 
 LOSS_LEVELS = ("low", "medium", "high")
 

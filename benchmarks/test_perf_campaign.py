@@ -1,0 +1,242 @@
+"""Perf trajectory benchmark for the campaign execution backend.
+
+Measures **tasks/sec of a smoke-profile sweep** — the paper's production
+workload is sweep throughput, not single-run speed — and writes
+``benchmarks/output/BENCH_campaign.json`` so future scaling PRs have a
+trend line for the experiment-dispatch layer, like
+``BENCH_connectivity.json`` does for the pair-flow hot path and
+``BENCH_simulator.json`` for the event loop.
+
+Three configurations over the same sweep (a bucket-size sweep of
+scenario A on the ``smoke`` profile):
+
+``serial_inprocess``
+    :class:`SerialExecutor`: every task in the calling process.  The
+    floor any dispatch overhead is measured against.
+
+``per_task_pools``
+    The pre-batching dispatch shape: one ``Campaign.run_one`` call per
+    task against a 4-worker :class:`ParallelExecutor` — exactly how the
+    benchmark harness's ``ScenarioCache`` drove its simulations — which
+    creates (and tears down) a worker pool *per task*, so every task
+    pays interpreter start-up and ``repro`` imports again.
+
+``persistent_batched``
+    The persistent-worker backend: one ``Campaign(batch="auto")`` whose
+    :class:`TaskSession` pins a single 4-worker pool for the whole
+    sweep and packs tasks into near-equal-cost worker batches.  The
+    pool spin-up *is* included in the timing — it is paid once.
+
+All parallel configurations use the ``spawn`` start method, for two
+reasons: it is the portable production default (the only method on
+Windows, the default on macOS, and the direction CPython is moving on
+Linux — ``fork`` is unsafe once threads exist), and it is the regime the
+ROADMAP item targets ("batch several independent simulations per worker
+process — amortise interpreter startup in sweeps").  Under ``fork``
+workers inherit the parent's imported modules nearly for free, so the
+same comparison narrows to pool-construction and per-task IPC overhead;
+a ``fork`` section is recorded alongside for honesty.  The start method,
+like batching itself, is identity-free: the configurations must agree on
+every trajectory digest (asserted below).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List
+
+from benchmarks.conftest import BENCH_SEED, write_artefact
+from repro.experiments.persistence import trajectory_digest
+from repro.experiments.scenarios import get_scenario
+from repro.runtime import (
+    BATCH_OFF,
+    Campaign,
+    ExperimentTask,
+    ParallelExecutor,
+    SerialExecutor,
+)
+
+#: Swept bucket sizes: 20 smoke-profile tasks — enough that the one-time
+#: pool spin-up of the persistent configuration amortises out (it is
+#: included in its timing) while the whole benchmark stays under ~20s.
+SWEEP_BUCKET_SIZES = (
+    2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 16, 18, 20, 24, 28, 32, 36, 40,
+)
+#: Worker count of the pooled configurations (the ISSUE's reference run).
+PARALLEL_JOBS = 4
+#: Start method of the headline comparison (see module docstring).
+START_METHOD = "spawn"
+
+
+def sweep_tasks() -> List[ExperimentTask]:
+    base = get_scenario("A")
+    return [
+        ExperimentTask.create(
+            scenario=base.with_overrides(bucket_size=k),
+            profile="smoke",
+            seed=BENCH_SEED,
+        )
+        for k in SWEEP_BUCKET_SIZES
+    ]
+
+
+def _timed(fn) -> Dict[str, object]:
+    started = time.perf_counter()
+    results = fn()
+    elapsed = time.perf_counter() - started
+    return {
+        "results": results,
+        "seconds": round(elapsed, 6),
+        "tasks_per_sec": round(len(results) / elapsed, 3),
+    }
+
+
+def run_serial(tasks: List[ExperimentTask]) -> Dict[str, object]:
+    # batch=BATCH_OFF pins the pre-batching dispatch path: the baseline
+    # configurations must stay per-task even under REPRO_CAMPAIGN_BATCH
+    # (otherwise the headline would compare the new backend to itself).
+    campaign = Campaign(executor=SerialExecutor(), batch=BATCH_OFF)
+    return _timed(lambda: campaign.run(tasks))
+
+
+def run_per_task_pools(
+    tasks: List[ExperimentTask], start_method: str
+) -> Dict[str, object]:
+    campaign = Campaign(
+        executor=ParallelExecutor(
+            jobs=PARALLEL_JOBS, start_method=start_method
+        ),
+        batch=BATCH_OFF,
+    )
+    return _timed(lambda: [campaign.run_one(task) for task in tasks])
+
+
+def run_persistent_batched(
+    tasks: List[ExperimentTask], start_method: str
+) -> Dict[str, object]:
+    def run() -> List:
+        with Campaign(
+            executor=ParallelExecutor(
+                jobs=PARALLEL_JOBS, start_method=start_method
+            ),
+            batch="auto",
+        ) as campaign:
+            return campaign.run(tasks)
+
+    return _timed(run)
+
+
+def _strip_results(record: Dict[str, object]) -> Dict[str, object]:
+    return {key: value for key, value in record.items() if key != "results"}
+
+
+def test_perf_campaign_trajectory(output_dir):
+    tasks = sweep_tasks()
+
+    serial = run_serial(tasks)
+    reference_digests = [
+        trajectory_digest(result) for result in serial["results"]
+    ]
+
+    configs: Dict[str, Dict[str, object]] = {"serial_inprocess": serial}
+    fork_section: Dict[str, Dict[str, object]] = {}
+    for method, section in ((START_METHOD, configs), ("fork", fork_section)):
+        section[f"per_task_pools{PARALLEL_JOBS}"] = run_per_task_pools(
+            tasks, method
+        )
+        section[f"persistent_batched{PARALLEL_JOBS}"] = run_persistent_batched(
+            tasks, method
+        )
+
+    # Batching, pooling and the start method are identity-free: every
+    # configuration must reproduce the serial trajectories bit for bit,
+    # in submission order.
+    for section in (configs, fork_section):
+        for name, record in section.items():
+            digests = [
+                trajectory_digest(result) for result in record["results"]
+            ]
+            assert digests == reference_digests, f"{name} diverged"
+
+    per_task_key = f"per_task_pools{PARALLEL_JOBS}"
+    batched_key = f"persistent_batched{PARALLEL_JOBS}"
+
+    def speedup(section, config, reference):
+        return round(
+            section[config]["tasks_per_sec"]
+            / section[reference]["tasks_per_sec"],
+            3,
+        )
+
+    headline = speedup(configs, batched_key, per_task_key)
+    document = {
+        "schema": 1,
+        "created_unix": round(time.time(), 3),
+        "sweep": {
+            "scenario": "A",
+            "profile": "smoke",
+            "seed": BENCH_SEED,
+            "bucket_sizes": list(SWEEP_BUCKET_SIZES),
+            "tasks": len(tasks),
+        },
+        "parallel_jobs": PARALLEL_JOBS,
+        "start_method": START_METHOD,
+        "configs": {
+            name: _strip_results(record) for name, record in configs.items()
+        },
+        "fork_configs": {
+            name: _strip_results(record)
+            for name, record in fork_section.items()
+        },
+        "speedups": {
+            f"{batched_key}_vs_{per_task_key}": headline,
+            f"{batched_key}_vs_serial": speedup(
+                configs, batched_key, "serial_inprocess"
+            ),
+            f"{batched_key}_vs_{per_task_key}_fork": round(
+                fork_section[batched_key]["tasks_per_sec"]
+                / fork_section[per_task_key]["tasks_per_sec"],
+                3,
+            ),
+        },
+        "headline": {
+            "description": (
+                f"tasks/sec of a {len(tasks)}-task smoke sweep, persistent "
+                f"batched {PARALLEL_JOBS}-worker pool vs per-task pools "
+                f"({START_METHOD} start method)"
+            ),
+            "speedup": headline,
+        },
+        "results_bit_identical": True,
+    }
+
+    path = output_dir / "BENCH_campaign.json"
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    lines = [f"{'config':<24} {'seconds':>10} {'tasks/sec':>10}"]
+    for name, record in configs.items():
+        lines.append(
+            f"{name:<24} {record['seconds']:>10} {record['tasks_per_sec']:>10}"
+        )
+    for name, record in fork_section.items():
+        lines.append(
+            f"{name + ' (fork)':<24} {record['seconds']:>10} "
+            f"{record['tasks_per_sec']:>10}"
+        )
+    lines.append(
+        f"headline speedup ({batched_key} vs {per_task_key}, "
+        f"{START_METHOD}): {headline}x"
+    )
+    write_artefact(output_dir, "BENCH_campaign.txt", "\n".join(lines))
+
+    # Tripwire, not the headline: the committed JSON records the real
+    # ratio (>= 1.5x on the maintainer container, more on multi-core
+    # hosts where the persistent pool adds true parallelism).  The
+    # in-test floor is looser because single-shot wall-clock ratios on a
+    # loaded shared host jitter by tens of percent — like the
+    # connectivity benchmark, the trend line is the record and the
+    # assert only catches the backend losing its advantage outright.
+    assert headline >= 1.2, (
+        f"persistent batched pool only {headline}x over per-task pools"
+    )

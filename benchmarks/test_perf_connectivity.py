@@ -322,12 +322,12 @@ def test_perf_scheduler_time_to_first_figure(output_dir, tmp_path):
                 first_result_at = time.perf_counter() - started
             completion_order.append(event.task.scenario.name)
 
-        campaign = Campaign(
+        with Campaign(
             progress=progress,
             schedule=schedule,
             cost_model=TaskCostModel(sidecar),
-        )
-        results = campaign.run(tasks)
+        ) as campaign:
+            results = campaign.run(tasks)
         total = time.perf_counter() - started
         return {
             "results": results,

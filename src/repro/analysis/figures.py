@@ -8,7 +8,7 @@ shape of each curve can be eyeballed directly from the benchmark output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 
 def render_series_table(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Hashable, List, Optional, Sequence
+from typing import Callable, Hashable, List
 
 from repro.core.vertex_connectivity import (
     lowest_in_degree_vertices,

@@ -60,8 +60,24 @@ from repro.graph.io.dimacs import write_dimacs
 from repro.graph.transform.even_transform import even_transform
 from repro.analysis.figures import render_series_table
 from repro.runtime.cache import ResultCache
-from repro.runtime.campaign import Campaign, sweep_tasks
+from repro.runtime.campaign import Campaign, resolve_batch, sweep_tasks
 from repro.runtime.executor import make_executor
+
+
+def _batch_value(text: str):
+    """argparse type for ``--batch``: ``auto``, ``off``, or an int >= 1.
+
+    One grammar for the knob: validation delegates to
+    :func:`repro.runtime.campaign.resolve_batch`.  An off-meaning value
+    is returned as the explicit ``"off"`` string (not ``None``) so it
+    forces per-task dispatch even when the ``REPRO_CAMPAIGN_BATCH``
+    environment default is set.
+    """
+    try:
+        resolved = resolve_batch(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return "off" if resolved is None else resolved
 
 
 def _positive_int(text: str) -> int:
@@ -130,6 +146,17 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
             "cost-aware pair-flow scheduling inside each task (adaptive "
             "shard sizing, tightness-ordered minimum passes; "
             "bit-identical output)"
+        ),
+    )
+    parser.add_argument(
+        "--batch", type=_batch_value, default=None, metavar="{auto,N,off}",
+        help=(
+            "run several tasks per warm worker call through one "
+            "persistent pool: 'auto' packs near-equal-cost batches "
+            "(sized by the _costs.json cost model, a few per --jobs "
+            "worker), an integer packs fixed-size chunks, 'off' forces "
+            "per-task dispatch; defaults to $REPRO_CAMPAIGN_BATCH, off "
+            "otherwise (bit-identical output either way)"
         ),
     )
     parser.add_argument(
@@ -225,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
         progress=_make_progress(args),
         schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+        batch=args.batch,
     )
     _report_cache_stats(cache)
     print(format_summaries([result]))
@@ -250,6 +278,7 @@ def _cmd_sweep_k(args: argparse.Namespace) -> int:
         jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
         progress=_make_progress(args),
         schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+        batch=args.batch,
     )
     _report_cache_stats(cache)
     print(format_figure(results, f"Scenario {scenario.name}: bucket-size sweep"))
@@ -276,11 +305,12 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             adaptive_shards=args.adaptive_shards,
         )
     ]
-    campaign = Campaign(
+    with Campaign(
         executor=make_executor(args.jobs), cache=cache,
         progress=_make_progress(args), schedule=args.schedule,
-    )
-    results = campaign.run(tasks)
+        batch=args.batch,
+    ) as campaign:
+        results = campaign.run(tasks)
     _report_cache_stats(cache)
     print(format_table2(results))
     return 0

@@ -250,7 +250,6 @@ class ConnectivityAnalyzer:
         """Analyze an already-built connectivity graph."""
         started = wallclock.perf_counter()
         n = graph.number_of_vertices()
-        m = graph.number_of_edges()
         disconnected = disconnected_vertices(graph)
         scc_count = len(strongly_connected_components(graph)) if n else 0
         strongly_connected = scc_count <= 1

@@ -36,7 +36,7 @@ experiment runner analyzes each snapshot synchronously).
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.graph.digraph import DiGraph
 

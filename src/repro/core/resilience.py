@@ -18,8 +18,6 @@ where ``a`` is the number of nodes an attacker can subvert.  From this:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 
 def resilience_of(connectivity: int) -> int:
     """Return the resilience ``r`` of a network with connectivity ``kappa``.

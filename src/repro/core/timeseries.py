@@ -11,7 +11,7 @@ churn phase).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.analysis.statistics import mean, relative_variance
 from repro.core.analyzer import ConnectivityReport

@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.core.analyzer import ConnectivityReport
 from repro.core.timeseries import ConnectivitySample, ConnectivityTimeSeries

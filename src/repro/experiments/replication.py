@@ -107,31 +107,34 @@ def replicate_scenario(
     progress: "ProgressCallback | None" = None,
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
+    batch: "str | int | None" = None,
 ) -> ReplicationSummary:
     """Run ``scenario`` once per seed and aggregate the summary statistics.
 
     Replications are independent tasks, so they dispatch through
     :mod:`repro.runtime`: ``jobs > 1`` runs them in parallel with identical
     output, and a :class:`~repro.runtime.cache.ResultCache` lets repeated
-    invocations (or a grown seed list) reuse finished runs.  ``schedule``
-    and ``adaptive_shards`` are the cost-aware dispatch knobs of
-    :class:`Campaign` / the pair-flow engine — ordering only, results are
-    identical for every combination.
+    invocations (or a grown seed list) reuse finished runs.  ``schedule``,
+    ``adaptive_shards`` and ``batch`` are the cost-aware dispatch knobs of
+    :class:`Campaign` / the pair-flow engine — ordering and grouping only,
+    results are identical for every combination (``batch`` packs several
+    replications per warm worker call, see :class:`Campaign`).
     """
     if not seeds:
         raise ValueError("at least one seed is required")
-    campaign = Campaign(
+    with Campaign(
         executor=executor if executor is not None else make_executor(jobs),
         cache=cache,
         progress=progress,
         schedule=schedule,
-    )
-    results = campaign.run(
-        replication_tasks(
-            scenario, seeds, profile=profile, algorithm=algorithm,
-            adaptive_shards=adaptive_shards,
+        batch=batch,
+    ) as campaign:
+        results = campaign.run(
+            replication_tasks(
+                scenario, seeds, profile=profile, algorithm=algorithm,
+                adaptive_shards=adaptive_shards,
+            )
         )
-    )
     statistics = {
         name: ReplicatedStatistic(
             name=name, values=[extract(result) for result in results]

@@ -8,7 +8,7 @@ sit next to the timing output.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.analysis.figures import format_table, render_series_table
 from repro.churn.loss import LOSS_SCENARIOS

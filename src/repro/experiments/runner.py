@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time as wallclock
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.churn.churn_model import get_churn_scenario
 from repro.churn.loss import get_loss_model
@@ -12,7 +12,7 @@ from repro.churn.traffic import TrafficModel
 from repro.core.analyzer import ConnectivityAnalyzer
 from repro.core.timeseries import ConnectivitySample, ConnectivityTimeSeries
 from repro.experiments.phases import PhaseSchedule
-from repro.experiments.profiles import PROFILES, ScaleProfile, get_profile
+from repro.experiments.profiles import ScaleProfile, get_profile
 from repro.experiments.scenarios import Scenario
 from repro.experiments.simulation import KademliaSimulation
 from repro.experiments.snapshot import RoutingTableSnapshot
@@ -123,6 +123,26 @@ class ExperimentRunner:
         self.algorithm = algorithm
         self.flow_jobs = flow_jobs
         self.adaptive_shards = adaptive_shards
+
+    @classmethod
+    def for_task(cls, task) -> "ExperimentRunner":
+        """Build the runner matching an :class:`repro.runtime.task.ExperimentTask`.
+
+        The single mapping from a task's execution knobs to a configured
+        runner (used by :meth:`ExperimentTask.run`).  A runner is
+        scenario-independent and holds no per-run mutable state —
+        :meth:`run` builds a fresh simulation and analyzer every call —
+        so construction is six attribute assignments and is not worth
+        caching anywhere.
+        """
+        return cls(
+            profile=task.profile,
+            seed=task.seed,
+            keep_snapshots=task.keep_snapshots,
+            algorithm=task.algorithm,
+            flow_jobs=task.flow_jobs,
+            adaptive_shards=task.adaptive_shards,
+        )
 
     # ------------------------------------------------------------------
     def build_simulation(

@@ -32,7 +32,7 @@ message loss use ``s = 1`` (paper Section 5.3, "Kademlia Staleness Limit").
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.churn.churn_model import get_churn_scenario
 from repro.churn.loss import get_loss_model

@@ -17,7 +17,6 @@ models onto the discrete-event engine:
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.churn.bootstrap import RandomBootstrapPolicy

@@ -10,7 +10,7 @@ through the CLI (``repro-kademlia analyze-snapshot``).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Sequence, Union
 

@@ -40,12 +40,14 @@ def _make_campaign(
     executor: Optional[Executor],
     progress: Optional[ProgressCallback],
     schedule: str = SCHEDULE_FIFO,
+    batch: "str | int | None" = None,
 ) -> Campaign:
     return Campaign(
         executor=executor if executor is not None else make_executor(jobs),
         cache=cache,
         progress=progress,
         schedule=schedule,
+        batch=batch,
     )
 
 
@@ -61,21 +63,26 @@ def run_scenario(
     progress: Optional[ProgressCallback] = None,
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
+    batch: "str | int | None" = None,
 ) -> ExperimentResult:
     """Run a single scenario with the given profile and seed.
 
     ``jobs`` parallelises across tasks; ``flow_jobs`` parallelises the
     per-snapshot connectivity analysis *within* a task (see README
-    "Performance" for how the two compose).  ``schedule`` and
-    ``adaptive_shards`` select cost-aware dispatch (order/grouping only;
-    results are bit-identical for every combination).
+    "Performance" for how the two compose).  ``schedule``,
+    ``adaptive_shards`` and ``batch`` select cost-aware dispatch
+    (order/grouping only; results are bit-identical for every
+    combination — ``batch`` runs several tasks per warm worker call
+    through a persistent pool, see :class:`Campaign`).
     """
-    campaign = _make_campaign(jobs, cache, executor, progress, schedule)
     tasks = sweep_tasks(
         scenario, [{}], profile=profile, seed=seed, algorithm=algorithm,
         flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
-    return campaign.run(tasks)[0]
+    with _make_campaign(
+        jobs, cache, executor, progress, schedule, batch
+    ) as campaign:
+        return campaign.run(tasks)[0]
 
 
 def run_sweep(
@@ -91,6 +98,7 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
+    batch: "str | int | None" = None,
 ) -> List[ExperimentResult]:
     """Run one variant of ``base`` per override set and return the results.
 
@@ -98,12 +106,14 @@ def run_sweep(
     (CLI, benchmarks) that sweep custom dimension combinations.  Results
     come back in override order whatever the ``schedule``.
     """
-    campaign = _make_campaign(jobs, cache, executor, progress, schedule)
     tasks = sweep_tasks(
         base, overrides, profile=profile, seed=seed, algorithm=algorithm,
         flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
-    return campaign.run(tasks)
+    with _make_campaign(
+        jobs, cache, executor, progress, schedule, batch
+    ) as campaign:
+        return campaign.run(tasks)
 
 
 def run_bucket_size_sweep(
@@ -118,6 +128,7 @@ def run_bucket_size_sweep(
     progress: Optional[ProgressCallback] = None,
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
+    batch: "str | int | None" = None,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per bucket size (the k-sweep of Figures 2–9)."""
     bucket_sizes = list(bucket_sizes)
@@ -126,7 +137,7 @@ def run_bucket_size_sweep(
         [{"bucket_size": k} for k in bucket_sizes],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
-        schedule=schedule, adaptive_shards=adaptive_shards,
+        schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
     )
     return dict(zip(bucket_sizes, results))
 
@@ -144,6 +155,7 @@ def run_alpha_sweep(
     progress: Optional[ProgressCallback] = None,
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
+    batch: "str | int | None" = None,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the (alpha, k) grid behind Figure 10; keys are ``(alpha, k)``."""
     keys = [(alpha, k) for alpha in alphas for k in bucket_sizes]
@@ -152,7 +164,7 @@ def run_alpha_sweep(
         [{"alpha": alpha, "bucket_size": k} for alpha, k in keys],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
-        schedule=schedule, adaptive_shards=adaptive_shards,
+        schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
     )
     return dict(zip(keys, results))
 
@@ -169,6 +181,7 @@ def run_staleness_sweep(
     progress: Optional[ProgressCallback] = None,
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
+    batch: "str | int | None" = None,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per staleness limit (Figure 11)."""
     staleness_values = list(staleness_values)
@@ -177,7 +190,7 @@ def run_staleness_sweep(
         [{"staleness_limit": s} for s in staleness_values],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
-        schedule=schedule, adaptive_shards=adaptive_shards,
+        schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
     )
     return dict(zip(staleness_values, results))
 
@@ -195,6 +208,7 @@ def run_loss_sweep(
     progress: Optional[ProgressCallback] = None,
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
+    batch: "str | int | None" = None,
 ) -> Dict[Tuple[str, int], ExperimentResult]:
     """Run the (loss, s) grid behind Figures 12–14; keys are ``(loss, s)``."""
     keys = [(loss, s) for loss in loss_levels for s in staleness_values]
@@ -203,6 +217,6 @@ def run_loss_sweep(
         [{"loss": loss, "staleness_limit": s} for loss, s in keys],
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
-        schedule=schedule, adaptive_shards=adaptive_shards,
+        schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
     )
     return dict(zip(keys, results))

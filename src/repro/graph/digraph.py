@@ -14,7 +14,7 @@ which keeps simulations deterministic for a fixed seed.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
 
 from repro.graph.errors import (
     EdgeNotFoundError,

@@ -8,7 +8,7 @@ The evaluation varies ``k in {5, 10, 20, 30}``, ``alpha in {3, 5}``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict
 
 

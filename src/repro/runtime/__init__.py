@@ -10,7 +10,10 @@ execution harness:
   content-addressed key and deterministic child-seed derivation;
 * :mod:`repro.runtime.executor` — :class:`SerialExecutor` and the
   process-pool backed :class:`ParallelExecutor`, which produce bit-identical
-  results because every task carries its own random universe;
+  results because every task carries its own random universe; plus the
+  persistent-worker :class:`TaskSession` (one long-lived pool running
+  whole task batches per worker call, warm per-process state across a
+  campaign);
 * :mod:`repro.runtime.cache` — :class:`ResultCache`, an on-disk
   content-addressed store of :class:`ExperimentResult` documents with
   hit/miss statistics and an eviction API;
@@ -32,10 +35,14 @@ backends) only has to provide a new :class:`Executor`.
 
 from repro.runtime.cache import CacheInfo, CacheStats, ResultCache
 from repro.runtime.campaign import (
+    BATCH_AUTO,
+    BATCH_ENV_VAR,
+    BATCH_OFF,
     SCHEDULE_CHEAPEST,
     SCHEDULE_FIFO,
     Campaign,
     TaskProgress,
+    resolve_batch,
 )
 from repro.runtime.costmodel import (
     CostModel,
@@ -48,12 +55,17 @@ from repro.runtime.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    TaskSession,
+    execute_task_batch,
     make_executor,
 )
 from repro.runtime.pairflow import PairFlowEngine, PairFlowOutcome
 from repro.runtime.task import ExperimentTask, derive_seed, execute_task
 
 __all__ = [
+    "BATCH_AUTO",
+    "BATCH_ENV_VAR",
+    "BATCH_OFF",
     "CacheInfo",
     "CacheStats",
     "Campaign",
@@ -71,8 +83,11 @@ __all__ = [
     "SerialExecutor",
     "TaskCostModel",
     "TaskProgress",
+    "TaskSession",
     "derive_seed",
     "execute_task",
+    "execute_task_batch",
     "make_executor",
+    "resolve_batch",
     "task_shape_key",
 ]

@@ -16,10 +16,22 @@ optional :class:`~repro.runtime.cache.ResultCache` and runs batches of
    campaigns can stream per-task figures incrementally instead of
    waiting for the whole batch.
 
+With ``batch`` enabled the campaign dispatches through a **persistent
+task session** (:class:`repro.runtime.executor.TaskSession`): one
+long-lived worker pool survives across every ``run()`` call of the
+campaign, and pending tasks are packed into near-equal-cost batches
+(``batch="auto"``, sized by the cost model to a few batches per worker)
+or fixed-size chunks (``batch=N``) so each worker call amortises
+dispatch and interpreter start-up over many simulations.  Progress events still
+fire once per task and still carry the task's result; they surface as
+each *batch* completes.
+
 Scheduling is **order-only** by construction: tasks are independent (each
 carries its own seed-derived random universe) and ``run`` returns results
-in submission order regardless of dispatch order, so the schedule can
-change when a figure appears but never a single bit of it.
+in submission order regardless of dispatch order or batch geometry, so
+the schedule and the batching can change when a figure appears but never
+a single bit of it.  Like ``flow_jobs`` and ``adaptive_shards``, the
+``batch`` knob never enters a task fingerprint.
 
 The module also provides the batch builders (:func:`sweep_tasks`,
 :func:`replication_tasks`) used by ``repro.experiments.sweep`` and
@@ -28,15 +40,25 @@ The module also provides the batch builders (:func:`sweep_tasks`,
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.experiments.profiles import ScaleProfile
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import Scenario
 from repro.runtime.cache import ResultCache
 from repro.runtime.costmodel import TaskCostModel
-from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.executor import Executor, SerialExecutor, TaskSession
 from repro.runtime.task import ExperimentTask, derive_seed
 
 #: Progress event statuses.
@@ -47,6 +69,66 @@ COMPLETED = "completed"
 SCHEDULE_FIFO = "fifo"
 SCHEDULE_CHEAPEST = "cheapest"
 SCHEDULES = (SCHEDULE_FIFO, SCHEDULE_CHEAPEST)
+
+#: Batch mode that packs pending tasks into near-equal-cost worker batches.
+BATCH_AUTO = "auto"
+
+#: Batches per worker under ``batch="auto"``.  One huge batch per worker
+#: would maximise amortisation but defer the first progress event (and
+#: with it cheapest-first figure streaming) to ~1/workers of the whole
+#: campaign; per-batch dispatch overhead is a single pickled submission,
+#: so oversubscribing keeps ~all of the throughput win while events keep
+#: streaming every few tasks and a mis-estimated straggler batch can be
+#: overtaken by idle workers.
+BATCH_AUTO_OVERSUBSCRIBE = 4
+
+#: Environment default of the campaign ``batch`` knob (same values as the
+#: ``--batch`` CLI option: ``auto`` or a positive integer; empty/``off``/
+#: ``none``/``0`` disable batching).  CI re-runs the determinism digest
+#: suite with ``REPRO_CAMPAIGN_BATCH=auto`` to gate the knob's
+#: order-invariance.
+BATCH_ENV_VAR = "REPRO_CAMPAIGN_BATCH"
+
+
+#: Batch value that explicitly disables batching, overriding the
+#: environment default — callers that must measure or guarantee per-task
+#: dispatch (e.g. the campaign benchmark's baseline configurations) pass
+#: this instead of ``None``.
+BATCH_OFF = "off"
+
+
+def resolve_batch(
+    batch: Union[None, str, int],
+) -> Union[None, str, int]:
+    """Normalise a ``batch`` knob value (``None`` consults the environment).
+
+    Returns ``None`` (batching off), :data:`BATCH_AUTO`, or a positive
+    batch size; raises :class:`ValueError` on anything else.  The
+    explicit strings ``"off"``/``"none"`` (and :data:`BATCH_OFF`) force
+    per-task dispatch even when :data:`BATCH_ENV_VAR` is set — only
+    ``None`` defers to the environment.
+    """
+    if batch is None:
+        configured = os.environ.get(BATCH_ENV_VAR, "").strip()
+        if configured == "":
+            return None
+        batch = configured
+    if isinstance(batch, str):
+        lowered = batch.lower()
+        if lowered in (BATCH_OFF, "none", "0"):
+            return None
+        if lowered == BATCH_AUTO:
+            return BATCH_AUTO
+        try:
+            batch = int(batch)
+        except ValueError:
+            raise ValueError(
+                f"batch must be 'auto', 'off' or a positive integer, "
+                f"got {batch!r}"
+            )
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    return batch
 
 
 @dataclass(frozen=True)
@@ -97,6 +179,17 @@ class Campaign:
         in under every schedule (a FIFO campaign warms the model for a
         later cheapest-first one).  Without cache or model, cheapest-first
         degrades to submission order.
+    batch:
+        ``None`` (default) dispatches one task per worker submission,
+        consulting the :data:`REPRO_CAMPAIGN_BATCH <BATCH_ENV_VAR>`
+        environment variable first.  ``"auto"`` packs pending tasks into
+        near-equal-cost batches (a few per executor worker, LPT over the
+        cost model's estimates) dispatched through a persistent
+        :class:`~repro.runtime.executor.TaskSession`; an integer packs
+        fixed-size chunks of that many tasks.  Identity-free like every
+        scheduling knob: results stay in submission order, bit-identical
+        for every value.  A batched campaign owns its worker pool until
+        :meth:`close` (or use the campaign as a context manager).
     """
 
     def __init__(
@@ -106,6 +199,7 @@ class Campaign:
         progress: Optional[ProgressCallback] = None,
         schedule: str = SCHEDULE_FIFO,
         cost_model: Optional[TaskCostModel] = None,
+        batch: Union[None, str, int] = None,
     ) -> None:
         if schedule not in SCHEDULES:
             raise ValueError(
@@ -115,9 +209,41 @@ class Campaign:
         self.cache = cache
         self.progress = progress
         self.schedule = schedule
+        self.batch = resolve_batch(batch)
         if cost_model is None and cache is not None:
             cost_model = TaskCostModel.for_cache(cache)
         self.cost_model = cost_model
+        self._task_session: Optional[TaskSession] = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent task session, if one was opened.
+
+        Idempotent; a later :meth:`run` transparently opens a fresh
+        session.  Campaigns without batching hold no session and need no
+        closing (``close`` is still safe to call).
+        """
+        session, self._task_session = self._task_session, None
+        if session is not None:
+            session.close()
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Safety net for call sites that predate the batch knob (or that
+        # pick it up via REPRO_CAMPAIGN_BATCH) and never close: release
+        # the pool and the exported PYTHONPATH when the campaign is
+        # collected rather than never.  Deterministic call sites should
+        # still close()/``with`` — GC timing is an upper bound, not a
+        # lifecycle.
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[ExperimentTask]) -> List[ExperimentResult]:
@@ -144,9 +270,8 @@ class Campaign:
         if pending_indices:
             dispatch_order = self._dispatch_order(tasks, pending_indices)
 
-            def _on_result(batch_index: int, result: ExperimentResult) -> None:
+            def _record(index: int, result: ExperimentResult) -> None:
                 nonlocal completed
-                index = dispatch_order[batch_index]
                 task = tasks[index]
                 results[index] = result
                 if self.cache is not None:
@@ -159,10 +284,15 @@ class Campaign:
                 )
 
             try:
-                self.executor.run_tasks(
-                    [tasks[index] for index in dispatch_order],
-                    on_result=_on_result,
-                )
+                if self.batch is None:
+                    self.executor.run_tasks(
+                        [tasks[index] for index in dispatch_order],
+                        on_result=lambda batch_index, result: _record(
+                            dispatch_order[batch_index], result
+                        ),
+                    )
+                else:
+                    self._run_batched(tasks, dispatch_order, _record)
             finally:
                 # Persist whatever was observed even when a task or the
                 # progress callback raised mid-batch.
@@ -174,6 +304,75 @@ class Campaign:
     def run_one(self, task: ExperimentTask) -> ExperimentResult:
         """Run a single task (through cache and executor)."""
         return self.run([task])[0]
+
+    # ------------------------------------------------------------------
+    def _run_batched(
+        self,
+        tasks: Sequence[ExperimentTask],
+        dispatch_order: List[int],
+        record: Callable[[int, ExperimentResult], None],
+    ) -> None:
+        """Dispatch pending tasks through the persistent task session.
+
+        The session (and its warm worker pool) is opened lazily and kept
+        across ``run()`` calls.  Any error — a failing task, a worker
+        death that broke the pool, a raising progress callback — closes
+        the session before propagating: completed batches have already
+        streamed into the cache through ``record``, and the next ``run``
+        starts from a fresh pool instead of a possibly-broken one.
+        """
+        batches = self._pack_batches(tasks, dispatch_order)
+        if self._task_session is None:
+            self._task_session = self.executor.open_task_session()
+        try:
+            self._task_session.run_batches(batches, on_result=record)
+        except BaseException:
+            self.close()
+            raise
+
+    def _pack_batches(
+        self, tasks: Sequence[ExperimentTask], dispatch_order: List[int]
+    ) -> List[List[Tuple[int, ExperimentTask]]]:
+        """Group the dispatch-ordered submission indices into task batches.
+
+        ``batch=N`` chunks consecutive dispatch-order runs of ``N``.
+        ``batch="auto"`` packs near-equal-cost batches (LPT over
+        cost-model estimates), :data:`BATCH_AUTO_OVERSUBSCRIBE` per
+        executor worker, so no worker idles behind a straggler and
+        progress keeps streaming every few tasks; with a single worker —
+        in-process execution — the pool has nothing to amortise against,
+        so auto keeps per-task batches and with them the legacy per-task
+        progress timing.
+        """
+        if self.batch == BATCH_AUTO:
+            workers = max(1, getattr(self.executor, "worker_count", 1))
+            if workers == 1:
+                groups = [[index] for index in dispatch_order]
+            else:
+                target = workers * BATCH_AUTO_OVERSUBSCRIBE
+                if self.cost_model is not None:
+                    packed = self.cost_model.pack_batches(
+                        [tasks[index] for index in dispatch_order], target
+                    )
+                    groups = [
+                        [dispatch_order[position] for position in group]
+                        for group in packed
+                    ]
+                else:
+                    # No cost model to estimate from: deal dispatch order
+                    # round-robin, which equalises batch *counts*.
+                    groups = [
+                        list(dispatch_order[start::target])
+                        for start in range(target)
+                        if dispatch_order[start::target]
+                    ]
+        else:
+            size = int(self.batch)
+            groups = [
+                dispatch_order[start:start + size]
+                for start in range(0, len(dispatch_order), size)
+            ]
+        return [[(index, tasks[index]) for index in group] for group in groups]
 
     # ------------------------------------------------------------------
     def _dispatch_order(

@@ -207,6 +207,47 @@ class TaskCostModel(CostModel):
 
         return sorted(range(len(tasks)), key=sort_key)
 
+    def pack_batches(
+        self, tasks: Sequence[ExperimentTask], batch_count: int
+    ) -> List[List[int]]:
+        """Pack task positions into ``batch_count`` near-equal-cost batches.
+
+        Greedy LPT (longest-processing-time-first): tasks are placed in
+        descending estimated cost onto the currently lightest batch, so
+        one expensive task cannot straggle behind a batch that also holds
+        half the cheap ones while other workers idle.  Unseen task shapes
+        are costed at the median known estimate (1.0 when the model is
+        empty — packing then degrades to an even round-robin split).
+
+        Returns groups of positions into ``tasks``; every group is sorted
+        ascending and groups are ordered by their first position, so the
+        packing is a pure function of (tasks, model state) — like
+        :meth:`cheapest_first`, a scheduling hint that can never reorder
+        recorded results.  Empty groups (more batches than tasks) are
+        dropped.
+        """
+        if batch_count < 1:
+            raise ValueError(f"batch_count must be >= 1, got {batch_count}")
+        count = min(batch_count, len(tasks))
+        if count <= 1:
+            return [list(range(len(tasks)))] if tasks else []
+        estimates = [self.estimate_task(task) for task in tasks]
+        known = sorted(e for e in estimates if e is not None)
+        fallback = known[len(known) // 2] if known else 1.0
+        costs = [fallback if e is None else e for e in estimates]
+        placement = sorted(
+            range(len(tasks)), key=lambda pos: (-costs[pos], pos)
+        )
+        loads = [0.0] * count
+        groups: List[List[int]] = [[] for _ in range(count)]
+        for pos in placement:
+            lightest = min(range(count), key=lambda b: (loads[b], b))
+            groups[lightest].append(pos)
+            loads[lightest] += costs[pos]
+        packed = sorted((sorted(group) for group in groups if group),
+                        key=lambda group: group[0])
+        return packed
+
 
 # ----------------------------------------------------------------------
 class PairCostTracker:

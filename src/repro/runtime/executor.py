@@ -18,22 +18,47 @@ whole lifetime and runs an optional initializer once per worker, so
 per-snapshot state (the compact Even-transformed network) is shipped to
 each worker exactly once and then reused by every shard dispatched through
 :meth:`ExecutionSession.map`.
+
+On top of the generic session API sits the *task session*
+(:meth:`Executor.open_task_session` → :class:`TaskSession`): a long-lived
+pool that accepts whole **batches** of experiment tasks per worker call
+(:func:`execute_task_batch`) instead of one task per submission.  Workers
+keep warm per-process state across the tasks of a session: imported
+modules stay imported and bytecode stays specialised — the dominant
+per-task overhead under the ``spawn`` start method, paid once per
+session instead of once per task.  Batching is a pure scheduling knob:
+results are keyed by submission index and bit-identical to per-task
+dispatch.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import ExitStack, contextmanager
 from pathlib import Path
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.experiments.runner import ExperimentResult
 from repro.runtime.task import ExperimentTask, execute_task
 
 #: ``on_result(index, result)`` — called as each task of a batch completes.
 ResultCallback = Callable[[int, ExperimentResult], None]
+
+#: One batch of (submission index, task) pairs, run by a single worker call.
+IndexedBatch = Sequence[Tuple[int, ExperimentTask]]
 
 
 class ExecutionSession(ABC):
@@ -42,6 +67,21 @@ class ExecutionSession(ABC):
     @abstractmethod
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run ``fn`` over ``items`` and return results in submission order."""
+
+    def map_completed(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(item_index, fn(item))`` pairs in *completion* order.
+
+        The streaming twin of :meth:`map`: results surface as soon as
+        each call finishes instead of when the whole batch does, which is
+        what lets the campaign driver emit per-task progress while other
+        batches are still running.  The serial default computes lazily in
+        submission order (completion order and submission order coincide
+        in one process).
+        """
+        for index, item in enumerate(items):
+            yield index, fn(item)
 
     def close(self) -> None:
         """Release session-owned resources (no-op unless the session owns a pool)."""
@@ -86,6 +126,29 @@ class _PoolSession(ExecutionSession):
                 future.cancel()
             raise
 
+    def map_completed(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(item_index, result)`` as calls complete on the pool.
+
+        A failing call — or a consumer that raises (or abandons the
+        iterator) mid-stream — cancels every call that has not started
+        yet, so an aborted stream never leaves work queued behind it.
+        """
+        pending = {
+            self._pool.submit(fn, item): index
+            for index, item in enumerate(items)
+        }
+        try:
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    yield index, future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
     def close(self) -> None:
         """Shut down the pool if this session owns it (idempotent)."""
         owned, self._owned = self._owned, None
@@ -93,8 +156,130 @@ class _PoolSession(ExecutionSession):
             owned.close()
 
 
+# ----------------------------------------------------------------------
+# Warm-worker task batches
+# ----------------------------------------------------------------------
+class _WarmWorkerState:
+    """Per-process state kept warm across the tasks of a task session.
+
+    The warmth that matters is the process itself: a persistent worker
+    pays interpreter start-up, module imports and bytecode
+    specialisation once, then amortises them over every batch it
+    receives — per-task pools pay all of it per task.  Python-level
+    caching of runner objects was measured to save nothing on top
+    (constructing an :class:`ExperimentRunner` is six attribute
+    assignments; the task already carries a resolved profile), so this
+    registry only tracks throughput counters for diagnostics and tests.
+    """
+
+    def __init__(self) -> None:
+        self.tasks_executed = 0
+        self.batches_executed = 0
+
+    def execute(self, task: ExperimentTask) -> ExperimentResult:
+        self.tasks_executed += 1
+        return task.run()
+
+
+#: Lazily created per-process warm state (one per worker process; also one
+#: in the parent process when a serial session runs batches in-process).
+_WARM_STATE: Optional[_WarmWorkerState] = None
+
+
+def _warm_state() -> _WarmWorkerState:
+    global _WARM_STATE
+    if _WARM_STATE is None:
+        _WARM_STATE = _WarmWorkerState()
+    return _WARM_STATE
+
+
+def execute_task_batch(
+    indexed_tasks: IndexedBatch,
+) -> List[Tuple[int, ExperimentResult]]:
+    """Worker entry point: run a batch of (index, task) pairs in order.
+
+    Returns ``(index, result)`` pairs so the parent can map results back
+    to submission order regardless of how batches were packed.  Runs
+    through the per-process warm state, so consecutive tasks of a batch
+    (and consecutive batches of a session) share imported modules and
+    per-configuration runners.
+    """
+    state = _warm_state()
+    state.batches_executed += 1
+    return [(index, state.execute(task)) for index, task in indexed_tasks]
+
+
+def _warm_state_snapshot(_item: Any = None) -> Dict[str, int]:
+    """Report the calling process's warm-state counters (test/debug aid)."""
+    state = _warm_state()
+    return {
+        "pid": os.getpid(),
+        "tasks_executed": state.tasks_executed,
+        "batches_executed": state.batches_executed,
+    }
+
+
+class TaskSession:
+    """A long-lived dispatcher of experiment-task batches.
+
+    Wraps one caller-owned :class:`ExecutionSession` (a pinned worker
+    pool, or the current process for serial executors) and runs whole
+    batches per worker call through :func:`execute_task_batch`.  The
+    session — and with it every worker's warm state — survives across
+    :meth:`run_batches` calls until :meth:`close`, which is what turns a
+    grid of small simulations from "one pool per task" into "one pool
+    per campaign".
+
+    Failure containment: batches are independent worker calls, so a task
+    that raises (or a worker that dies) fails its own batch; batches that
+    already completed have streamed their results through ``on_result``
+    (the campaign driver caches them immediately).  A dead worker breaks
+    the underlying process pool — callers must close this session and
+    open a fresh one; tasks of unfinished batches simply re-run there
+    (or are served from the cache next time).
+    """
+
+    def __init__(self, session: ExecutionSession) -> None:
+        self._session = session
+
+    def run_batches(
+        self,
+        batches: Sequence[IndexedBatch],
+        on_result: Optional[ResultCallback] = None,
+    ) -> Dict[int, ExperimentResult]:
+        """Run every batch; stream per-task ``on_result`` as batches finish.
+
+        Returns ``{submission_index: result}`` over all batches.  Tasks
+        inside a batch are reported in batch order, batches in completion
+        order.
+        """
+        results: Dict[int, ExperimentResult] = {}
+        for _, batch_results in self._session.map_completed(
+            execute_task_batch, [list(batch) for batch in batches]
+        ):
+            for index, result in batch_results:
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+        return results
+
+    def warm_state_snapshots(self, probes: int = 1) -> List[Dict[str, int]]:
+        """Sample per-worker warm-state counters (diagnostics/tests)."""
+        return self._session.map(_warm_state_snapshot, list(range(probes)))
+
+    def close(self) -> None:
+        """Release the underlying session (idempotent)."""
+        self._session.close()
+
+
 class Executor(ABC):
     """Runs batches of experiment tasks."""
+
+    #: Number of concurrent worker processes this executor dispatches to
+    #: (1 for in-process execution).  The campaign's ``batch="auto"``
+    #: packing uses it as the batch count, so every worker gets one
+    #: near-equal-cost batch.
+    worker_count: int = 1
 
     @abstractmethod
     def run_tasks(
@@ -103,6 +288,15 @@ class Executor(ABC):
         on_result: Optional[ResultCallback] = None,
     ) -> List[ExperimentResult]:
         """Execute ``tasks`` and return their results in submission order."""
+
+    def open_task_session(self) -> TaskSession:
+        """Open a caller-owned :class:`TaskSession` over a persistent pool.
+
+        The serial default runs batches in the current process; parallel
+        executors pin one process pool whose workers stay warm across
+        every batch of the session.  The caller must ``close()`` it.
+        """
+        return TaskSession(self.open_session())
 
     @contextmanager
     def session(
@@ -166,13 +360,35 @@ class ParallelExecutor(Executor):
         Number of worker processes (defaults to the CPU count).  The pool is
         created per batch and sized to ``min(jobs, len(batch))`` so small
         batches do not pay for idle workers.
+    start_method:
+        Multiprocessing start method for worker pools (``"fork"``,
+        ``"spawn"`` or ``"forkserver"``; ``None`` keeps the platform
+        default).  Purely an execution knob — results are bit-identical
+        under every method because tasks carry their own random
+        universes — but the *cost* profile differs sharply: ``spawn``
+        (the only method on Windows, the default on macOS, and the
+        direction CPython is moving on Linux) starts a fresh interpreter
+        per worker and re-imports ``repro``, which is exactly the
+        per-task overhead the persistent task session amortises.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self, jobs: Optional[int] = None, start_method: Optional[str] = None
+    ) -> None:
         resolved = jobs if jobs is not None else os.cpu_count() or 1
         if resolved < 1:
             raise ValueError(f"jobs must be >= 1, got {resolved}")
         self.jobs = resolved
+        self.start_method = start_method
+        self._mp_context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else None
+        )
+
+    @property
+    def worker_count(self) -> int:  # type: ignore[override]
+        return self.jobs
 
     def run_tasks(
         self,
@@ -184,7 +400,9 @@ class ParallelExecutor(Executor):
         results: List[Optional[ExperimentResult]] = [None] * len(tasks)
         workers = min(self.jobs, len(tasks))
         with _exported_package_path():
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=self._mp_context
+            ) as pool:
                 pending = {
                     pool.submit(execute_task, task): index
                     for index, task in enumerate(tasks)
@@ -225,6 +443,7 @@ class ParallelExecutor(Executor):
         with _exported_package_path():
             with ProcessPoolExecutor(
                 max_workers=self.jobs,
+                mp_context=self._mp_context,
                 initializer=initializer,
                 initargs=initargs,
             ) as pool:
@@ -248,6 +467,7 @@ class ParallelExecutor(Executor):
             pool = stack.enter_context(
                 ProcessPoolExecutor(
                     max_workers=self.jobs,
+                    mp_context=self._mp_context,
                     initializer=initializer,
                     initargs=initargs,
                 )
@@ -273,6 +493,21 @@ def make_executor(jobs: Optional[int] = None) -> Executor:
     return ParallelExecutor(jobs=jobs)
 
 
+#: Reference count / pre-export snapshot of the ``PYTHONPATH`` export.
+#: Persistent task sessions keep the export alive for a whole campaign,
+#: so two campaigns can overlap in one process; restoring per-context
+#: (each context re-instating whatever it saw at *its* open) would let
+#: an early close strip the path out from under a still-open session, or
+#: re-instate a stale snapshot.  The export is therefore process-global:
+#: first opener saves and sets, last closer restores.
+# Reentrant: Campaign.__del__ may close a session from a GC pass that
+# triggers while this thread is already inside the critical section (the
+# environ mutation allocates); a plain Lock would self-deadlock there.
+_EXPORT_LOCK = threading.RLock()
+_EXPORT_DEPTH = 0
+_EXPORT_ORIGINAL: Optional[str] = None
+
+
 @contextmanager
 def _exported_package_path():
     """Make ``repro`` importable in spawned worker processes.
@@ -280,18 +515,32 @@ def _exported_package_path():
     With the ``fork`` start method children inherit ``sys.path`` directly;
     with ``spawn``/``forkserver`` they re-initialise it from ``PYTHONPATH``,
     so the directory containing the ``repro`` package is prepended to the
-    environment while the pool is alive and restored afterwards (later,
-    unrelated subprocesses must not inherit the modified import path).
+    environment while any pool is alive and restored when the last one
+    closes (later, unrelated subprocesses must not inherit the modified
+    import path).  Reference-counted so overlapping sessions — e.g. two
+    batched campaigns, or a campaign pool plus a pair-flow pool — compose.
     """
+    global _EXPORT_DEPTH, _EXPORT_ORIGINAL
     package_root = str(Path(__file__).resolve().parent.parent.parent)
-    original = os.environ.get("PYTHONPATH")
-    parts = original.split(os.pathsep) if original else []
-    if package_root not in parts:
-        os.environ["PYTHONPATH"] = os.pathsep.join([package_root] + parts)
+    with _EXPORT_LOCK:
+        if _EXPORT_DEPTH == 0:
+            _EXPORT_ORIGINAL = os.environ.get("PYTHONPATH")
+            parts = (
+                _EXPORT_ORIGINAL.split(os.pathsep) if _EXPORT_ORIGINAL else []
+            )
+            if package_root not in parts:
+                os.environ["PYTHONPATH"] = os.pathsep.join(
+                    [package_root] + parts
+                )
+        _EXPORT_DEPTH += 1
     try:
         yield
     finally:
-        if original is None:
-            os.environ.pop("PYTHONPATH", None)
-        else:
-            os.environ["PYTHONPATH"] = original
+        with _EXPORT_LOCK:
+            _EXPORT_DEPTH -= 1
+            if _EXPORT_DEPTH == 0:
+                if _EXPORT_ORIGINAL is None:
+                    os.environ.pop("PYTHONPATH", None)
+                else:
+                    os.environ["PYTHONPATH"] = _EXPORT_ORIGINAL
+                _EXPORT_ORIGINAL = None

@@ -114,15 +114,7 @@ class ExperimentTask:
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
         """Execute the task in the current process."""
-        runner = ExperimentRunner(
-            profile=self.profile,
-            seed=self.seed,
-            keep_snapshots=self.keep_snapshots,
-            algorithm=self.algorithm,
-            flow_jobs=self.flow_jobs,
-            adaptive_shards=self.adaptive_shards,
-        )
-        return runner.run(self.scenario)
+        return ExperimentRunner.for_task(self).run(self.scenario)
 
 
 def execute_task(task: ExperimentTask) -> ExperimentResult:

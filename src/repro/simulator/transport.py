@@ -18,7 +18,7 @@ to the protocol layer.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from repro.simulator.network import Network

@@ -12,7 +12,6 @@ from repro.attack.adversary import (
     random_strategy,
 )
 from repro.graph.digraph import DiGraph
-from repro.graph.generators import bidirectional_cycle, circulant_graph, figure1_example_graph
 
 
 class TestStrategies:

@@ -2,14 +2,13 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.attack.adversary import Adversary
-from repro.attack.evaluation import AttackOutcome, evaluate_attack, resilience_curve
+from repro.attack.evaluation import evaluate_attack, resilience_curve
 from repro.core.vertex_connectivity import global_vertex_connectivity
 from repro.graph.digraph import DiGraph
-from repro.graph.generators import bidirectional_cycle, circulant_graph, complete_graph
+from repro.graph.generators import complete_graph
 
 
 class TestEvaluateAttack:

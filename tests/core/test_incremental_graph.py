@@ -116,7 +116,7 @@ class TestIncrementality:
     def test_partial_rebuild_after_local_change(self):
         simulation, phases = build_simulation("E")
         simulation.run_until(phases.stabilization_end)
-        graph = simulation.connectivity_graph()
+        simulation.connectivity_graph()  # refresh the maintained graph
         maintainer = simulation.graph_maintainer
         alive = simulation.network.alive_nodes()
         # Mutate one node's table membership directly.

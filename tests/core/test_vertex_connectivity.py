@@ -14,8 +14,6 @@ from repro.core.vertex_connectivity import (
 )
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import (
-    bidirectional_cycle,
-    circulant_graph,
     complete_graph,
     directed_cycle,
     figure1_example_graph,

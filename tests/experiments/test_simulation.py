@@ -1,7 +1,5 @@
 """Tests for the KademliaSimulation orchestration layer."""
 
-import pytest
-
 from repro.churn.churn_model import get_churn_scenario
 from repro.churn.loss import get_loss_model
 from repro.churn.traffic import TrafficModel

@@ -22,7 +22,6 @@ from repro.graph.generators import (
     circulant_graph,
     complete_graph,
     directed_cycle,
-    figure1_example_graph,
 )
 
 

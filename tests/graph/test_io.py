@@ -27,7 +27,7 @@ class TestDimacsWrite:
 
     def test_roundtrip_preserves_max_flow(self, diamond_graph):
         buffer = io.StringIO()
-        index = write_dimacs(diamond_graph, buffer, source="s", sink="t")
+        write_dimacs(diamond_graph, buffer, source="s", sink="t")
         buffer.seek(0)
         graph, source_id, sink_id = read_dimacs(buffer)
         original = max_flow(diamond_graph, "s", "t").as_int()

@@ -85,6 +85,30 @@ class TestScheduleAcceptance:
         assert fresh_out == fifo_out
         assert (tmp_path / "cache" / "_costs.json").exists()
 
+    def test_batched_output_identical_to_per_task(self, capsys):
+        per_task_out, _ = run_cli(capsys, SWEEP_ARGV + ["--jobs", "2"])
+        for batch in ("auto", "2"):
+            batched_out, _ = run_cli(
+                capsys, SWEEP_ARGV + ["--jobs", "2", "--batch", batch]
+            )
+            assert batched_out == per_task_out
+
+    def test_batch_off_overrides_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "auto")
+        env_out, _ = run_cli(capsys, SWEEP_ARGV + ["--jobs", "2"])
+        off_out, _ = run_cli(
+            capsys, SWEEP_ARGV + ["--jobs", "2", "--batch", "off"]
+        )
+        assert off_out == env_out  # identity-free either way
+
+    def test_invalid_batch_rejected(self, capsys):
+        for value in ("-1", "several"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(SWEEP_ARGV + ["--batch", value])
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            assert "Traceback" not in err
+
     def test_rejects_unknown_schedule(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(SWEEP_ARGV + ["--schedule", "fastest"])

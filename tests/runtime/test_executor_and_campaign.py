@@ -17,6 +17,7 @@ from repro.runtime import (
     SerialExecutor,
     TaskCostModel,
     make_executor,
+    resolve_batch,
 )
 
 
@@ -295,6 +296,256 @@ class TestCheapestSchedule:
         tasks = tiny_tasks()
         Campaign(progress=events.append, schedule=SCHEDULE_CHEAPEST).run(tasks)
         assert [event.index for event in events] == list(range(len(tasks)))
+
+
+class _ExplodingTask(ExperimentTask):
+    """A task whose run kills its worker process outright (no exception)."""
+
+    def run(self):
+        os._exit(3)
+
+
+def _exploding_task():
+    return _ExplodingTask.create(
+        scenario=get_scenario("E"), profile="tiny", seed=99
+    )
+
+
+class TestBatchPacking:
+    def test_resolve_batch_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CAMPAIGN_BATCH", raising=False)
+        assert resolve_batch(None) is None
+        assert resolve_batch("auto") == "auto"
+        assert resolve_batch("AUTO") == "auto"
+        assert resolve_batch(3) == 3
+        assert resolve_batch("3") == 3
+        with pytest.raises(ValueError):
+            resolve_batch(0)
+        with pytest.raises(ValueError):
+            resolve_batch("several")
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "auto")
+        assert resolve_batch(None) == "auto"
+        assert Campaign().batch == "auto"
+        # Explicit "off" (or its aliases) wins over the environment
+        # default — this keeps the campaign benchmark's baselines honest.
+        assert resolve_batch("off") is None
+        assert resolve_batch("none") is None
+        assert resolve_batch("0") is None
+        assert Campaign(batch="off").batch is None
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "off")
+        assert resolve_batch(None) is None
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "2")
+        assert resolve_batch(None) == 2
+
+    def test_pack_batches_balances_known_costs(self):
+        # Four distinct task *shapes* (the cost model's granularity):
+        # different algorithms / scenarios so each carries its own cost.
+        base = get_scenario("E")
+        tasks = [
+            ExperimentTask.create(
+                scenario=base, profile="tiny", seed=11, algorithm=algorithm
+            )
+            for algorithm in ("dinic", "edmonds_karp", "push_relabel")
+        ] + [
+            ExperimentTask.create(
+                scenario=get_scenario("A"), profile="tiny", seed=11
+            )
+        ]
+        model = TaskCostModel()
+        # Costs 10, 1, 1, 8: LPT over two batches must pair the expensive
+        # tasks with cheap ones instead of chunking [10+1, 1+8].
+        for task, cost in zip(tasks, (10.0, 1.0, 1.0, 8.0)):
+            model.observe_task(task, cost)
+        groups = model.pack_batches(tasks, 2)
+        assert sorted(position for group in groups for position in group) == [
+            0, 1, 2, 3,
+        ]
+        loads = [
+            sum((10.0, 1.0, 1.0, 8.0)[position] for position in group)
+            for group in groups
+        ]
+        assert max(loads) == 10.0  # the 10-cost task sits alone
+        # Deterministic: same inputs, same packing.
+        assert model.pack_batches(tasks, 2) == groups
+
+    def test_pack_batches_without_observations_round_robins(self):
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8, 10))
+        groups = TaskCostModel().pack_batches(tasks, 2)
+        assert groups == [[0, 2], [1, 3]]
+
+    def test_pack_batches_rejects_bad_count_and_drops_empties(self):
+        tasks = tiny_tasks(bucket_sizes=(3,))
+        model = TaskCostModel()
+        with pytest.raises(ValueError):
+            model.pack_batches(tasks, 0)
+        assert model.pack_batches(tasks, 4) == [[0]]
+        assert model.pack_batches([], 4) == []
+
+
+class TestBatchedCampaign:
+    """--batch is identity-free: grouping changes, results never do."""
+
+    def test_batched_matches_per_task_dispatch(self, tmp_path):
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8, 10))
+        reference = Campaign().run(tasks)
+        for batch in ("auto", 3):
+            with Campaign(
+                executor=ParallelExecutor(jobs=2), batch=batch
+            ) as campaign:
+                results = campaign.run(tasks)
+            assert series_of(results) == series_of(reference)
+            assert [r.scenario.bucket_size for r in results] == [3, 5, 8, 10]
+
+    def test_batched_progress_reports_every_task_with_result(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8))
+        events = []
+        with Campaign(
+            executor=ParallelExecutor(jobs=2),
+            cache=cache,
+            progress=events.append,
+            batch=2,
+        ) as campaign:
+            results = campaign.run(tasks)
+        assert sorted(event.index for event in events) == [0, 1, 2]
+        assert [event.completed for event in events] == [1, 2, 3]
+        for event in events:
+            assert event.status == "completed"
+            assert event.result is results[event.index]
+        # Mixed hit/run re-run: hits stream first, the rest comes batched.
+        cache_for_rerun = ResultCache(tmp_path / "cache")
+        more = tiny_tasks(bucket_sizes=(3, 5, 8, 10))
+        events.clear()
+        with Campaign(
+            executor=ParallelExecutor(jobs=2),
+            cache=cache_for_rerun,
+            progress=events.append,
+            batch="auto",
+        ) as campaign:
+            rerun = campaign.run(more)
+        assert [event.status for event in events] == [
+            "hit", "hit", "hit", "completed",
+        ]
+        assert series_of(rerun[:3]) == series_of(results)
+
+    def test_session_persists_across_runs(self):
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8, 10))
+        with Campaign(
+            executor=ParallelExecutor(jobs=1), batch=2
+        ) as campaign:
+            campaign.run(tasks[:2])
+            session = campaign._task_session
+            assert session is not None
+            first = session.warm_state_snapshots()[0]
+            campaign.run(tasks[2:])
+            assert campaign._task_session is session  # same pinned pool
+            second = session.warm_state_snapshots()[0]
+        # Same worker process served both runs and its warm state
+        # advanced — the pool (with its imports) really persisted.
+        assert second["pid"] == first["pid"]
+        assert second["tasks_executed"] >= first["tasks_executed"] + 2
+
+    def test_serial_auto_batching_keeps_per_task_streaming(self):
+        events = []
+        tasks = tiny_tasks(bucket_sizes=(3, 5, 8))
+        with Campaign(progress=events.append, batch="auto") as campaign:
+            results = campaign.run(tasks)
+        assert [event.index for event in events] == [0, 1, 2]
+        assert series_of(results) == series_of(Campaign().run(tasks))
+
+
+class TestBatchedPoolLifecycle:
+    """A worker dying mid-batch must not lose finished work or leak pools."""
+
+    @staticmethod
+    def _live_children():
+        return {p.pid for p in multiprocessing.active_children() if p.is_alive()}
+
+    def test_dead_worker_fails_batch_but_keeps_completed_tasks_cached(
+        self, tmp_path
+    ):
+        from concurrent.futures.process import BrokenProcessPool
+
+        cache = ResultCache(tmp_path / "cache")
+        good = tiny_tasks(bucket_sizes=(3, 5, 8))
+        tasks = good[:2] + [_exploding_task(), good[2]]
+        before = self._live_children()
+        events = []
+        campaign = Campaign(
+            executor=ParallelExecutor(jobs=1),
+            cache=cache,
+            progress=events.append,
+            batch=2,
+        )
+        # Batches (dispatch order, size 2): [good0, good1] then
+        # [exploding, good2].  The single worker finishes the first batch
+        # before the second kills it.
+        with pytest.raises(BrokenProcessPool):
+            campaign.run(tasks)
+        # The completed batch streamed and was cached before the death...
+        assert [event.index for event in events] == [0, 1]
+        assert cache.contains(good[0]) and cache.contains(good[1])
+        # ... the dead batch's tasks were not half-reported or cached ...
+        assert not cache.contains(tasks[2])
+        assert not cache.contains(good[2])
+        # ... and the broken session was unwound, leaking no processes.
+        assert campaign._task_session is None
+        assert self._live_children() <= before
+
+        # A later run on the same campaign opens a fresh pool and resumes
+        # from the cache: only the never-finished task executes.
+        results = campaign.run(good)
+        campaign.close()
+        assert [event.status for event in events[2:]] == [
+            "hit", "hit", "completed",
+        ]
+        assert series_of(results) == series_of(Campaign().run(good))
+        assert self._live_children() <= before
+
+    def test_failing_callback_unwinds_batched_session(self, tmp_path):
+        before = self._live_children()
+        tasks = tiny_tasks(bucket_sizes=(3, 5))
+
+        def explode(_event):
+            raise RuntimeError("observer failed")
+
+        campaign = Campaign(
+            executor=ParallelExecutor(jobs=2), progress=explode, batch=2
+        )
+        with pytest.raises(RuntimeError, match="observer failed"):
+            campaign.run(tasks)
+        assert campaign._task_session is None
+        assert self._live_children() <= before
+
+    def test_map_completed_cancels_pending_on_error(self):
+        session = ParallelExecutor(jobs=1).open_session()
+        try:
+            with pytest.raises(RuntimeError, match="shard failed"):
+                for _ in session.map_completed(
+                    _failing_shard, [1, 2, 3, 4]
+                ):
+                    pass  # pragma: no cover - first result already raises
+        finally:
+            session.close()
+        assert self._live_children() == set()
+
+    def test_overlapping_sessions_restore_pythonpath_last_close(self):
+        # Persistent sessions can overlap in one process (two batched
+        # campaigns); the PYTHONPATH export is reference-counted, so
+        # closing the first must NOT strip the path from under the still-
+        # open second, and closing the last restores the true original.
+        original = os.environ.get("PYTHONPATH")
+        first = ParallelExecutor(jobs=1).open_session()
+        second = ParallelExecutor(jobs=1).open_session()
+        exported = os.environ.get("PYTHONPATH")
+        assert exported is not None
+        first.close()
+        # Still exported for the second session (its workers spawn lazily
+        # and must find the package on first submit).
+        assert os.environ.get("PYTHONPATH") == exported
+        assert second.map(str, [7]) == ["7"]
+        second.close()
+        assert os.environ.get("PYTHONPATH") == original
 
 
 class TestRewiredSweeps:

@@ -7,7 +7,6 @@ transformation → max flow → resilience) on the tiny profile and assert the
 
 import pytest
 
-from repro.core.analyzer import ConnectivityAnalyzer
 from repro.core.resilience import ResilienceModel
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import get_scenario
