@@ -62,6 +62,18 @@ GATES = {
 }
 
 
+def _strip_metrics(document: dict) -> dict:
+    """Drop any observability section before gate extraction.
+
+    Instrumented benchmark runs (``REPRO_OBS=1``) may attach a
+    ``"metrics"`` section to their BENCH JSON; it describes the run that
+    produced the numbers, not the numbers themselves, so the gates must
+    compare documents with and without it interchangeably.
+    """
+    document.pop("metrics", None)
+    return document
+
+
 def committed_document(ref: str, filename: str) -> dict:
     """Load ``benchmarks/output/<filename>`` as committed at ``ref``."""
     blob = subprocess.run(
@@ -70,7 +82,7 @@ def committed_document(ref: str, filename: str) -> dict:
         capture_output=True,
         cwd=Path(__file__).resolve().parent.parent,
     ).stdout
-    return json.loads(blob)
+    return _strip_metrics(json.loads(blob))
 
 
 def check_gate(name: str, ref: str, threshold: float) -> bool:
@@ -78,7 +90,9 @@ def check_gate(name: str, ref: str, threshold: float) -> bool:
     filename, metric, description = GATES[name]
     reference = metric(committed_document(ref, filename))
     fresh_path = OUTPUT_DIR / filename
-    measured = metric(json.loads(fresh_path.read_text(encoding="utf-8")))
+    measured = metric(
+        _strip_metrics(json.loads(fresh_path.read_text(encoding="utf-8")))
+    )
     floor = threshold * reference
     verdict = "ok" if measured >= floor else "REGRESSED"
     print(

@@ -29,6 +29,7 @@ from typing import Dict, Optional
 
 import pytest
 
+from repro import obs
 from repro.experiments.profiles import get_profile
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 from repro.experiments.scenarios import Scenario
@@ -109,6 +110,27 @@ def output_dir() -> Path:
     """Directory for the reproduced tables/figures."""
     OUTPUT_DIR.mkdir(exist_ok=True)
     return OUTPUT_DIR
+
+
+def attach_obs_metrics(document: dict) -> dict:
+    """Attach the live observability snapshot to a BENCH_* document.
+
+    Under ``REPRO_OBS=1`` the benchmark run is instrumented; its counters
+    (events, lookups, cache traffic) describe the run that produced the
+    committed numbers, so they ride along under a top-level ``"metrics"``
+    key.  The perf regression gates strip that key before extraction
+    (``check_regression._strip_metrics``) — instrumented and plain
+    documents gate identically.  A no-op when observability is off.
+    """
+    registry = obs.active()
+    if registry is not None:
+        from repro.obs.summary import METRICS_SCHEMA
+
+        document["metrics"] = {
+            "schema": METRICS_SCHEMA,
+            "metrics": registry.snapshot(),
+        }
+    return document
 
 
 def write_artefact(output_dir: Path, name: str, content: str) -> None:

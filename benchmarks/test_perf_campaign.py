@@ -46,7 +46,7 @@ import json
 import time
 from typing import Dict, List
 
-from benchmarks.conftest import BENCH_SEED, write_artefact
+from benchmarks.conftest import BENCH_SEED, attach_obs_metrics, write_artefact
 from repro.experiments.persistence import trajectory_digest
 from repro.experiments.scenarios import get_scenario
 from repro.runtime import (
@@ -212,7 +212,10 @@ def test_perf_campaign_trajectory(output_dir):
     }
 
     path = output_dir / "BENCH_campaign.json"
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    path.write_text(
+        json.dumps(attach_obs_metrics(document), indent=2) + "\n",
+        encoding="utf-8",
+    )
 
     lines = [f"{'config':<24} {'seconds':>10} {'tasks/sec':>10}"]
     for name, record in configs.items():

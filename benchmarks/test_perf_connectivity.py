@@ -45,7 +45,7 @@ import random
 import time
 from typing import Callable, Dict, Tuple
 
-from benchmarks.conftest import BENCH_SEED, write_artefact
+from benchmarks.conftest import BENCH_SEED, attach_obs_metrics, write_artefact
 from repro.core.vertex_connectivity import (
     PairFlowEvaluator,
     lowest_in_degree_vertices,
@@ -244,7 +244,10 @@ def test_perf_connectivity_trajectory(output_dir):
     }
 
     path = output_dir / "BENCH_connectivity.json"
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    path.write_text(
+        json.dumps(attach_obs_metrics(document), indent=2) + "\n",
+        encoding="utf-8",
+    )
 
     summary_lines = [
         f"{'config':<22} {'pairs/s (min pass)':>18} {'pairs/s (avg pass)':>18}"

@@ -37,7 +37,7 @@ import json
 import time
 from typing import Callable, Dict
 
-from benchmarks.conftest import BENCH_SEED, write_artefact
+from benchmarks.conftest import BENCH_SEED, attach_obs_metrics, write_artefact
 from repro.experiments.persistence import trajectory_digest
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import get_scenario
@@ -189,7 +189,10 @@ def test_perf_simulator_trajectory(output_dir):
     }
 
     path = output_dir / "BENCH_simulator.json"
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    path.write_text(
+        json.dumps(attach_obs_metrics(document), indent=2) + "\n",
+        encoding="utf-8",
+    )
 
     summary = [
         f"profile={PROFILE} scenario={SCENARIO} seed={BENCH_SEED}",

@@ -26,6 +26,15 @@ Subcommands:
     (``cache prune --max-bytes N``, LRU order) a result cache directory
     used by the run/sweep commands.
 
+``obs``
+    Observability: ``obs summary`` runs one scenario with
+    :mod:`repro.obs` instrumentation enabled and prints the metrics
+    summary (cache hit rate, worker utilisation, simulator events/sec,
+    mean lookup virtual-time latency); ``--metrics-out``/``--trace-out``
+    write the raw metrics JSON and the span-per-line JSONL trace.
+    Instrumentation is identity-free — every simulation statistic stays
+    bit-identical with it on or off.
+
 Simulation commands accept ``--jobs N`` (process-pool execution across
 experiment tasks), ``--flow-jobs N`` (process-pool execution of the
 per-snapshot pair-flow batches *inside* a task), ``--cache-dir DIR``
@@ -42,10 +51,14 @@ parallelism, schedule or cache state.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core.analyzer import ConnectivityAnalyzer
+from repro.obs import tracing
+from repro.obs.summary import format_summary, write_metrics
 from repro.experiments.profiles import PROFILES
 from repro.experiments.report import (
     format_figure,
@@ -163,6 +176,14 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="stream per-run progress lines to stderr",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help=(
+            "enable observability (like REPRO_OBS=1) and write the "
+            "collected metrics as JSON to FILE; identity-free — results "
+            "and cache entries are bit-identical with or without it"
+        ),
+    )
 
 
 def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
@@ -222,12 +243,65 @@ def _warn_schedule_without_cache(args: argparse.Namespace) -> None:
 def _report_cache_stats(cache: Optional[ResultCache]) -> None:
     if cache is None:
         return
+    cache.sync_persistent_stats()
     stats = cache.stats
     print(
         f"[cache] {stats.hits} hits, {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate) in {cache.directory}",
         file=sys.stderr,
     )
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Route the ``repro`` logger hierarchy to stderr.
+
+    ``-v`` lifts the threshold to INFO, ``-vv`` to DEBUG; the default
+    WARNING keeps the cache/pool diagnostics (oversized-store drops,
+    cancelled batches) visible without any flag.  The handler is attached
+    once per process (tests call ``main`` repeatedly) and writes to
+    stderr so stdout stays bit-identical whatever the verbosity.
+    """
+    logger = logging.getLogger("repro")
+    if not any(
+        getattr(handler, "_repro_cli", False) for handler in logger.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s] %(name)s: %(message)s")
+        )
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    if verbosity >= 2:
+        logger.setLevel(logging.DEBUG)
+    elif verbosity == 1:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.WARNING)
+
+
+def _obs_setup(args: argparse.Namespace) -> bool:
+    """Enable observability when ``--metrics-out`` asks for it.
+
+    Returns whether *this call* enabled it (so the matching
+    :func:`_obs_finish` disables it again, but never switches off an
+    externally-requested ``REPRO_OBS=1``).
+    """
+    if getattr(args, "metrics_out", None) and not obs.enabled():
+        obs.enable()
+        return True
+    return False
+
+
+def _obs_finish(args: argparse.Namespace, enabled_here: bool) -> None:
+    """Write ``--metrics-out`` (if requested) and undo :func:`_obs_setup`."""
+    path = getattr(args, "metrics_out", None)
+    if path:
+        registry = obs.active()
+        if registry is not None:
+            write_metrics(path, registry.snapshot())
+            print(f"[obs] wrote metrics to {path}", file=sys.stderr)
+    if enabled_here:
+        obs.disable()
 
 
 def _apply_overrides(scenario, args):
@@ -246,15 +320,19 @@ def _apply_overrides(scenario, args):
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
     _warn_schedule_without_cache(args)
+    enabled_here = _obs_setup(args)
     cache = _make_cache(args)
-    result = run_scenario(
-        scenario, profile=args.profile, seed=args.seed,
-        jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
-        progress=_make_progress(args),
-        schedule=args.schedule, adaptive_shards=args.adaptive_shards,
-        batch=args.batch,
-    )
-    _report_cache_stats(cache)
+    try:
+        result = run_scenario(
+            scenario, profile=args.profile, seed=args.seed,
+            jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+            progress=_make_progress(args),
+            schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+            batch=args.batch,
+        )
+        _report_cache_stats(cache)
+    finally:
+        _obs_finish(args, enabled_here)
     print(format_summaries([result]))
     print()
     rows = result.series.to_rows()
@@ -272,15 +350,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep_k(args: argparse.Namespace) -> int:
     scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
     _warn_schedule_without_cache(args)
+    enabled_here = _obs_setup(args)
     cache = _make_cache(args)
-    results = run_bucket_size_sweep(
-        scenario, bucket_sizes=args.k, profile=args.profile, seed=args.seed,
-        jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
-        progress=_make_progress(args),
-        schedule=args.schedule, adaptive_shards=args.adaptive_shards,
-        batch=args.batch,
-    )
-    _report_cache_stats(cache)
+    try:
+        results = run_bucket_size_sweep(
+            scenario, bucket_sizes=args.k, profile=args.profile,
+            seed=args.seed,
+            jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+            progress=_make_progress(args),
+            schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+            batch=args.batch,
+        )
+        _report_cache_stats(cache)
+    finally:
+        _obs_finish(args, enabled_here)
     print(format_figure(results, f"Scenario {scenario.name}: bucket-size sweep"))
     return 0
 
@@ -292,6 +375,7 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     _warn_schedule_without_cache(args)
+    enabled_here = _obs_setup(args)
     cache = _make_cache(args)
     # One batch across all four scenarios so --jobs parallelises the whole
     # E-H x k grid through a single process pool.
@@ -305,14 +389,59 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             adaptive_shards=args.adaptive_shards,
         )
     ]
-    with Campaign(
-        executor=make_executor(args.jobs), cache=cache,
-        progress=_make_progress(args), schedule=args.schedule,
-        batch=args.batch,
-    ) as campaign:
-        results = campaign.run(tasks)
-    _report_cache_stats(cache)
+    try:
+        with Campaign(
+            executor=make_executor(args.jobs), cache=cache,
+            progress=_make_progress(args), schedule=args.schedule,
+            batch=args.batch,
+        ) as campaign:
+            results = campaign.run(tasks)
+        _report_cache_stats(cache)
+    finally:
+        _obs_finish(args, enabled_here)
     print(format_table2(results))
+    return 0
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    """Run one scenario fully instrumented and print the metrics summary.
+
+    Enables :mod:`repro.obs` for the run (regardless of ``REPRO_OBS``),
+    optionally writes the JSONL trace (``--trace-out``) and the metrics
+    JSON (``--metrics-out``), and prints the human-readable summary to
+    stdout.  The simulation results themselves are bit-identical to an
+    uninstrumented run and still populate ``--cache-dir`` normally.
+    """
+    scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
+    _warn_schedule_without_cache(args)
+    was_enabled = obs.enabled()
+    obs.enable()
+    if args.trace_out:
+        tracing.configure_tracer(args.trace_out)
+    cache = _make_cache(args)
+    try:
+        run_scenario(
+            scenario, profile=args.profile, seed=args.seed,
+            jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+            progress=_make_progress(args),
+            schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+            batch=args.batch,
+        )
+        _report_cache_stats(cache)
+        registry = obs.active()
+        snapshot = registry.snapshot() if registry is not None else {}
+        print(format_summary(snapshot))
+        if args.metrics_out:
+            write_metrics(args.metrics_out, snapshot)
+            print(f"[obs] wrote metrics to {args.metrics_out}",
+                  file=sys.stderr)
+        if args.trace_out:
+            print(f"[obs] wrote trace to {args.trace_out}", file=sys.stderr)
+    finally:
+        if args.trace_out:
+            tracing.reset_tracer()
+        if not was_enabled:
+            obs.disable()
     return 0
 
 
@@ -325,6 +454,10 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     print(f"total bytes:     {info.total_bytes}")
     print(f"evictions:       {info.evictions}")
     print(f"stores dropped:  {info.stores_dropped}")
+    print(f"hits:            {info.hits}")
+    print(f"misses:          {info.misses}")
+    print(f"hit rate:        {info.hit_rate:.0%}")
+    print(f"bytes served:    {info.bytes_served}")
     return 0
 
 
@@ -418,6 +551,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-kademlia",
         description="Kademlia connection-resilience reproduction toolkit",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help=(
+            "increase diagnostic logging on stderr (-v: INFO with cache "
+            "prunes and pool lifecycle, -vv: DEBUG); stdout is unaffected"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run one scenario (A-L)")
@@ -477,6 +617,29 @@ def build_parser() -> argparse.ArgumentParser:
     dimacs_parser.add_argument("output", help="output DIMACS file path")
     dimacs_parser.set_defaults(func=_cmd_export_dimacs)
 
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability: metrics summaries of instrumented runs"
+    )
+    obs_subparsers = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_summary_parser = obs_subparsers.add_parser(
+        "summary",
+        help=(
+            "run one scenario with REPRO_OBS-style instrumentation on and "
+            "print the metrics summary (cache hit rate, worker "
+            "utilisation, events/sec, lookup latency)"
+        ),
+    )
+    _add_scenario_argument(obs_summary_parser)
+    _add_common_run_options(obs_summary_parser)
+    obs_summary_parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help=(
+            "also write a span-per-line JSONL trace of the run "
+            "(task/batch/shard/snapshot records with parent ids) to FILE"
+        ),
+    )
+    obs_summary_parser.set_defaults(func=_cmd_obs_summary)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear a result cache directory"
     )
@@ -522,6 +685,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     return args.func(args)
 
 

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import time as wallclock
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.obs import tracing
 
 from repro.churn.churn_model import get_churn_scenario
 from repro.churn.loss import get_loss_model
@@ -34,6 +37,12 @@ class ExperimentResult:
     leaves: int
     wall_seconds: float
     snapshots: List[RoutingTableSnapshot] = field(default_factory=list)
+    #: Metrics snapshot of the run's observability registry (None unless
+    #: ``REPRO_OBS`` was enabled).  **Transient by design**: persistence
+    #: (:func:`repro.experiments.persistence.result_to_dict`) enumerates
+    #: fields explicitly and never serialises this one, so cache entries
+    #: and trajectory digests are byte-identical with metrics on or off.
+    obs_metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def churn_mean_minimum(self) -> float:
@@ -78,6 +87,46 @@ class ExperimentResult:
             "final_network_size": self.final_network_size(),
             "wall_seconds": self.wall_seconds,
         }
+
+
+def _record_run_metrics(registry, simulation: KademliaSimulation, wall: float) -> None:
+    """Fold end-of-run simulator/transport aggregates into the registry.
+
+    Hot-loop quantities (events executed, message counts) are read off
+    the always-on counters the simulator and transport keep anyway, so
+    observability adds nothing to the event loop itself; only this one
+    end-of-run pass is extra.  Counters accumulate across merges, gauges
+    describe this single run (a campaign merging many task snapshots
+    folds them into per-name histograms).
+    """
+    simulator = simulation.simulator
+    registry.inc("sim.events", simulator.events_processed)
+    registry.set_gauge(
+        "sim.events_per_sec",
+        simulator.events_processed / wall if wall > 0 else 0.0,
+    )
+    registry.set_gauge("sim.virtual_minutes", simulator.now)
+    registry.set_gauge("sim.heap_live", simulator.pending_events)
+    registry.set_gauge("sim.heap_dead", simulator.cancelled_pending_events)
+    registry.inc("sim.heap_compactions", simulator.compactions)
+    registry.set_gauge("sim.wall_seconds", wall)
+    registry.inc("sim.joins", simulation.joins)
+    registry.inc("sim.leaves", simulation.leaves)
+    registry.inc("sim.snapshots", simulation.snapshots_taken)
+
+    stats = simulation.transport.stats
+    registry.inc("transport.requests_sent", stats.requests_sent)
+    registry.inc("transport.round_trips_ok", stats.round_trips_ok)
+    registry.inc("transport.round_trips_failed", stats.round_trips_failed)
+    registry.inc("transport.requests_lost", stats.requests_lost)
+    registry.inc("transport.responses_lost", stats.responses_lost)
+    registry.inc(
+        "transport.requests_to_dead_nodes", stats.requests_to_dead_nodes
+    )
+    request_counts = simulation.transport.obs_request_counts
+    if request_counts:
+        for name, count in request_counts.items():
+            registry.inc(f"transport.messages.{name}", count)
 
 
 class ExperimentRunner:
@@ -214,7 +263,24 @@ class ExperimentRunner:
 
         ``hardening`` optionally enables the extension mechanisms — see
         :meth:`build_simulation`.
+
+        Under observability the whole run executes inside a fresh
+        :func:`repro.obs.run_scope`, so the transport, protocols and
+        pair-flow engines built below record into a per-run registry
+        whose snapshot is attached as ``result.obs_metrics`` — cleanly
+        per-task even when a warm worker runs many tasks in one process.
         """
+        with obs.run_scope() as registry, tracing.span(
+            "experiment.run",
+            scenario=scenario.name,
+            profile=self.profile.name,
+            seed=self.seed,
+        ):
+            return self._run(scenario, hardening, registry)
+
+    def _run(
+        self, scenario: Scenario, hardening, registry
+    ) -> ExperimentResult:
         profile = self.profile
         simulation = self.build_simulation(scenario, hardening=hardening)
         phases = self.phase_schedule(scenario)
@@ -230,6 +296,9 @@ class ExperimentRunner:
             # the previous snapshot); the graph is content-identical to
             # build_connectivity_graph(snapshot.routing_tables) and is
             # consumed synchronously, before the simulation advances.
+            tracing.point(
+                "snapshot", vt=snapshot.time, network_size=snapshot.network_size
+            )
             report = analyzer.analyze_graph(simulation.connectivity_graph())
             series.append(
                 ConnectivitySample(
@@ -255,7 +324,7 @@ class ExperimentRunner:
             simulation.run_until(phases.simulation_end)
         wall = wallclock.perf_counter() - started
 
-        return ExperimentResult(
+        result = ExperimentResult(
             scenario=scenario,
             profile_name=profile.name,
             phases=phases,
@@ -267,6 +336,10 @@ class ExperimentRunner:
             wall_seconds=wall,
             snapshots=stored_snapshots,
         )
+        if registry is not None:
+            _record_run_metrics(registry, simulation, wall)
+            result.obs_metrics = registry.snapshot()
+        return result
 
     def run_many(self, scenarios: List[Scenario]) -> List[ExperimentResult]:
         """Run several scenarios sequentially."""

@@ -61,6 +61,22 @@ class LookupResult:
         """True if at least one node answered."""
         return bool(self.contacted)
 
+    def virtual_latency(
+        self, rtt: float = 1.0, timeout_penalty: float = 3.0
+    ) -> float:
+        """Per-hop virtual-time latency of this lookup, in RTT units.
+
+        The whole lookup executes within one simulator event, so no
+        virtual duration can be measured directly — but the per-hop
+        structure is fully known: every parallel query round is one
+        request/response round-trip deep (one ``rtt``), and every failed
+        round-trip additionally waited out a timeout
+        (``timeout_penalty``).  Accumulating those per-hop costs yields
+        the latency a real deployment would have observed; the default
+        constants mirror :mod:`repro.obs.virtualtime`.
+        """
+        return self.rounds * rtt + self.failures * timeout_penalty
+
     def closest(self) -> int:
         """Return the contacted node closest to the target.
 

@@ -20,6 +20,8 @@ from repro.kademlia.messages import (
 )
 from repro.kademlia.routing_table import RoutingTable
 from repro.kademlia.storage import DataStore
+from repro.obs import active as obs_active
+from repro.obs.virtualtime import lookup_virtual_latency
 from repro.simulator.protocol import Protocol
 from repro.simulator.transport import Transport
 
@@ -52,6 +54,11 @@ class KademliaProtocol(Protocol):
         self.disseminations_performed = 0
         self.refreshes_performed = 0
         self.reseeds_performed = 0
+        #: Metrics registry captured at construction (None = observability
+        #: off): protocols are built inside the experiment run's scope, so
+        #: every node of one run records into that run's registry.  Purely
+        #: write-only — nothing here feeds back into protocol behaviour.
+        self._obs = obs_active()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -170,7 +177,9 @@ class KademliaProtocol(Protocol):
             self._ever_connected = True
             self.note_contact(target_id, self._clock())
         else:
-            self.routing_table.record_failure(target_id)
+            evicted = self.routing_table.record_failure(target_id)
+            if evicted and self._obs is not None:
+                self._obs.inc("kademlia.evictions")
         return ok, response
 
     def _reseed_if_isolated(self) -> bool:
@@ -267,11 +276,28 @@ class KademliaProtocol(Protocol):
         return result
 
     def lookup(self, target_id: int) -> LookupResult:
-        """Perform one iterative FIND_NODE lookup."""
+        """Perform one iterative FIND_NODE lookup.
+
+        Under observability each lookup accumulates its per-hop
+        virtual-time latency (rounds x RTT + failures x timeout penalty,
+        see :mod:`repro.obs.virtualtime`) into the run's registry —
+        identity-free, since :class:`LookupResult` already carries the
+        round/failure structure either way.
+        """
         self._require_bound()
         self._reseed_if_isolated()
         self.lookups_performed += 1
-        return iterative_find_node(self, target_id)
+        result = iterative_find_node(self, target_id)
+        registry = self._obs
+        if registry is not None:
+            registry.inc("kademlia.lookups")
+            registry.observe(
+                "kademlia.lookup.virtual_latency", lookup_virtual_latency(result)
+            )
+            registry.observe("kademlia.lookup.rounds", result.rounds)
+            if result.failures:
+                registry.inc("kademlia.lookup.failed_rpcs", result.failures)
+        return result
 
     def disseminate(self, key_id: int, value: Any) -> Tuple[LookupResult, int]:
         """Store ``value`` on the ``k`` nodes closest to ``key_id``.
@@ -311,6 +337,8 @@ class KademliaProtocol(Protocol):
         self._require_bound()
         self._reseed_if_isolated()
         self.refreshes_performed += 1
+        if self._obs is not None:
+            self._obs.inc("kademlia.refreshes")
         targets = self.routing_table.refresh_targets(rng)
         for target in targets:
             iterative_find_node(self, target)

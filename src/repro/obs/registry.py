@@ -1,0 +1,226 @@
+"""Process-local metrics: counters, gauges, histograms and timers.
+
+A :class:`MetricsRegistry` is a plain in-memory aggregation structure —
+three dicts and no locks — designed around two constraints:
+
+* **zero cost when off** — instrumented call sites hold ``None`` instead
+  of a registry when observability is disabled (see :mod:`repro.obs`),
+  so the disabled hot path is a single ``is not None`` check and zero
+  allocations; nothing in this module is ever imported into a hot loop's
+  inner body;
+* **identity-free by construction** — a registry only ever *receives*
+  values; it owns no RNG, no clock that feeds back into scheduling, and
+  nothing here is reachable from task fingerprints or result
+  persistence.  Metrics can therefore be attached to any run without
+  moving a single simulated bit (gated by the determinism digest suite).
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are nested plain-JSON dicts
+so they can ride on pickled results from worker processes and be merged
+into a campaign-level registry (:meth:`MetricsRegistry.merge`).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, Optional
+
+
+class Histogram:
+    """Streaming summary of observed values: count / total / min / max.
+
+    Deliberately not a bucketed histogram: the consumers (the CLI summary,
+    the metrics JSON, progress snapshots) want means and extremes, and a
+    four-slot accumulator keeps ``observe`` allocation-free.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 before the first observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form used by snapshots."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold a snapshot's histogram dict into this histogram."""
+        count = int(data.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(data.get("total", 0.0))
+        other_min = data.get("min")
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = float(other_min)
+        other_max = data.get("max")
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = float(other_max)
+
+
+class _WallTimer:
+    """Context manager observing wall-clock seconds into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_WallTimer":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self._registry.observe(self._name, perf_counter() - self._started)
+
+
+class _VirtualTimer:
+    """Context manager observing a *virtual clock* delta into a histogram.
+
+    The clock callable is typically :meth:`repro.simulator.engine
+    .Simulator.clock` — the delta is in simulated minutes, not wall time.
+    """
+
+    __slots__ = ("_registry", "_name", "_clock", "_started")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        clock: Callable[[], float],
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._clock = clock
+        self._started = 0.0
+
+    def __enter__(self) -> "_VirtualTimer":
+        self._started = self._clock()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self._registry.observe(self._name, self._clock() - self._started)
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms and timers under dotted metric names.
+
+    Conventions (followed by every instrumented layer):
+
+    * **counters** are monotonically accumulated event counts
+      (``cache.hits``, ``sim.events``); merging adds them;
+    * **gauges** are point-in-time values of *this* registry's scope
+      (``campaign.worker_utilisation``); merging a worker snapshot folds
+      its gauges into same-named **histograms** of the target, so a
+      campaign sees the distribution of a per-run gauge across tasks;
+    * **histograms** summarise repeated observations
+      (``kademlia.lookup.virtual_latency``).
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the histogram ``name`` (created empty)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def time(self, name: str) -> _WallTimer:
+        """Context manager observing wall-clock seconds into ``name``."""
+        return _WallTimer(self, name)
+
+    def time_virtual(
+        self, name: str, clock: Callable[[], float]
+    ) -> _VirtualTimer:
+        """Context manager observing a virtual-clock delta into ``name``."""
+        return _VirtualTimer(self, name, clock)
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of gauge ``name`` (None when never set)."""
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The histogram ``name`` (None when nothing was observed)."""
+        return self._histograms.get(name)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-JSON snapshot of everything recorded so far."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this registry.
+
+        Counters add, histograms combine, and the snapshot's *gauges*
+        become observations of same-named histograms here — a gauge is a
+        per-scope value (one task's events/sec), and the merging scope
+        wants its distribution, not whichever task merged last.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, int(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.merge_dict(data)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.observe(name, float(value))
+
+    def clear(self) -> None:
+        """Drop every recorded value (tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

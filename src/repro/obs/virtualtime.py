@@ -1,0 +1,46 @@
+"""Synthetic virtual-time latency model for Kademlia lookups.
+
+The simulation executes a whole iterative lookup inside one simulator
+event (see the design note in :mod:`repro.simulator`), so simulated time
+cannot advance *during* a lookup — there is no virtual duration to
+measure directly.  What the lookup does expose is its per-hop structure:
+``rounds`` parallel query rounds, each one request/response round-trip
+deep, plus ``failures`` timed-out round-trips along the way.
+
+This module turns that structure into a virtual-time latency figure the
+way latency-focused Kademlia simulators do (advance a virtual clock by
+one RTT per lookup round — the shape of the kvcache-research benchmark
+referenced from SNIPPETS.md): each round costs one RTT and each failed
+round-trip additionally costs a timeout penalty, expressed in RTT units.
+A well-populated routing table resolves a lookup in O(log N) rounds, so
+the derived latency inherits the paper-relevant O(log N) bound that the
+property test in ``tests/kademlia/test_lookup_latency.py`` asserts.
+
+The accumulation itself lives on
+:meth:`repro.kademlia.lookup.LookupResult.virtual_latency`; this module
+owns the canonical constants and the registry-facing helper so the
+protocol layer has one place to read them from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kademlia.lookup import LookupResult
+
+#: Virtual cost of one parallel query round, in RTT units.  The model is
+#: relative — latencies are reported as multiples of the network RTT —
+#: so the unit round keeps every figure directly comparable to the
+#: O(log N) bound.
+LOOKUP_RTT = 1.0
+
+#: Additional virtual cost of one failed (timed-out) round-trip, in RTT
+#: units.  Deployed Kademlia implementations wait a small multiple of
+#: the RTT before declaring a timeout; 3x is the conventional choice.
+LOOKUP_TIMEOUT_PENALTY = 3.0
+
+
+def lookup_virtual_latency(result: "LookupResult") -> float:
+    """Virtual-time latency of one lookup under the canonical constants."""
+    return result.virtual_latency(LOOKUP_RTT, LOOKUP_TIMEOUT_PENALTY)

@@ -23,11 +23,11 @@ outside the entry namespace.
 from __future__ import annotations
 
 import json
+import logging
 import os
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.experiments.persistence import result_from_dict, result_to_dict
 from repro.experiments.runner import ExperimentResult
@@ -41,6 +41,15 @@ ENTRY_SUFFIX = ".json"
 #: Sidecar file holding cumulative cache metadata (eviction counter).
 META_FILENAME = "_meta.json"
 
+#: Counters batched by :meth:`ResultCache.sync_persistent_stats` instead
+#: of being written per event: ``get`` is a hot path (one lookup per
+#: campaign task), so its counters flush once per campaign run rather
+#: than once per hit.  ``evictions``/``stores_dropped`` keep their
+#: per-event persistence — they are rare and must survive crashes.
+SYNCED_STAT_NAMES = ("hits", "misses", "stores", "bytes_served")
+
+logger = logging.getLogger("repro.runtime.cache")
+
 
 @dataclass
 class CacheStats:
@@ -48,7 +57,9 @@ class CacheStats:
 
     ``stores_dropped`` counts stores whose entry exceeded the size cap on
     its own and therefore never persisted (see :meth:`ResultCache.put`);
-    such a store is *not* counted as an eviction.
+    such a store is *not* counted as an eviction.  ``bytes_served`` is
+    the cumulative on-disk size of every entry served by a hit — the
+    simulation work the cache saved, in bytes read instead of re-run.
     """
 
     hits: int = 0
@@ -56,6 +67,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     stores_dropped: int = 0
+    bytes_served: int = 0
 
     @property
     def lookups(self) -> int:
@@ -87,6 +99,17 @@ class CacheInfo:
     evictions: int = 0
     stores_dropped: int = 0
     max_bytes: Optional[int] = None
+    hits: int = 0
+    misses: int = 0
+    bytes_served: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime fraction of lookups served from this directory."""
+        lookups = self.hits + self.misses
+        if not lookups:
+            return 0.0
+        return self.hits / lookups
 
 
 class ResultCache:
@@ -110,6 +133,10 @@ class ResultCache:
         self.directory = Path(directory)
         self.max_bytes = max_bytes
         self.stats = CacheStats()
+        # Snapshot of the stats already flushed to the ``_meta.json``
+        # sidecar; sync_persistent_stats() persists only the delta since
+        # the previous flush, so calling it repeatedly never double-counts.
+        self._synced: Dict[str, int] = {name: 0 for name in SYNCED_STAT_NAMES}
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: str) -> Path:
@@ -156,7 +183,8 @@ class ResultCache:
         """
         path = self._entry_path(task.key())
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
+            raw = path.read_bytes()
+            document = json.loads(raw)
             if document.get("task") != task.fingerprint():
                 raise ValueError("cache entry does not match task fingerprint")
             result = result_from_dict(document["result"])
@@ -168,10 +196,14 @@ class ResultCache:
             # Any malformed document shape (non-object JSON, wrong field
             # types, truncated entries) is treated the same way: evict and
             # re-run.
+            logger.warning(
+                "evicting corrupt or mismatching cache entry %s", path.name
+            )
             path.unlink(missing_ok=True)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self.stats.bytes_served += len(raw)
         try:
             os.utime(path)  # refresh LRU recency
         except OSError:  # pragma: no cover - entry raced away
@@ -211,13 +243,13 @@ class ResultCache:
                 tmp_path.unlink(missing_ok=True)
                 self.stats.stores_dropped += 1
                 self._bump_persistent_counter("stores_dropped", 1)
-                warnings.warn(
-                    f"result of task {task.key()[:12]} is {entry_bytes} bytes, "
-                    f"larger than the cache cap of {self.max_bytes} bytes; "
-                    "the store was dropped (raise max_bytes to cache results "
-                    "of this size)",
-                    RuntimeWarning,
-                    stacklevel=2,
+                logger.warning(
+                    "result of task %s is %d bytes, larger than the cache "
+                    "cap of %d bytes; the store was dropped (raise "
+                    "max_bytes to cache results of this size)",
+                    task.key()[:12],
+                    entry_bytes,
+                    self.max_bytes,
                 )
                 return path
         tmp_path.replace(path)
@@ -286,6 +318,12 @@ class ResultCache:
         if evicted:
             self.stats.evictions += evicted
             self._bump_persistent_counter("evictions", evicted)
+            logger.info(
+                "pruned %d least-recently-used cache entr%s to fit %d bytes",
+                evicted,
+                "y" if evicted == 1 else "ies",
+                cap,
+            )
         return evicted
 
     # ------------------------------------------------------------------
@@ -306,6 +344,9 @@ class ResultCache:
             return 0
 
     def _bump_persistent_counter(self, name: str, count: int) -> None:
+        self._bump_persistent_counters({name: count})
+
+    def _bump_persistent_counters(self, counts: Dict[str, int]) -> None:
         # The read-modify-write is guarded by an advisory lock so two
         # processes pruning one shared directory cannot lose increments;
         # everything here is best-effort (the counters are diagnostics,
@@ -316,23 +357,43 @@ class ResultCache:
 
             with open(lock_path, "a+", encoding="utf-8") as lock_file:
                 fcntl.flock(lock_file, fcntl.LOCK_EX)
-                self._write_meta_counter(name, count)
+                self._write_meta_counters(counts)
         except (ImportError, OSError):  # pragma: no cover - lockless platform
-            self._write_meta_counter(name, count)
+            self._write_meta_counters(counts)
 
-    def _write_meta_counter(self, name: str, count: int) -> None:
+    def _write_meta_counters(self, counts: Dict[str, int]) -> None:
         meta = self._read_meta()
-        try:
-            current = int(meta.get(name, 0))
-        except (TypeError, ValueError):
-            current = 0
-        meta[name] = current + count
+        for name, count in counts.items():
+            try:
+                current = int(meta.get(name, 0))
+            except (TypeError, ValueError):
+                current = 0
+            meta[name] = current + count
         tmp = self._meta_path().with_suffix(f".{os.getpid()}.metatmp")
         try:
             tmp.write_text(json.dumps(meta), encoding="utf-8")
             tmp.replace(self._meta_path())
         except OSError:  # pragma: no cover - metadata is best-effort
             tmp.unlink(missing_ok=True)
+
+    def sync_persistent_stats(self) -> None:
+        """Flush the hit/miss/store/bytes-served deltas to ``_meta.json``.
+
+        Called at the end of a campaign run (and by ``cache info``) so the
+        hot lookup path never touches the sidecar.  Only the delta since
+        the previous flush is written, under one lock acquisition, and a
+        directory that was never created stays absent.
+        """
+        deltas = {}
+        for name in SYNCED_STAT_NAMES:
+            delta = getattr(self.stats, name) - self._synced[name]
+            if delta:
+                deltas[name] = delta
+        if not deltas or not self.directory.is_dir():
+            return
+        self._bump_persistent_counters(deltas)
+        for name, delta in deltas.items():
+            self._synced[name] += delta
 
     def info(self) -> CacheInfo:
         """Describe the on-disk state (entry count, size, evictions)."""
@@ -351,4 +412,7 @@ class ResultCache:
             evictions=self._read_persistent_counter("evictions"),
             stores_dropped=self._read_persistent_counter("stores_dropped"),
             max_bytes=self.max_bytes,
+            hits=self._read_persistent_counter("hits"),
+            misses=self._read_persistent_counter("misses"),
+            bytes_served=self._read_persistent_counter("bytes_served"),
         )

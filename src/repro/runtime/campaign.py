@@ -40,8 +40,10 @@ The module also provides the batch builders (:func:`sweep_tasks`,
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     Callable,
     Iterable,
@@ -53,13 +55,17 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.experiments.profiles import ScaleProfile
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import Scenario
+from repro.obs import tracing
 from repro.runtime.cache import ResultCache
 from repro.runtime.costmodel import TaskCostModel
 from repro.runtime.executor import Executor, SerialExecutor, TaskSession
 from repro.runtime.task import ExperimentTask, derive_seed
+
+logger = logging.getLogger("repro.runtime.campaign")
 
 #: Progress event statuses.
 CACHE_HIT = "hit"
@@ -139,6 +145,11 @@ class TaskProgress:
     so a progress callback can render the task's figure the moment it
     completes — with cheapest-first scheduling that is what turns the
     schedule into a shorter time-to-first-figure.
+
+    ``metrics`` is a small live-observability dict (completed /
+    cache_hits / tasks_total / elapsed_seconds / tasks_per_sec), attached
+    only when :mod:`repro.obs` is enabled and ``None`` otherwise — like
+    everything observability it never feeds back into results.
     """
 
     task: ExperimentTask
@@ -148,6 +159,7 @@ class TaskProgress:
     completed: int
     cache_hits: int
     result: Optional[ExperimentResult] = None
+    metrics: Optional[dict] = None
 
     def describe(self) -> str:
         """One-line rendering used by the CLI's progress stream."""
@@ -214,6 +226,10 @@ class Campaign:
             cost_model = TaskCostModel.for_cache(cache)
         self.cost_model = cost_model
         self._task_session: Optional[TaskSession] = None
+        # Captured once: ``None`` when observability is off, so every
+        # per-task touch point below is a single attribute test.
+        self._obs = obs.active()
+        self._run_started = 0.0
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -249,7 +265,25 @@ class Campaign:
     def run(self, tasks: Sequence[ExperimentTask]) -> List[ExperimentResult]:
         """Run ``tasks`` and return their results in submission order."""
         tasks = list(tasks)
+        try:
+            with tracing.span(
+                "campaign.run", tasks=len(tasks), schedule=self.schedule
+            ):
+                return self._run(tasks)
+        finally:
+            # Fold this run's lookup counters into the cache directory's
+            # persistent stats (one lock acquisition; no-op without
+            # deltas or directory) even when a task raised mid-batch.
+            if self.cache is not None:
+                self.cache.sync_persistent_stats()
+
+    def _run(self, tasks: List[ExperimentTask]) -> List[ExperimentResult]:
         total = len(tasks)
+        registry = self._obs
+        self._run_started = perf_counter()
+        fresh_wall = 0.0
+        if registry is not None:
+            registry.inc("campaign.tasks_submitted", total)
         results: List[Optional[ExperimentResult]] = [None] * total
         completed = 0
         cache_hits = 0
@@ -261,6 +295,9 @@ class Campaign:
                 results[index] = cached
                 completed += 1
                 cache_hits += 1
+                if registry is not None:
+                    registry.inc("campaign.cache_hits")
+                    registry.inc("campaign.tasks_completed")
                 self._emit(
                     task, index, total, CACHE_HIT, completed, cache_hits, cached
                 )
@@ -271,7 +308,7 @@ class Campaign:
             dispatch_order = self._dispatch_order(tasks, pending_indices)
 
             def _record(index: int, result: ExperimentResult) -> None:
-                nonlocal completed
+                nonlocal completed, fresh_wall
                 task = tasks[index]
                 results[index] = result
                 if self.cache is not None:
@@ -279,6 +316,14 @@ class Campaign:
                 if self.cost_model is not None:
                     self.cost_model.observe_task(task, result.wall_seconds)
                 completed += 1
+                if registry is not None:
+                    registry.inc("campaign.tasks_completed")
+                    registry.observe(
+                        "campaign.task_wall_seconds", result.wall_seconds
+                    )
+                    fresh_wall += result.wall_seconds
+                    if result.obs_metrics is not None:
+                        registry.merge(result.obs_metrics)
                 self._emit(
                     task, index, total, COMPLETED, completed, cache_hits, result
                 )
@@ -299,7 +344,34 @@ class Campaign:
                 if self.cost_model is not None:
                     self.cost_model.save()
 
+        if registry is not None:
+            self._record_run_gauges(registry, fresh_wall)
         return results  # type: ignore[return-value]
+
+    def _record_run_gauges(self, registry, fresh_wall: float) -> None:
+        """Record the end-of-run campaign/cache gauges.
+
+        ``worker_utilisation`` is the fraction of the run's total worker
+        capacity (wall-clock elapsed × worker count) spent inside fresh
+        simulations — cache hits and dispatch overhead both lower it.
+        """
+        elapsed = perf_counter() - self._run_started
+        workers = max(1, getattr(self.executor, "worker_count", 1))
+        registry.set_gauge("campaign.workers", workers)
+        registry.set_gauge("campaign.elapsed_seconds", elapsed)
+        if elapsed > 0.0:
+            registry.set_gauge(
+                "campaign.worker_utilisation",
+                min(1.0, fresh_wall / (elapsed * workers)),
+            )
+        if self.cache is not None:
+            stats = self.cache.stats
+            registry.set_gauge("cache.hits", stats.hits)
+            registry.set_gauge("cache.misses", stats.misses)
+            registry.set_gauge("cache.stores", stats.stores)
+            registry.set_gauge("cache.evictions", stats.evictions)
+            registry.set_gauge("cache.bytes_served", stats.bytes_served)
+            registry.set_gauge("cache.hit_rate", stats.hit_rate)
 
     def run_one(self, task: ExperimentTask) -> ExperimentResult:
         """Run a single task (through cache and executor)."""
@@ -322,11 +394,22 @@ class Campaign:
         starts from a fresh pool instead of a possibly-broken one.
         """
         batches = self._pack_batches(tasks, dispatch_order)
+        registry = self._obs
         if self._task_session is None:
             self._task_session = self.executor.open_task_session()
+            if registry is not None:
+                registry.inc("campaign.sessions_opened")
+        if registry is not None:
+            registry.inc("campaign.batches_dispatched", len(batches))
+            for batch in batches:
+                registry.observe("campaign.batch_size", len(batch))
         try:
             self._task_session.run_batches(batches, on_result=record)
         except BaseException:
+            logger.warning(
+                "closing persistent task session after a failed batch run; "
+                "the next run() opens a fresh worker pool"
+            )
             self.close()
             raise
 
@@ -397,7 +480,20 @@ class Campaign:
         cache_hits: int,
         result: Optional[ExperimentResult],
     ) -> None:
+        tracing.point("task", status=status, label=task.label())
         if self.progress is not None:
+            metrics = None
+            if self._obs is not None:
+                elapsed = perf_counter() - self._run_started
+                metrics = {
+                    "completed": completed,
+                    "cache_hits": cache_hits,
+                    "tasks_total": total,
+                    "elapsed_seconds": elapsed,
+                    "tasks_per_sec": (
+                        completed / elapsed if elapsed > 0.0 else 0.0
+                    ),
+                }
             self.progress(
                 TaskProgress(
                     task=task,
@@ -407,6 +503,7 @@ class Campaign:
                     completed=completed,
                     cache_hits=cache_hits,
                     result=result,
+                    metrics=metrics,
                 )
             )
 

@@ -33,6 +33,7 @@ dispatch.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import threading
@@ -52,7 +53,10 @@ from typing import (
 )
 
 from repro.experiments.runner import ExperimentResult
+from repro.obs import tracing
 from repro.runtime.task import ExperimentTask, execute_task
+
+logger = logging.getLogger("repro.runtime.executor")
 
 #: ``on_result(index, result)`` — called as each task of a batch completes.
 ResultCallback = Callable[[int, ExperimentResult], None]
@@ -122,6 +126,10 @@ class _PoolSession(ExecutionSession):
             # pool) must not leave the rest of the batch queued: cancel
             # whatever has not started so the session can be closed (or
             # reused, when the pool survived) immediately.
+            logger.warning(
+                "cancelling %d queued call(s) after a failed pool call",
+                len(futures),
+            )
             for future in futures:
                 future.cancel()
             raise
@@ -146,6 +154,12 @@ class _PoolSession(ExecutionSession):
                     index = pending.pop(future)
                     yield index, future.result()
         finally:
+            if pending:
+                logger.warning(
+                    "cancelling %d queued call(s) after an aborted "
+                    "completion stream",
+                    len(pending),
+                )
             for future in pending:
                 future.cancel()
 
@@ -257,6 +271,7 @@ class TaskSession:
         for _, batch_results in self._session.map_completed(
             execute_task_batch, [list(batch) for batch in batches]
         ):
+            tracing.point("batch", tasks=len(batch_results))
             for index, result in batch_results:
                 results[index] = result
                 if on_result is not None:
@@ -422,6 +437,12 @@ class ParallelExecutor(Executor):
                     # pool shutdown below only waits for the tasks that
                     # are actually running, instead of silently executing
                     # the rest of the batch first.
+                    if pending:
+                        logger.warning(
+                            "cancelling %d queued task(s) after a failed "
+                            "batch",
+                            len(pending),
+                        )
                     for future in pending:
                         future.cancel()
                     raise

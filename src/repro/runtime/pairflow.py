@@ -69,6 +69,8 @@ from repro.graph.transform.even_transform import (
     IndexedEvenTransform,
     indexed_even_transform,
 )
+from repro.obs import active as obs_active
+from repro.obs import tracing
 from repro.runtime.costmodel import PairCostTracker
 from repro.runtime.executor import Executor, make_executor
 
@@ -284,6 +286,10 @@ class PairFlowEngine:
         self._payload_shipped = False
         self._external_session = session
         self._session = None
+        # ``None`` when observability is off; the per-pair kernel above is
+        # untouched either way — counters are folded in once per
+        # evaluation, after the waves have run.
+        self._obs = obs_active()
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "PairFlowEngine":
@@ -348,8 +354,15 @@ class PairFlowEngine:
         wave_width = self.wave_width
         epoch = self._epoch
         algorithm = self.algorithm
+        waves_dispatched = 0
+        shards_dispatched = 0
+        payload_misses = 0
         session, owns_session = self._acquire_session()
+        span = tracing.span(
+            "pairflow.evaluate", pairs=len(pairs), cutoff=use_cutoff
+        )
         try:
+            span.__enter__()
             serial = isinstance(session, _EngineLocalSession)
             for wave_start in range(0, len(shards), wave_width):
                 if stop_at_zero and running == 0:
@@ -364,6 +377,8 @@ class PairFlowEngine:
                     compact = self._compact_payload()
                     self._payload_shipped = True
                 wave = shards[wave_start:wave_start + wave_width]
+                waves_dispatched += 1
+                shards_dispatched += len(wave)
                 tasks = [
                     PairFlowShard(
                         pairs=shard,
@@ -383,6 +398,7 @@ class PairFlowEngine:
                     if result is None
                 ]
                 if missed:
+                    payload_misses += len(missed)
                     payload = self._compact_payload()
                     retries = [
                         replace(tasks[index], compact=payload)
@@ -402,8 +418,25 @@ class PairFlowEngine:
                         if running is None or value < running:
                             running = value
         finally:
+            span.__exit__(None, None, None)
             if owns_session:
                 session.close()
+
+        registry = self._obs
+        if registry is not None:
+            registry.inc("pairflow.evaluations")
+            registry.inc("pairflow.pairs_submitted", len(pairs))
+            registry.inc("pairflow.pairs_evaluated", len(values))
+            # Pairs never evaluated because ``stop_at_zero`` (shard-local
+            # or wave-level) ended the pass early — the cutoff machinery's
+            # prune rate.
+            registry.inc("pairflow.pairs_pruned", len(pairs) - len(values))
+            registry.inc("pairflow.shards", shards_dispatched)
+            registry.inc("pairflow.waves", waves_dispatched)
+            registry.inc("pairflow.payload_misses", payload_misses)
+            registry.observe("pairflow.shard_size", shard_size)
+            if use_cutoff:
+                registry.inc("pairflow.cutoff_pairs", len(values))
 
         if self.cost_tracker is not None and values and not use_cutoff:
             # Only cutoff-free evaluations feed the tracker: those flows
@@ -512,7 +545,12 @@ class PairFlowEngine:
         if not per_pair or per_pair <= 0:
             return self.shard_size
         derived = int(round(ADAPTIVE_SHARD_SECONDS / per_pair))
-        return max(ADAPTIVE_MIN_SHARD, min(ADAPTIVE_MAX_SHARD, derived))
+        clamped = max(ADAPTIVE_MIN_SHARD, min(ADAPTIVE_MAX_SHARD, derived))
+        registry = self._obs
+        if registry is not None and clamped != self.shard_size:
+            registry.inc("pairflow.adaptive_resizes")
+            registry.observe("pairflow.adaptive_shard_size", clamped)
+        return clamped
 
     def _adaptive_minimum(
         self,
@@ -569,6 +607,10 @@ class PairFlowEngine:
             stop_at_zero=True,
         )
         if outcome.minimum == 0:
+            # Geometry-dependent truncation point: discard the adaptive
+            # attempt and replay the canonical schedule (see docstring).
+            if self._obs is not None:
+                self._obs.inc("pairflow.adaptive_replays")
             return canonical()
         return outcome
 

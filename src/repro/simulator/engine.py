@@ -96,6 +96,11 @@ class Simulator:
         """Cancelled events still occupying heap slots (diagnostics)."""
         return self._queue.cancelled_pending
 
+    @property
+    def compactions(self) -> int:
+        """Number of in-place heap compactions performed (diagnostics)."""
+        return self._queue.compactions
+
     # ------------------------------------------------------------------
     def schedule_at(
         self,

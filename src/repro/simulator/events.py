@@ -77,12 +77,17 @@ class Event:
 class EventQueue:
     """A binary-heap event queue with stable ordering and lazy cancellation."""
 
-    __slots__ = ("_heap", "_next_sequence", "_cancelled")
+    __slots__ = ("_heap", "_next_sequence", "_cancelled", "compactions")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Event]] = []
         self._next_sequence = 0
         self._cancelled = 0
+        #: Cumulative number of in-place heap compactions (diagnostics;
+        #: surfaced by the observability layer).  A plain always-on int —
+        #: compaction fires at most once per half-heap of cancellations,
+        #: so the increment is nowhere near a hot path.
+        self.compactions = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events — O(1)."""
@@ -158,3 +163,4 @@ class EventQueue:
         self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
+        self.compactions += 1

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from repro.obs import active as obs_active
 from repro.simulator.network import Network
 
 
@@ -80,6 +81,17 @@ class Transport:
         self.rng = rng or random.Random()
         self.protocol_name = protocol_name
         self.stats = TransportStats()
+        #: Per-request-type counts, recorded only under observability
+        #: (``None`` when off, so the hot path below pays one ``is not
+        #: None`` check).  Kept as a plain dict, not registry counters:
+        #: ``rpc`` runs once per simulated round-trip and the experiment
+        #: runner folds the totals into the run's registry at the end.
+        #: Deliberately NOT part of :class:`TransportStats`, which is
+        #: persisted into result documents and therefore frozen by the
+        #: determinism digests.
+        self.obs_request_counts: Optional[dict] = (
+            {} if obs_active() is not None else None
+        )
 
     # ------------------------------------------------------------------
     def one_way_lost(self) -> bool:
@@ -103,6 +115,10 @@ class Transport:
         """
         stats = self.stats
         stats.requests_sent += 1
+        counts = self.obs_request_counts
+        if counts is not None:
+            name = type(request).__name__
+            counts[name] = counts.get(name, 0) + 1
 
         target = self.network.get_alive(target_id)
         if target is None:

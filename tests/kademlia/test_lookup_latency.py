@@ -1,0 +1,132 @@
+"""Property test: mean per-lookup virtual-time latency is O(log N).
+
+Kademlia's core scaling claim — an iterative lookup converges in
+``O(log N)`` parallel query rounds — surfaces in the observability layer
+as the synthetic virtual-time latency ``rounds * RTT + failures *
+timeout_penalty`` (:meth:`LookupResult.virtual_latency`, constants in
+:mod:`repro.obs.virtualtime`).  This suite builds loss-free networks of
+increasing size directly (no simulator event loop; the protocol layer is
+all the lookup touches) and asserts the latency bound with headroom, plus
+the sublinearity that separates O(log N) from O(N).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import obs
+from repro.kademlia.config import KademliaConfig
+from repro.kademlia.lookup import LookupResult
+from repro.kademlia.protocol import KademliaProtocol
+from repro.kademlia.node_id import generate_node_id
+from repro.obs.virtualtime import (
+    LOOKUP_RTT,
+    LOOKUP_TIMEOUT_PENALTY,
+    lookup_virtual_latency,
+)
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+from repro.simulator.transport import Transport
+
+#: Latency-bound headroom: mean latency must stay below
+#: ``SLACK * log2(N) * RTT``.  Joins populate tables well enough that the
+#: observed constant is close to 1; 2.5 absorbs identifier-distribution
+#: variance across seeds without letting linear growth pass.
+SLACK = 2.5
+
+BIT_LENGTH = 64
+
+
+def build_network(size: int, rng: random.Random):
+    """A loss-free network of ``size`` joined nodes; returns the protocols."""
+    network = Network()
+    transport = Transport(network, loss_probability=0.0, rng=rng)
+    config = KademliaConfig(bit_length=BIT_LENGTH)
+    protocols = []
+    used = set()
+    for _ in range(size):
+        node_id = generate_node_id(BIT_LENGTH, rng, exclude=used)
+        used.add(node_id)
+        protocol = KademliaProtocol(node_id, config)
+        protocol.bind(transport, lambda: 0.0)
+        node = SimNode(node_id)
+        node.register_protocol("kademlia", protocol)
+        network.add_node(node)
+        bootstrap = rng.choice(protocols).node_id if protocols else None
+        protocol.join(bootstrap)
+        protocols.append(protocol)
+    return protocols
+
+
+def mean_lookup_latency(size: int, lookups: int, seed: int) -> float:
+    rng = random.Random(seed)
+    protocols = build_network(size, rng)
+    total = 0.0
+    for _ in range(lookups):
+        origin = rng.choice(protocols)
+        target = generate_node_id(BIT_LENGTH, rng)
+        result = origin.lookup(target)
+        assert result.succeeded
+        total += lookup_virtual_latency(result)
+    return total / lookups
+
+
+class TestVirtualLatencyArithmetic:
+    def test_latency_is_rounds_plus_timeout_penalties(self):
+        result = LookupResult(target_id=1, rounds=3, failures=2)
+        assert result.virtual_latency(rtt=1.0, timeout_penalty=3.0) == 9.0
+        assert lookup_virtual_latency(result) == (
+            3 * LOOKUP_RTT + 2 * LOOKUP_TIMEOUT_PENALTY
+        )
+
+    def test_loss_free_lookup_has_no_timeout_component(self):
+        rng = random.Random(7)
+        protocols = build_network(30, rng)
+        result = protocols[0].lookup(generate_node_id(BIT_LENGTH, rng))
+        assert result.failures == 0
+        assert lookup_virtual_latency(result) == result.rounds * LOOKUP_RTT
+
+
+class TestLogarithmicScaling:
+    @pytest.mark.parametrize(
+        "size,lookups",
+        [(10, 40), (50, 40), (200, 30), (2000, 15)],
+    )
+    def test_mean_latency_within_log_bound(self, size, lookups):
+        mean = mean_lookup_latency(size, lookups, seed=size)
+        bound = SLACK * math.log2(size) * LOOKUP_RTT
+        assert mean <= bound, (
+            f"N={size}: mean lookup latency {mean:.2f} RTT exceeds "
+            f"O(log N) bound {bound:.2f} RTT"
+        )
+
+    def test_growth_is_sublinear(self):
+        # 20x the nodes may cost at most ~double the latency — far below
+        # the 20x a linear search would pay, and comfortably above the
+        # log2(2000)/log2(100) ~ 1.65 ratio an ideal Kademlia shows.
+        small = mean_lookup_latency(100, 30, seed=101)
+        large = mean_lookup_latency(2000, 15, seed=102)
+        assert large <= small * 2.0, (
+            f"latency grew from {small:.2f} to {large:.2f} RTT "
+            "(more than 2x for 20x nodes — not logarithmic)"
+        )
+
+
+class TestObsIntegration:
+    def test_lookup_latency_lands_in_registry_histogram(self):
+        obs.disable()
+        try:
+            registry = obs.enable()
+            rng = random.Random(11)
+            protocols = build_network(20, rng)
+            before = registry.histogram("kademlia.lookup.virtual_latency")
+            observed_before = before.count if before is not None else 0
+            result = protocols[0].lookup(generate_node_id(BIT_LENGTH, rng))
+            histogram = registry.histogram("kademlia.lookup.virtual_latency")
+            assert histogram is not None
+            assert histogram.count == observed_before + 1
+            assert histogram.max >= lookup_virtual_latency(result)
+            assert registry.counter("kademlia.lookups") >= 1
+        finally:
+            obs.disable()

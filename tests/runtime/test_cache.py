@@ -1,6 +1,7 @@
 """Tests for the content-addressed result cache."""
 
 import json
+import logging
 
 import pytest
 
@@ -219,7 +220,7 @@ class TestTouchSemantics:
 
 class TestOversizedStores:
     def test_oversized_put_is_surfaced_and_drops_only_itself(
-        self, task, result, tmp_path
+        self, task, result, tmp_path, caplog
     ):
         """A store larger than the cap warns and never displaces entries.
 
@@ -241,8 +242,12 @@ class TestOversizedStores:
         cache = ResultCache(tmp_path / "cache", max_bytes=cap)
         for t in small_tasks:
             cache.put(t, small_result)
-        with pytest.warns(RuntimeWarning, match="larger than the cache cap"):
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.cache"):
             dropped_path = cache.put(task, result)
+        assert any(
+            "larger than the cache cap" in record.message
+            for record in caplog.records
+        )
         assert not dropped_path.exists()
         assert cache.stats.stores_dropped == 1
         assert cache.stats.stores == 2  # the dropped store is not a store
@@ -254,11 +259,15 @@ class TestOversizedStores:
         assert ResultCache(tmp_path / "cache").info().stores_dropped == 1
 
     def test_first_store_into_tiny_cap_is_dropped_with_warning(
-        self, task, result, tmp_path
+        self, task, result, tmp_path, caplog
     ):
         cache = ResultCache(tmp_path / "cache", max_bytes=64)
-        with pytest.warns(RuntimeWarning):
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.cache"):
             cache.put(task, result)
+        assert any(
+            "the store was dropped" in record.message
+            for record in caplog.records
+        )
         assert cache.info().entries == 0
         assert cache.stats.stores_dropped == 1
         assert cache.get(task) is None  # and a later lookup is an honest miss

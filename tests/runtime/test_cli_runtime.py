@@ -6,6 +6,8 @@ cache directory is served entirely from the cache (100% hit rate) without
 any simulation work.
 """
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -207,3 +209,80 @@ class TestRunCommandCache:
         out, err = run_cli(capsys, argv)
         assert "[1/1]" in err
         assert "[1/1]" not in out
+
+
+class TestObservabilityCli:
+    RUN_ARGV = ["run", "E", "--profile", "tiny", "--bucket-size", "3",
+                "--seed", "1"]
+
+    def test_metrics_out_writes_json_and_keeps_stdout_identical(
+        self, capsys, tmp_path
+    ):
+        from repro import obs
+
+        plain_out, _ = run_cli(capsys, self.RUN_ARGV)
+        metrics_path = tmp_path / "metrics.json"
+        instrumented_out, err = run_cli(
+            capsys, self.RUN_ARGV + ["--metrics-out", str(metrics_path)]
+        )
+        assert instrumented_out == plain_out  # identity-free, stdout too
+        assert "wrote metrics" in err
+        assert not obs.enabled()  # the CLI undoes its own enablement
+        document = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert document["schema"] == "repro-obs-metrics/1"
+        counters = document["metrics"]["counters"]
+        assert counters["sim.events"] > 0
+        assert counters["kademlia.lookups"] > 0
+
+    def test_obs_summary_prints_key_metrics(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        out, _ = run_cli(
+            capsys,
+            ["obs", "summary", "E", "--profile", "tiny", "--bucket-size",
+             "3", "--seed", "1", "--cache-dir", cache_dir],
+        )
+        assert "repro obs summary" in out
+        assert "worker utilisation" in out
+        assert "events/sec" in out
+        assert "mean lookup virtual-time latency" in out
+        assert "hit rate" in out
+
+    def test_obs_summary_trace_out_writes_jsonl(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        run_cli(
+            capsys,
+            ["obs", "summary", "E", "--profile", "tiny", "--bucket-size",
+             "3", "--seed", "1", "--trace-out", str(trace_path)],
+        )
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text(encoding="utf-8").splitlines()
+        ]
+        names = {record["name"] for record in records}
+        assert "experiment.run" in names
+        assert "snapshot" in names
+        assert "campaign.run" in names
+
+    def test_cache_info_reports_lookup_stats(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = self.RUN_ARGV + ["--cache-dir", cache_dir]
+        run_cli(capsys, argv)
+        run_cli(capsys, argv)  # second run: 1 hit
+        info_out, _ = run_cli(capsys, ["cache", "info", "--cache-dir", cache_dir])
+        assert "hits:            1" in info_out
+        assert "misses:          1" in info_out
+        assert "hit rate:        50%" in info_out
+        served = [
+            line for line in info_out.splitlines()
+            if line.startswith("bytes served:")
+        ]
+        assert served and int(served[0].split()[-1]) > 0
+
+    def test_verbose_flag_accepted(self, capsys):
+        import logging
+
+        out, _ = run_cli(capsys, ["-v"] + self.RUN_ARGV)
+        assert "scenario" in out
+        assert logging.getLogger("repro").level == logging.INFO
+        run_cli(capsys, self.RUN_ARGV)  # default resets to WARNING
+        assert logging.getLogger("repro").level == logging.WARNING
