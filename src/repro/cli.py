@@ -22,9 +22,10 @@ Subcommands:
     Even-transformed connectivity graph (the paper's HIPR input format).
 
 ``cache``
-    Inspect (``cache info``), empty (``cache clear``) or size-cap
-    (``cache prune --max-bytes N``, LRU order) a result cache directory
-    used by the run/sweep commands.
+    Inspect (``cache info``), integrity-check (``cache verify`` —
+    sha256 payload checksums, corrupt entries quarantined), empty
+    (``cache clear``) or size-cap (``cache prune --max-bytes N``, LRU
+    order) a result cache directory used by the run/sweep commands.
 
 ``obs``
     Observability: ``obs summary`` runs one scenario with
@@ -52,7 +53,9 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro import obs
@@ -72,9 +75,11 @@ from repro.experiments.sweep import run_bucket_size_sweep, run_scenario
 from repro.graph.io.dimacs import write_dimacs
 from repro.graph.transform.even_transform import even_transform
 from repro.analysis.figures import render_series_table
+from repro.runtime import faults
 from repro.runtime.cache import ResultCache
 from repro.runtime.campaign import Campaign, resolve_batch, sweep_tasks
 from repro.runtime.executor import make_executor
+from repro.runtime.resilience import RetryPolicy
 
 
 def _batch_value(text: str):
@@ -173,6 +178,23 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help=(
+            "deterministic fault injection for the run (sets REPRO_FAULTS; "
+            "e.g. 'worker-crash@2;task-error@1' or 'corrupt-write@p0.1;"
+            "seed=7'); identity-free — the campaign heals the faults and "
+            "results stay bit-identical to a fault-free run"
+        ),
+    )
+    parser.add_argument(
+        "--retries", type=_positive_int, default=None, metavar="N",
+        help=(
+            "max executions of a failing task before it is reported as a "
+            "poison task (default: 3; 1 disables retries); retry/backoff "
+            "knobs are identity-free like the schedule"
+        ),
+    )
+    parser.add_argument(
         "--progress", action="store_true",
         help="stream per-run progress lines to stderr",
     )
@@ -218,6 +240,44 @@ def _scenario_name(args: argparse.Namespace) -> str:
 
 def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     return ResultCache(args.cache_dir) if args.cache_dir else None
+
+
+def _make_retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    retries = getattr(args, "retries", None)
+    return None if retries is None else RetryPolicy(max_attempts=retries)
+
+
+@contextmanager
+def _faults_scope(args: argparse.Namespace):
+    """Export ``--faults`` as ``REPRO_FAULTS`` for the duration of a command.
+
+    The environment variable is how the spec reaches worker processes;
+    the cached plan is reset on entry and exit so occurrence counters
+    start fresh for this command and never leak into a later ``main()``
+    call of the same process (the CLI tests call it repeatedly).  A
+    malformed spec fails here, as an argument error, instead of at the
+    first injection site deep inside a worker.
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        yield
+        return
+    try:
+        faults.FaultPlan.parse(spec)
+    except faults.FaultSpecError as error:
+        print(f"error: invalid --faults spec: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    previous = os.environ.get(faults.ENV_VAR)
+    os.environ[faults.ENV_VAR] = spec
+    faults.reset()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(faults.ENV_VAR, None)
+        else:
+            os.environ[faults.ENV_VAR] = previous
+        faults.reset()
 
 
 def _make_progress(args: argparse.Namespace):
@@ -323,13 +383,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     enabled_here = _obs_setup(args)
     cache = _make_cache(args)
     try:
-        result = run_scenario(
-            scenario, profile=args.profile, seed=args.seed,
-            jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
-            progress=_make_progress(args),
-            schedule=args.schedule, adaptive_shards=args.adaptive_shards,
-            batch=args.batch,
-        )
+        with _faults_scope(args):
+            result = run_scenario(
+                scenario, profile=args.profile, seed=args.seed,
+                jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+                progress=_make_progress(args),
+                schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+                batch=args.batch, retry_policy=_make_retry_policy(args),
+            )
         _report_cache_stats(cache)
     finally:
         _obs_finish(args, enabled_here)
@@ -353,14 +414,15 @@ def _cmd_sweep_k(args: argparse.Namespace) -> int:
     enabled_here = _obs_setup(args)
     cache = _make_cache(args)
     try:
-        results = run_bucket_size_sweep(
-            scenario, bucket_sizes=args.k, profile=args.profile,
-            seed=args.seed,
-            jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
-            progress=_make_progress(args),
-            schedule=args.schedule, adaptive_shards=args.adaptive_shards,
-            batch=args.batch,
-        )
+        with _faults_scope(args):
+            results = run_bucket_size_sweep(
+                scenario, bucket_sizes=args.k, profile=args.profile,
+                seed=args.seed,
+                jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+                progress=_make_progress(args),
+                schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+                batch=args.batch, retry_policy=_make_retry_policy(args),
+            )
         _report_cache_stats(cache)
     finally:
         _obs_finish(args, enabled_here)
@@ -390,10 +452,10 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         )
     ]
     try:
-        with Campaign(
+        with _faults_scope(args), Campaign(
             executor=make_executor(args.jobs), cache=cache,
             progress=_make_progress(args), schedule=args.schedule,
-            batch=args.batch,
+            batch=args.batch, retry_policy=_make_retry_policy(args),
         ) as campaign:
             results = campaign.run(tasks)
         _report_cache_stats(cache)
@@ -420,13 +482,14 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
         tracing.configure_tracer(args.trace_out)
     cache = _make_cache(args)
     try:
-        run_scenario(
-            scenario, profile=args.profile, seed=args.seed,
-            jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
-            progress=_make_progress(args),
-            schedule=args.schedule, adaptive_shards=args.adaptive_shards,
-            batch=args.batch,
-        )
+        with _faults_scope(args):
+            run_scenario(
+                scenario, profile=args.profile, seed=args.seed,
+                jobs=args.jobs, flow_jobs=args.flow_jobs, cache=cache,
+                progress=_make_progress(args),
+                schedule=args.schedule, adaptive_shards=args.adaptive_shards,
+                batch=args.batch, retry_policy=_make_retry_policy(args),
+            )
         _report_cache_stats(cache)
         registry = obs.active()
         snapshot = registry.snapshot() if registry is not None else {}
@@ -454,11 +517,34 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     print(f"total bytes:     {info.total_bytes}")
     print(f"evictions:       {info.evictions}")
     print(f"stores dropped:  {info.stores_dropped}")
+    print(f"corrupt entries: {info.corrupt_entries}")
     print(f"hits:            {info.hits}")
     print(f"misses:          {info.misses}")
     print(f"hit rate:        {info.hit_rate:.0%}")
     print(f"bytes served:    {info.bytes_served}")
     return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if not cache.directory.is_dir():
+        print(
+            f"error: cache directory {args.cache_dir} does not exist; "
+            "nothing to verify",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    report = cache.verify(repair=not args.no_repair)
+    print(f"cache directory: {report.path}")
+    print(f"entries checked: {report.checked}")
+    print(f"ok:              {report.ok}")
+    print(f"legacy:          {report.legacy}")
+    print(f"corrupt:         {report.corrupt}")
+    if report.quarantined:
+        print(f"quarantined:     {len(report.quarantined)}")
+        for name in report.quarantined:
+            print(f"  {name}")
+    return 0 if report.clean else 1
 
 
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
@@ -652,6 +738,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", required=True, help="result cache directory"
     )
     cache_info_parser.set_defaults(func=_cmd_cache_info)
+
+    cache_verify_parser = cache_subparsers.add_parser(
+        "verify",
+        help=(
+            "verify the sha256 payload checksums of every cache entry; "
+            "corrupt entries are quarantined (exit 1 when any are found)"
+        ),
+    )
+    cache_verify_parser.add_argument(
+        "--cache-dir", required=True, help="result cache directory"
+    )
+    cache_verify_parser.add_argument(
+        "--no-repair", action="store_true",
+        help="report corrupt entries without moving them to quarantine/",
+    )
+    cache_verify_parser.set_defaults(func=_cmd_cache_verify)
 
     cache_clear_parser = cache_subparsers.add_parser(
         "clear", help="remove every entry of a cache directory"

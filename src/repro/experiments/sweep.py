@@ -32,6 +32,7 @@ from repro.runtime.campaign import (
     sweep_tasks,
 )
 from repro.runtime.executor import Executor, make_executor
+from repro.runtime.resilience import RetryPolicy
 
 
 def _make_campaign(
@@ -41,6 +42,7 @@ def _make_campaign(
     progress: Optional[ProgressCallback],
     schedule: str = SCHEDULE_FIFO,
     batch: "str | int | None" = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Campaign:
     return Campaign(
         executor=executor if executor is not None else make_executor(jobs),
@@ -48,6 +50,7 @@ def _make_campaign(
         progress=progress,
         schedule=schedule,
         batch=batch,
+        retry_policy=retry_policy,
     )
 
 
@@ -64,6 +67,7 @@ def run_scenario(
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ExperimentResult:
     """Run a single scenario with the given profile and seed.
 
@@ -80,7 +84,7 @@ def run_scenario(
         flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
     with _make_campaign(
-        jobs, cache, executor, progress, schedule, batch
+        jobs, cache, executor, progress, schedule, batch, retry_policy
     ) as campaign:
         return campaign.run(tasks)[0]
 
@@ -99,6 +103,7 @@ def run_sweep(
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> List[ExperimentResult]:
     """Run one variant of ``base`` per override set and return the results.
 
@@ -111,7 +116,7 @@ def run_sweep(
         flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
     with _make_campaign(
-        jobs, cache, executor, progress, schedule, batch
+        jobs, cache, executor, progress, schedule, batch, retry_policy
     ) as campaign:
         return campaign.run(tasks)
 
@@ -129,6 +134,7 @@ def run_bucket_size_sweep(
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per bucket size (the k-sweep of Figures 2–9)."""
     bucket_sizes = list(bucket_sizes)
@@ -138,6 +144,7 @@ def run_bucket_size_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
+        retry_policy=retry_policy,
     )
     return dict(zip(bucket_sizes, results))
 
@@ -156,6 +163,7 @@ def run_alpha_sweep(
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the (alpha, k) grid behind Figure 10; keys are ``(alpha, k)``."""
     keys = [(alpha, k) for alpha in alphas for k in bucket_sizes]
@@ -165,6 +173,7 @@ def run_alpha_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
+        retry_policy=retry_policy,
     )
     return dict(zip(keys, results))
 
@@ -182,6 +191,7 @@ def run_staleness_sweep(
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per staleness limit (Figure 11)."""
     staleness_values = list(staleness_values)
@@ -191,6 +201,7 @@ def run_staleness_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
+        retry_policy=retry_policy,
     )
     return dict(zip(staleness_values, results))
 
@@ -209,6 +220,7 @@ def run_loss_sweep(
     schedule: str = SCHEDULE_FIFO,
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Dict[Tuple[str, int], ExperimentResult]:
     """Run the (loss, s) grid behind Figures 12–14; keys are ``(loss, s)``."""
     keys = [(loss, s) for loss in loss_levels for s in staleness_values]
@@ -218,5 +230,6 @@ def run_loss_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
+        retry_policy=retry_policy,
     )
     return dict(zip(keys, results))

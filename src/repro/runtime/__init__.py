@@ -25,7 +25,15 @@ execution harness:
   cost-aware scheduling: :class:`TaskCostModel` (wall-clock by coarse
   task shape, ``_costs.json`` sidecar beside the result cache) and
   :class:`PairCostTracker` (per-pair max-flow cost feeding the pair-flow
-  engine's adaptive shard sizing).
+  engine's adaptive shard sizing);
+* :mod:`repro.runtime.faults` — the deterministic fault-injection harness
+  (``REPRO_FAULTS``): seeded nth-occurrence/probability matchers that
+  crash workers, raise task errors, stall batches and corrupt cache
+  bytes, for chaos-testing the layers below without touching any result;
+* :mod:`repro.runtime.resilience` — the self-healing primitives the
+  campaign composes around the executor: :class:`RetryPolicy` (bounded
+  seeded backoff, respawn budget, straggler hedging), poison-task
+  records, and the cooperative :class:`ShutdownGuard`.
 
 Every higher layer (``repro.experiments.sweep``, ``repro.experiments
 .replication``, the CLI and the benchmark harness) dispatches its runs
@@ -33,7 +41,7 @@ through this package, so future scaling work (sharding, distributed
 backends) only has to provide a new :class:`Executor`.
 """
 
-from repro.runtime.cache import CacheInfo, CacheStats, ResultCache
+from repro.runtime.cache import CacheInfo, CacheStats, ResultCache, VerifyReport
 from repro.runtime.campaign import (
     BATCH_AUTO,
     BATCH_ENV_VAR,
@@ -59,7 +67,19 @@ from repro.runtime.executor import (
     execute_task_batch,
     make_executor,
 )
+from repro.runtime.faults import FaultPlan, FaultSpecError, InjectedTaskError
 from repro.runtime.pairflow import PairFlowEngine, PairFlowOutcome
+from repro.runtime.resilience import (
+    FAIL_FAST,
+    RETRIES_ENV_VAR,
+    CampaignInterrupted,
+    CampaignTaskFailure,
+    RetryPolicy,
+    ShutdownGuard,
+    TaskFailureRecord,
+    default_retry_policy,
+    is_retryable,
+)
 from repro.runtime.task import ExperimentTask, derive_seed, execute_task
 
 __all__ = [
@@ -69,24 +89,37 @@ __all__ = [
     "CacheInfo",
     "CacheStats",
     "Campaign",
+    "CampaignInterrupted",
+    "CampaignTaskFailure",
     "CostModel",
     "ExecutionSession",
     "Executor",
     "ExperimentTask",
+    "FAIL_FAST",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedTaskError",
     "PairCostTracker",
     "PairFlowEngine",
     "PairFlowOutcome",
     "ParallelExecutor",
+    "RETRIES_ENV_VAR",
     "ResultCache",
+    "RetryPolicy",
     "SCHEDULE_CHEAPEST",
     "SCHEDULE_FIFO",
     "SerialExecutor",
+    "ShutdownGuard",
     "TaskCostModel",
+    "TaskFailureRecord",
     "TaskProgress",
     "TaskSession",
+    "VerifyReport",
+    "default_retry_policy",
     "derive_seed",
     "execute_task",
     "execute_task_batch",
+    "is_retryable",
     "make_executor",
     "resolve_batch",
     "task_shape_key",

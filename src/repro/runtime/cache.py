@@ -18,19 +18,34 @@ Cumulative eviction / dropped-store counters are persisted in a
 ``cache info``.  The campaign scheduler's cost model lives in a sibling
 ``_costs.json`` sidecar (see :mod:`repro.runtime.costmodel`), equally
 outside the entry namespace.
+
+Integrity tier: every entry written by :meth:`ResultCache.put` carries a
+``checksum`` field — SHA-256 over the canonical serialisation of the
+rest of the document — verified by :meth:`ResultCache.get`.  An entry
+that fails the checksum, fails to parse, or mismatches the requesting
+fingerprint is **quarantined** (moved into a ``quarantine/``
+subdirectory, counted in the persistent ``corrupt_entries`` stat) and
+treated as a miss: the campaign recomputes and overwrites instead of
+crashing, and the corrupt bytes stay available for post-mortems.
+``repro cache verify`` scans a whole directory through
+:meth:`ResultCache.verify`.  Entries predating the checksum field are
+accepted as legacy (structure-checked only).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.experiments.persistence import result_from_dict, result_to_dict
 from repro.experiments.runner import ExperimentResult
+from repro.runtime import faults
 from repro.runtime.task import ExperimentTask
 
 PathLike = Union[str, Path]
@@ -41,6 +56,23 @@ ENTRY_SUFFIX = ".json"
 #: Sidecar file holding cumulative cache metadata (eviction counter).
 META_FILENAME = "_meta.json"
 
+#: Entry field holding the SHA-256 over the rest of the document.
+CHECKSUM_FIELD = "checksum"
+
+#: Subdirectory corrupt entries are moved into (outside the entry
+#: namespace: ``_entry_paths`` never descends into directories).
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Temporary-file patterns of the cache's own atomic writers (entries,
+#: ``_meta.json``, ``_costs.json``).
+TMP_PATTERNS = ("*.tmp", "*.metatmp", "*.coststmp")
+
+#: Age (mtime seconds) past which a leftover temporary file is considered
+#: the debris of a dead writer and swept on :class:`ResultCache` open.
+#: Live writers hold their temp files for milliseconds; an hour-old one
+#: belongs to a process that crashed mid-put.
+STALE_TMP_SECONDS = 3600.0
+
 #: Counters batched by :meth:`ResultCache.sync_persistent_stats` instead
 #: of being written per event: ``get`` is a hot path (one lookup per
 #: campaign task), so its counters flush once per campaign run rather
@@ -49,6 +81,18 @@ META_FILENAME = "_meta.json"
 SYNCED_STAT_NAMES = ("hits", "misses", "stores", "bytes_served")
 
 logger = logging.getLogger("repro.runtime.cache")
+
+
+def _document_checksum(document: dict) -> str:
+    """SHA-256 over the canonical serialisation of an entry document.
+
+    Computed before the ``checksum`` field is added (and after it is
+    popped, on read).  Canonical form — sorted keys, no whitespace — so
+    the digest is independent of the field order the file happened to be
+    written with.
+    """
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -68,6 +112,7 @@ class CacheStats:
     evictions: int = 0
     stores_dropped: int = 0
     bytes_served: int = 0
+    corrupt_entries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -102,6 +147,7 @@ class CacheInfo:
     hits: int = 0
     misses: int = 0
     bytes_served: int = 0
+    corrupt_entries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -110,6 +156,28 @@ class CacheInfo:
         if not lookups:
             return 0.0
         return self.hits / lookups
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of a :meth:`ResultCache.verify` integrity scan.
+
+    ``legacy`` counts structurally valid entries written before the
+    checksum field existed; ``quarantined`` names the files moved to
+    ``quarantine/`` by this scan (empty with ``repair=False``).
+    """
+
+    path: str
+    checked: int
+    ok: int
+    legacy: int
+    corrupt: int
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the scan found no corruption."""
+        return self.corrupt == 0
 
 
 class ResultCache:
@@ -137,6 +205,35 @@ class ResultCache:
         # sidecar; sync_persistent_stats() persists only the delta since
         # the previous flush, so calling it repeatedly never double-counts.
         self._synced: Dict[str, int] = {name: 0 for name in SYNCED_STAT_NAMES}
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove aged temp files left behind by writers that died mid-put.
+
+        ``cache prune`` and :meth:`clear` sweep them too, but a crashed
+        run whose cache is only ever opened (never pruned) would grow the
+        directory unboundedly.  The age gate keeps the sweep safe under
+        concurrency: a live writer's temp file is milliseconds old.
+        """
+        if not self.directory.is_dir():
+            return 0
+        cutoff = time.time() - STALE_TMP_SECONDS
+        removed = 0
+        for pattern in TMP_PATTERNS:
+            for stale in self.directory.glob(pattern):
+                try:
+                    if stale.stat().st_mtime <= cutoff:
+                        stale.unlink()
+                        removed += 1
+                except OSError:  # pragma: no cover - raced with another sweep
+                    continue
+        if removed:
+            logger.info(
+                "swept %d stale temporary file(s) from %s",
+                removed,
+                self.directory,
+            )
+        return removed
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: str) -> Path:
@@ -177,29 +274,34 @@ class ResultCache:
     def get(self, task: ExperimentTask) -> Optional[ExperimentResult]:
         """Return the cached result of ``task``, or ``None`` on a miss.
 
-        A corrupt or mismatching entry (e.g. written by an incompatible
-        fingerprint format) counts as a miss and is evicted so the caller
-        re-runs and overwrites it.
+        A corrupt or mismatching entry — failed checksum, malformed or
+        truncated JSON, incompatible fingerprint format — counts as a
+        miss and is quarantined (see :meth:`_quarantine`) so the caller
+        re-runs and overwrites it while the bad bytes stay inspectable.
         """
         path = self._entry_path(task.key())
+        faults.maybe_corrupt_file(path)
         try:
             raw = path.read_bytes()
-            document = json.loads(raw)
-            if document.get("task") != task.fingerprint():
-                raise ValueError("cache entry does not match task fingerprint")
-            result = result_from_dict(document["result"])
         except FileNotFoundError:
             self.stats.misses += 1
             return None
+        try:
+            document = json.loads(raw)
+            if not isinstance(document, dict):
+                raise ValueError("cache entry is not a JSON object")
+            checksum = document.pop(CHECKSUM_FIELD, None)
+            if checksum is not None and checksum != _document_checksum(document):
+                raise ValueError("cache entry failed its payload checksum")
+            if document.get("task") != task.fingerprint():
+                raise ValueError("cache entry does not match task fingerprint")
+            result = result_from_dict(document["result"])
         except (ValueError, KeyError, TypeError, AttributeError,
                 json.JSONDecodeError):
             # Any malformed document shape (non-object JSON, wrong field
-            # types, truncated entries) is treated the same way: evict and
-            # re-run.
-            logger.warning(
-                "evicting corrupt or mismatching cache entry %s", path.name
-            )
-            path.unlink(missing_ok=True)
+            # types, truncated entries, checksum mismatches) is treated
+            # the same way: quarantine and re-run.
+            self._quarantine(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -233,10 +335,14 @@ class ResultCache:
             "task": task.fingerprint(),
             "result": result_to_dict(result, include_snapshots=True),
         }
+        document[CHECKSUM_FIELD] = _document_checksum(document)
+        payload = faults.maybe_corrupt_bytes(
+            faults.KIND_CORRUPT_WRITE, json.dumps(document).encode("utf-8")
+        )
         # Unique per-process temp name: concurrent writers of the same task
         # never interleave into one file, and replace() stays atomic.
         tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp_path.write_text(json.dumps(document), encoding="utf-8")
+        tmp_path.write_bytes(payload)
         if self.max_bytes is not None:
             entry_bytes = tmp_path.stat().st_size
             if entry_bytes > self.max_bytes:
@@ -259,6 +365,86 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupt entry into ``quarantine/`` and count it.
+
+        Returns the quarantine destination (``None`` when the move
+        failed and the entry was unlinked instead — the cache must never
+        keep serving a corrupt file).  Counted in the in-memory stats
+        and the persistent ``corrupt_entries`` counter; like evictions,
+        corruption is rare and must survive crashes, so it is persisted
+        per event rather than batched.
+        """
+        destination: Optional[Path] = None
+        try:
+            quarantine_dir = self.directory / QUARANTINE_DIRNAME
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            destination = quarantine_dir / path.name
+            path.replace(destination)
+        except OSError:
+            destination = None
+            path.unlink(missing_ok=True)
+        self.stats.corrupt_entries += 1
+        self._bump_persistent_counter("corrupt_entries", 1)
+        logger.warning(
+            "quarantined corrupt or mismatching cache entry %s%s",
+            path.name,
+            f" -> {destination}" if destination is not None else " (unlinked)",
+        )
+        return destination
+
+    def verify(self, repair: bool = True) -> "VerifyReport":
+        """Scan every entry; validate JSON structure and payload checksum.
+
+        With ``repair`` (the default) corrupt entries are quarantined;
+        otherwise the scan only reports.  Entries written before the
+        checksum field are reported as ``legacy`` and accepted.  Backs
+        the ``repro cache verify`` subcommand — the periodic trust check
+        a cache directory shared between machines needs.
+        """
+        checked = ok = legacy = corrupt = 0
+        quarantined: List[str] = []
+        for path in self._entry_paths():
+            status = self._verify_entry(path)
+            if status == "missing":  # raced away mid-scan
+                continue
+            checked += 1
+            if status == "ok":
+                ok += 1
+            elif status == "legacy":
+                legacy += 1
+            else:
+                corrupt += 1
+                if repair and self._quarantine(path) is not None:
+                    quarantined.append(path.name)
+        return VerifyReport(
+            path=str(self.directory),
+            checked=checked,
+            ok=ok,
+            legacy=legacy,
+            corrupt=corrupt,
+            quarantined=quarantined,
+        )
+
+    def _verify_entry(self, path: Path) -> str:
+        try:
+            document = json.loads(path.read_bytes())
+        except FileNotFoundError:
+            return "missing"
+        except (ValueError, OSError):
+            return "corrupt"
+        if not isinstance(document, dict):
+            return "corrupt"
+        checksum = document.pop(CHECKSUM_FIELD, None)
+        if "task" not in document or "result" not in document:
+            return "corrupt"
+        if checksum is None:
+            return "legacy"
+        if checksum != _document_checksum(document):
+            return "corrupt"
+        return "ok"
+
+    # ------------------------------------------------------------------
     def evict(self, task: ExperimentTask) -> bool:
         """Remove the entry of ``task``; returns whether one existed."""
         path = self._entry_path(task.key())
@@ -271,19 +457,28 @@ class ResultCache:
         """Remove every entry; returns the number of entries removed.
 
         Also sweeps up ``*.tmp`` leftovers of writers that died mid-put
-        (they are not counted as entries).
+        and the ``quarantine/`` subdirectory (neither is counted as an
+        entry).
         """
         removed = 0
         for path in self._entry_paths():
             path.unlink()
             removed += 1
         if self.directory.is_dir():
-            for stale in self.directory.glob("*.tmp"):
-                stale.unlink()
-            for stale in self.directory.glob("*.metatmp"):
-                stale.unlink()
-            for stale in self.directory.glob("*.coststmp"):
-                stale.unlink()
+            for pattern in TMP_PATTERNS:
+                for stale in self.directory.glob(pattern):
+                    stale.unlink()
+            quarantine_dir = self.directory / QUARANTINE_DIRNAME
+            if quarantine_dir.is_dir():
+                for item in quarantine_dir.iterdir():
+                    try:
+                        item.unlink()
+                    except OSError:  # pragma: no cover - raced away
+                        pass
+                try:
+                    quarantine_dir.rmdir()
+                except OSError:  # pragma: no cover - raced away
+                    pass
         return removed
 
     def prune(self, max_bytes: Optional[int] = None) -> int:
@@ -415,4 +610,5 @@ class ResultCache:
             hits=self._read_persistent_counter("hits"),
             misses=self._read_persistent_counter("misses"),
             bytes_served=self._read_persistent_counter("bytes_served"),
+            corrupt_entries=self._read_persistent_counter("corrupt_entries"),
         )

@@ -42,15 +42,25 @@ from __future__ import annotations
 
 import logging
 import os
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    wait,
+)
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import (
     Callable,
+    Dict,
     Iterable,
     List,
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -63,6 +73,15 @@ from repro.obs import tracing
 from repro.runtime.cache import ResultCache
 from repro.runtime.costmodel import TaskCostModel
 from repro.runtime.executor import Executor, SerialExecutor, TaskSession
+from repro.runtime.resilience import (
+    CampaignInterrupted,
+    CampaignTaskFailure,
+    RetryPolicy,
+    ShutdownGuard,
+    TaskFailureRecord,
+    default_retry_policy,
+    is_retryable,
+)
 from repro.runtime.task import ExperimentTask, derive_seed
 
 logger = logging.getLogger("repro.runtime.campaign")
@@ -70,6 +89,7 @@ logger = logging.getLogger("repro.runtime.campaign")
 #: Progress event statuses.
 CACHE_HIT = "hit"
 COMPLETED = "completed"
+FAILED = "failed"
 
 #: Dispatch schedules.
 SCHEDULE_FIFO = "fifo"
@@ -163,6 +183,10 @@ class TaskProgress:
 
     def describe(self) -> str:
         """One-line rendering used by the CLI's progress stream."""
+        if self.status == FAILED:
+            return (
+                f"[{self.completed}/{self.total}] {self.task.label()} (failed)"
+            )
         origin = "cache" if self.status == CACHE_HIT else "run"
         return (
             f"[{self.completed}/{self.total}] {self.task.label()} ({origin})"
@@ -170,6 +194,23 @@ class TaskProgress:
 
 
 ProgressCallback = Callable[[TaskProgress], None]
+
+
+class _Flight:
+    """One dispatched batch (plus its optional hedge twin) in flight.
+
+    A flight is the unit of failure handling: when its last outstanding
+    future fails, the surviving (unrecorded) tasks are re-dispatched —
+    bisected when the failure is not attributable to a single task.
+    """
+
+    __slots__ = ("pairs", "futures", "deadline", "hedged")
+
+    def __init__(self, pairs: List[Tuple[int, ExperimentTask]]) -> None:
+        self.pairs = list(pairs)
+        self.futures: Set[Future] = set()
+        self.deadline: Optional[float] = None
+        self.hedged = False
 
 
 class Campaign:
@@ -202,6 +243,18 @@ class Campaign:
         scheduling knob: results stay in submission order, bit-identical
         for every value.  A batched campaign owns its worker pool until
         :meth:`close` (or use the campaign as a context manager).
+    retry_policy:
+        :class:`~repro.runtime.resilience.RetryPolicy` governing the
+        batched path's self-healing: bounded per-task retry attempts
+        with seeded backoff, batch bisection to isolate poison tasks,
+        bounded session respawns (then degradation to in-process serial
+        execution) and cost-model-predicted straggler hedging.  Defaults
+        to ``RetryPolicy()``; pass
+        :data:`~repro.runtime.resilience.FAIL_FAST` for the legacy
+        first-error-propagates behaviour.  Identity-free like the
+        schedule: healing changes when and where a task runs, never a
+        bit of its result.  The unbatched path (``batch=None``) always
+        fails fast.
     """
 
     def __init__(
@@ -212,6 +265,7 @@ class Campaign:
         schedule: str = SCHEDULE_FIFO,
         cost_model: Optional[TaskCostModel] = None,
         batch: Union[None, str, int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if schedule not in SCHEDULES:
             raise ValueError(
@@ -222,10 +276,14 @@ class Campaign:
         self.progress = progress
         self.schedule = schedule
         self.batch = resolve_batch(batch)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else default_retry_policy()
+        )
         if cost_model is None and cache is not None:
             cost_model = TaskCostModel.for_cache(cache)
         self.cost_model = cost_model
         self._task_session: Optional[TaskSession] = None
+        self._guard: Optional[ShutdownGuard] = None
         # Captured once: ``None`` when observability is off, so every
         # per-task touch point below is a single attribute test.
         self._obs = obs.active()
@@ -263,12 +321,30 @@ class Campaign:
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[ExperimentTask]) -> List[ExperimentResult]:
-        """Run ``tasks`` and return their results in submission order."""
+        """Run ``tasks`` and return their results in submission order.
+
+        Batched campaigns install a cooperative shutdown guard for the
+        duration of the run: the first SIGINT/SIGTERM stops dispatch,
+        flushes completed results and stats, closes the session and
+        raises :class:`~repro.runtime.resilience.CampaignInterrupted`
+        (a re-run resumes warm from the cache); a second SIGINT
+        interrupts immediately.  Tasks that fail permanently after the
+        retry policy is exhausted raise
+        :class:`~repro.runtime.resilience.CampaignTaskFailure` *after*
+        every other task completed.
+        """
         tasks = list(tasks)
         try:
             with tracing.span(
                 "campaign.run", tasks=len(tasks), schedule=self.schedule
             ):
+                if self.batch is not None:
+                    with ShutdownGuard() as guard:
+                        self._guard = guard
+                        try:
+                            return self._run(tasks)
+                        finally:
+                            self._guard = None
                 return self._run(tasks)
         finally:
             # Fold this run's lookup counters into the cache directory's
@@ -276,6 +352,11 @@ class Campaign:
             # deltas or directory) even when a task raised mid-batch.
             if self.cache is not None:
                 self.cache.sync_persistent_stats()
+
+    def _shutdown_requested(self) -> Optional[str]:
+        """Name of the pending shutdown signal, or ``None``."""
+        guard = self._guard
+        return guard.requested if guard is not None else None
 
     def _run(self, tasks: List[ExperimentTask]) -> List[ExperimentResult]:
         total = len(tasks)
@@ -328,6 +409,13 @@ class Campaign:
                     task, index, total, COMPLETED, completed, cache_hits, result
                 )
 
+            def _record_failure(index: int) -> None:
+                self._emit(
+                    tasks[index], index, total, FAILED, completed, cache_hits,
+                    None,
+                )
+
+            failure_records: List[TaskFailureRecord] = []
             try:
                 if self.batch is None:
                     self.executor.run_tasks(
@@ -337,12 +425,21 @@ class Campaign:
                         ),
                     )
                 else:
-                    self._run_batched(tasks, dispatch_order, _record)
+                    failure_records = self._run_batched(
+                        tasks, dispatch_order, _record, _record_failure
+                    )
             finally:
                 # Persist whatever was observed even when a task or the
                 # progress callback raised mid-batch.
                 if self.cost_model is not None:
                     self.cost_model.save()
+            if failure_records:
+                # Every healthy task completed (and was cached) before
+                # this raises: the poison tasks cost their own results,
+                # never the rest of the campaign's.
+                if registry is not None:
+                    self._record_run_gauges(registry, fresh_wall)
+                raise CampaignTaskFailure(failure_records, results)
 
         if registry is not None:
             self._record_run_gauges(registry, fresh_wall)
@@ -383,18 +480,43 @@ class Campaign:
         tasks: Sequence[ExperimentTask],
         dispatch_order: List[int],
         record: Callable[[int, ExperimentResult], None],
-    ) -> None:
-        """Dispatch pending tasks through the persistent task session.
+        record_failure: Callable[[int], None],
+    ) -> List[TaskFailureRecord]:
+        """Resilient dispatch through the persistent task session.
 
-        The session (and its warm worker pool) is opened lazily and kept
-        across ``run()`` calls.  Any error — a failing task, a worker
-        death that broke the pool, a raising progress callback — closes
-        the session before propagating: completed batches have already
-        streamed into the cache through ``record``, and the next ``run``
-        starts from a fresh pool instead of a possibly-broken one.
+        Batches go out as independent *flights*; each failure is healed
+        according to the retry policy instead of aborting the run:
+
+        * a failed multi-task flight is **bisected** — the survivors are
+          re-dispatched as two halves, isolating a poison task in
+          O(log n) rounds without ever attributing blame to the wrong
+          task;
+        * a failed singleton flight charges that task one attempt;
+          retryable errors back off (seeded, bounded) and re-dispatch,
+          everything else — or an exhausted budget — records a
+          structured :class:`TaskFailureRecord` and the campaign moves
+          on;
+        * a submit onto a broken pool **respawns** the session up to
+          ``max_respawns`` times, then degrades to in-process serial
+          execution (safe for injected crash faults, which only ever
+          fire in worker processes);
+        * a flight outliving its cost-model-predicted deadline is
+          **hedged**: its unfinished tasks are speculatively
+          re-dispatched and the first result wins (tasks are
+          deterministic, cache puts idempotent — duplicates are
+          dropped on arrival);
+        * a pending shutdown signal stops dispatch, drains what is
+          already running (recording its results), closes the session
+          and raises :class:`CampaignInterrupted`.
+
+        Returns the failure records of permanently failed tasks (empty
+        on a fully healthy run).  Unexpected errors — e.g. a raising
+        progress callback — still close the session before propagating,
+        so the next ``run()`` starts from a fresh pool.
         """
-        batches = self._pack_batches(tasks, dispatch_order)
+        policy = self.retry_policy
         registry = self._obs
+        batches = self._pack_batches(tasks, dispatch_order)
         if self._task_session is None:
             self._task_session = self.executor.open_task_session()
             if registry is not None:
@@ -403,15 +525,261 @@ class Campaign:
             registry.inc("campaign.batches_dispatched", len(batches))
             for batch in batches:
                 registry.observe("campaign.batch_size", len(batch))
+
+        recorded: Set[int] = set()
+        failures: Dict[int, TaskFailureRecord] = {}
+        attempts: Dict[int, int] = {}
+        inflight: Dict[Future, _Flight] = {}
+        queue = deque(batches)
+        respawns = 0
+        degraded = False
+        draining = False
+
+        def respawn_session() -> None:
+            nonlocal respawns, degraded
+            self.close()
+            if respawns < policy.max_respawns:
+                respawns += 1
+                logger.warning(
+                    "worker pool broke; respawning task session (%d/%d)",
+                    respawns,
+                    policy.max_respawns,
+                )
+                if registry is not None:
+                    registry.inc("campaign.respawns")
+                self._task_session = self.executor.open_task_session()
+            else:
+                degraded = True
+                logger.warning(
+                    "worker pool broke again after %d respawn(s); degrading "
+                    "to in-process serial execution for the remaining tasks",
+                    respawns,
+                )
+                if registry is not None:
+                    registry.inc("campaign.degraded_serial")
+                self._task_session = SerialExecutor().open_task_session()
+
+        def submit_flight(pairs: List[Tuple[int, ExperimentTask]]) -> None:
+            flight = _Flight(pairs)
+            while True:
+                try:
+                    future = self._task_session.submit_batch(flight.pairs)
+                    break
+                except BrokenExecutor:
+                    if policy.fail_fast:
+                        raise
+                    respawn_session()
+            if (
+                policy.hedge
+                and not degraded
+                and self.cost_model is not None
+                and getattr(self.executor, "worker_count", 1) > 1
+            ):
+                predicted = self.cost_model.estimate_batch_seconds(
+                    [task for _, task in flight.pairs]
+                )
+                if predicted is not None:
+                    flight.deadline = perf_counter() + max(
+                        policy.min_straggler_seconds,
+                        policy.straggler_factor * predicted,
+                    )
+            flight.futures.add(future)
+            inflight[future] = flight
+
+        def survivors_of(flight: _Flight) -> List[Tuple[int, ExperimentTask]]:
+            return [
+                (index, task)
+                for index, task in flight.pairs
+                if index not in recorded and index not in failures
+            ]
+
+        def requeue(
+            survivors: List[Tuple[int, ExperimentTask]], error: BaseException
+        ) -> None:
+            if len(survivors) > 1:
+                # Not attributable to one task: bisect and re-dispatch
+                # both halves; repeated failures isolate the poison task
+                # in O(log n) rounds.  Innocent survivors re-run — wasted
+                # work, never wrong results (tasks are deterministic and
+                # cache puts idempotent).
+                if registry is not None:
+                    registry.inc("campaign.bisections")
+                middle = len(survivors) // 2
+                submit_flight(survivors[:middle])
+                submit_flight(survivors[middle:])
+                return
+            index, task = survivors[0]
+            attempts[index] = attempts.get(index, 0) + 1
+            if is_retryable(error) and attempts[index] < policy.max_attempts:
+                delay = policy.backoff_delay(attempts[index], key=task.key())
+                if registry is not None:
+                    registry.inc("campaign.retries")
+                    registry.observe("campaign.retry_backoff_seconds", delay)
+                logger.warning(
+                    "retrying task %s (attempt %d/%d, backoff %.2fs) "
+                    "after: %s",
+                    task.label(),
+                    attempts[index] + 1,
+                    policy.max_attempts,
+                    delay,
+                    error,
+                )
+                if delay > 0:
+                    sleep(delay)
+                submit_flight(survivors)
+            else:
+                failures[index] = TaskFailureRecord.from_error(
+                    index, task.key(), task.label(), attempts[index], error
+                )
+                if registry is not None:
+                    registry.inc("campaign.tasks_failed")
+                logger.error(
+                    "task %s failed permanently after %d attempt(s): %s",
+                    task.label(),
+                    attempts[index],
+                    error,
+                )
+                record_failure(index)
+
+        def handle_done(future: Future) -> None:
+            flight = inflight.pop(future, None)
+            if flight is None:
+                return
+            flight.futures.discard(future)
+            try:
+                batch_results = future.result()
+            except CancelledError:
+                return
+            except Exception as error:
+                if draining:
+                    return
+                if policy.fail_fast:
+                    # Legacy contract: the first batch error propagates
+                    # unhealed (the outer handler closes the session).
+                    raise
+                survivors = survivors_of(flight)
+                if not survivors:
+                    return
+                if flight.futures:
+                    # A hedge twin of this flight is still out; it may
+                    # yet deliver the results.  Its own completion (or
+                    # failure) settles the flight.
+                    return
+                requeue(survivors, error)
+                return
+            fresh = 0
+            for index, result in batch_results:
+                if index in recorded or index in failures:
+                    continue  # duplicate delivery from a hedged flight
+                recorded.add(index)
+                fresh += 1
+                record(index, result)
+            tracing.point("batch", tasks=fresh)
+            for sibling in list(flight.futures):
+                sibling.cancel()
+
+        def hedge_overdue() -> None:
+            if not policy.hedge or degraded:
+                return
+            now = perf_counter()
+            for flight in list(inflight.values()):
+                if (
+                    flight.hedged
+                    or flight.deadline is None
+                    or now < flight.deadline
+                ):
+                    continue
+                flight.hedged = True
+                survivors = survivors_of(flight)
+                if not survivors:
+                    continue
+                try:
+                    twin = self._task_session.submit_batch(survivors)
+                except BrokenExecutor:
+                    continue  # the flight's own failure path heals the pool
+                if registry is not None:
+                    registry.inc("campaign.hedges")
+                logger.warning(
+                    "batch of %d task(s) exceeded its straggler deadline; "
+                    "hedging with a duplicate dispatch (first result wins)",
+                    len(survivors),
+                )
+                flight.futures.add(twin)
+                inflight[twin] = flight
+
         try:
-            self._task_session.run_batches(batches, on_result=record)
+            while queue or inflight:
+                signal_name = self._shutdown_requested()
+                if signal_name is not None:
+                    draining = True
+                    queue.clear()
+                    for future in list(inflight):
+                        future.cancel()
+                    while inflight:
+                        done, _ = wait(
+                            list(inflight), return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            handle_done(future)
+                    logger.warning(
+                        "%s received: dispatch stopped, %d completed "
+                        "result(s) flushed, closing session",
+                        signal_name,
+                        len(recorded),
+                    )
+                    self.close()
+                    raise CampaignInterrupted(
+                        signal_name, len(recorded), len(dispatch_order)
+                    )
+                while queue and self._shutdown_requested() is None:
+                    submit_flight(list(queue.popleft()))
+                    # Serial sessions settle futures synchronously:
+                    # surface their results (cache writes, progress)
+                    # before submitting the next batch instead of after
+                    # the whole run.
+                    for future in [f for f in list(inflight) if f.done()]:
+                        handle_done(future)
+                if not inflight:
+                    continue
+                timeout = None
+                if self._guard is not None and self._guard.installed:
+                    timeout = 0.25  # poll the shutdown flag
+                pending_deadlines = [
+                    flight.deadline
+                    for flight in inflight.values()
+                    if flight.deadline is not None and not flight.hedged
+                ]
+                if pending_deadlines:
+                    until_next = max(
+                        0.05, min(pending_deadlines) - perf_counter()
+                    )
+                    timeout = (
+                        until_next
+                        if timeout is None
+                        else min(timeout, until_next)
+                    )
+                done, _ = wait(
+                    list(inflight),
+                    timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    handle_done(future)
+                hedge_overdue()
         except BaseException:
             logger.warning(
                 "closing persistent task session after a failed batch run; "
                 "the next run() opens a fresh worker pool"
             )
+            for future in list(inflight):
+                future.cancel()
             self.close()
             raise
+        if degraded:
+            # The degraded serial session finished the run; drop it so
+            # the next run() opens a real worker pool again.
+            self.close()
+        return [failures[index] for index in sorted(failures)]
 
     def _pack_batches(
         self, tasks: Sequence[ExperimentTask], dispatch_order: List[int]

@@ -189,6 +189,25 @@ class TaskCostModel(CostModel):
         """Estimated wall-clock of ``task``, or ``None`` for unseen shapes."""
         return self.estimate(task_shape_key(task))
 
+    def estimate_batch_seconds(
+        self, tasks: Sequence[ExperimentTask]
+    ) -> Optional[float]:
+        """Predicted wall-clock of running ``tasks`` back to back.
+
+        The campaign's straggler detection derives each dispatched
+        batch's soft deadline from this.  ``None`` when *any* shape is
+        unseen: a deadline extrapolated from nothing would hedge every
+        batch of a cold model (or none), so unknown batches simply get
+        no deadline.
+        """
+        total = 0.0
+        for task in tasks:
+            estimate = self.estimate_task(task)
+            if estimate is None:
+                return None
+            total += estimate
+        return total
+
     def cheapest_first(self, tasks: Sequence[ExperimentTask]) -> List[int]:
         """Return a permutation of ``range(len(tasks))``, cheapest first.
 

@@ -38,7 +38,12 @@ import multiprocessing
 import os
 import threading
 from abc import ABC, abstractmethod
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from contextlib import ExitStack, contextmanager
 from pathlib import Path
 from typing import (
@@ -54,6 +59,7 @@ from typing import (
 
 from repro.experiments.runner import ExperimentResult
 from repro.obs import tracing
+from repro.runtime import faults
 from repro.runtime.task import ExperimentTask, execute_task
 
 logger = logging.getLogger("repro.runtime.executor")
@@ -86,6 +92,24 @@ class ExecutionSession(ABC):
         """
         for index, item in enumerate(items):
             yield index, fn(item)
+
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future:
+        """Submit one call and return its :class:`~concurrent.futures.Future`.
+
+        The primitive under the campaign's resilient dispatch loop: the
+        caller owns completion handling (``wait``, timeouts, hedged
+        duplicates) instead of the session.  The serial default executes
+        inline and returns an already-settled future, so completion order
+        equals submission order in one process — same contract, zero
+        concurrency.
+        """
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn(item))
+        except BaseException as error:
+            future.set_exception(error)
+        return future
 
     def close(self) -> None:
         """Release session-owned resources (no-op unless the session owns a pool)."""
@@ -163,11 +187,37 @@ class _PoolSession(ExecutionSession):
             for future in pending:
                 future.cancel()
 
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future:
+        """Submit one call onto the pool (raises if the pool is broken)."""
+        return self._pool.submit(fn, item)
+
     def close(self) -> None:
         """Shut down the pool if this session owns it (idempotent)."""
         owned, self._owned = self._owned, None
         if owned is not None:
+            self._reap_broken_workers()
             owned.close()
+
+    def _reap_broken_workers(self) -> None:
+        """Kill surviving workers of a *broken* pool before shutdown.
+
+        When a worker dies mid-call it can take the shared call-queue
+        lock with it; a sibling blocked in ``call_queue.get()`` then
+        never sees the shutdown sentinel, and ``shutdown(wait=True)``
+        joins it forever (CPython < 3.12 does not kill workers in
+        ``terminate_broken``).  The pool is already broken — every
+        pending future has failed and the campaign re-runs the work —
+        so reaping the survivors loses nothing and unblocks the join.
+        """
+        if not getattr(self._pool, "_broken", False):
+            return
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            if process.is_alive():
+                logger.warning(
+                    "killing worker %s stuck in a broken pool", process.pid
+                )
+                process.kill()
 
 
 # ----------------------------------------------------------------------
@@ -192,6 +242,7 @@ class _WarmWorkerState:
 
     def execute(self, task: ExperimentTask) -> ExperimentResult:
         self.tasks_executed += 1
+        faults.maybe_inject_task_fault(task.label())
         return task.run()
 
 
@@ -277,6 +328,17 @@ class TaskSession:
                 if on_result is not None:
                     on_result(index, result)
         return results
+
+    def submit_batch(self, batch: IndexedBatch) -> Future:
+        """Submit one batch and return the future of its (index, result) pairs.
+
+        The resilient campaign driver dispatches through this instead of
+        :meth:`run_batches` so it can track per-batch completion, impose
+        straggler deadlines and re-dispatch survivors of a failed batch.
+        On a serial session the batch executes inline and the returned
+        future is already settled.
+        """
+        return self._session.submit(execute_task_batch, list(batch))
 
     def warm_state_snapshots(self, probes: int = 1) -> List[Dict[str, int]]:
         """Sample per-worker warm-state counters (diagnostics/tests)."""

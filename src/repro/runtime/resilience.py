@@ -1,0 +1,322 @@
+"""Self-healing primitives for campaign execution.
+
+The campaign driver (:mod:`repro.runtime.campaign`) composes these into
+its batched dispatch loop:
+
+:class:`RetryPolicy`
+    Bounded attempts with seeded exponential backoff — the schedule is a
+    pure function of ``(seed, key, attempt)``, so two runs of the same
+    campaign back off identically (no flaky timing in tests) and two
+    different tasks de-synchronise their retries.  Also carries the
+    session-respawn budget and the straggler-hedging knobs.
+:func:`is_retryable`
+    Error classification.  Infrastructure failures (broken pools, OS
+    errors, timeouts, injected faults) are retryable; ordinary task
+    exceptions are not — tasks are deterministic, so re-running a task
+    that raised ``ValueError`` would raise it again.
+:class:`TaskFailureRecord` / :class:`CampaignTaskFailure`
+    The structured form of a *poison task*: a task that keeps failing
+    after batch bisection isolated it.  The campaign completes every
+    other task, then raises :class:`CampaignTaskFailure` carrying the
+    records and the partial results — "run() returned" still means
+    "every result is valid".
+:class:`ShutdownGuard`
+    Cooperative SIGINT/SIGTERM handling: the first signal sets a flag the
+    dispatch loop polls (stop dispatching, flush completed work, close
+    sessions, raise :class:`CampaignInterrupted`); a second SIGINT
+    raises :class:`KeyboardInterrupt` for users who really mean it.
+
+None of these knobs enters a task fingerprint: retrying, hedging or
+degrading to serial execution may change *when and where* a task runs,
+never a bit of its result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+
+#: Environment override for the *default* per-task attempt budget
+#: (mirrors ``REPRO_CAMPAIGN_BATCH``): consulted only when a campaign is
+#: constructed without an explicit :class:`RetryPolicy`.  CI's chaos leg
+#: uses it to run the determinism digest suite under an aggressive
+#: ``REPRO_FAULTS`` crash profile with a budget that cannot be exhausted
+#: by attempts charged to innocent in-flight tasks.  Identity-free like
+#: every retry knob.
+RETRIES_ENV_VAR = "REPRO_CAMPAIGN_RETRIES"
+
+
+def _unit_fraction(seed: int, key: str, attempt: int) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments."""
+    digest = hashlib.sha256(f"{seed}/{key}/{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry/respawn/hedging policy.
+
+    Parameters
+    ----------
+    max_attempts:
+        Executions of a single (bisected-down-to-singleton) task before
+        it is poisoned.  ``1`` disables retries.
+    max_respawns:
+        Worker-pool respawns per ``run()`` after the pool broke (a worker
+        died); once exhausted the campaign degrades to in-process serial
+        execution for the remaining tasks.
+    base_delay / max_delay / jitter / seed:
+        Backoff schedule: attempt ``a`` (1-based) sleeps
+        ``min(base_delay * 2**(a-1) * (1 + jitter * u(seed, key, a)),
+        max_delay)`` where ``u`` is a deterministic uniform draw.  With
+        ``jitter <= 1`` the schedule is monotone non-decreasing (the
+        doubling dominates the jitter band) and capped at ``max_delay``.
+    straggler_factor / min_straggler_seconds / hedge:
+        A dispatched batch whose runtime exceeds
+        ``max(min_straggler_seconds, straggler_factor * predicted)`` —
+        prediction from the cost model — is *hedged*: its unfinished
+        tasks are speculatively re-dispatched and the first result wins.
+        Safe because tasks are deterministic and cache puts idempotent.
+    """
+
+    max_attempts: int = 3
+    max_respawns: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    straggler_factor: float = 4.0
+    min_straggler_seconds: float = 2.0
+    hedge: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}"
+            )
+
+    @property
+    def fail_fast(self) -> bool:
+        """Whether every healing mechanism is disabled.
+
+        A fail-fast policy restores the legacy batched-dispatch contract:
+        the first batch error propagates out of ``run()`` unhealed — no
+        retry, no bisection, no respawn, no serial degradation.  The
+        degradation guarantee matters for callers whose *task code* can
+        kill its process (the healing loop would otherwise eventually
+        re-run such a task in the driver process).
+        """
+        return (
+            self.max_attempts <= 1 and self.max_respawns == 0 and not self.hedge
+        )
+
+    def backoff_delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_delay * (2.0 ** (attempt - 1))
+        raw *= 1.0 + self.jitter * _unit_fraction(self.seed, key, attempt)
+        return min(raw, self.max_delay)
+
+    def backoff_schedule(self, attempts: int, key: str = "") -> List[float]:
+        """The full delay sequence for ``attempts`` retries of one task."""
+        return [self.backoff_delay(a, key) for a in range(1, attempts + 1)]
+
+
+#: Retry policy with every healing mechanism disabled — legacy fail-fast
+#: dispatch (first error propagates, no respawn, no hedging).
+FAIL_FAST = RetryPolicy(max_attempts=1, max_respawns=0, hedge=False)
+
+
+def default_retry_policy() -> RetryPolicy:
+    """The policy campaigns use when none is passed explicitly.
+
+    ``RetryPolicy()`` unless :data:`RETRIES_ENV_VAR` overrides the
+    attempt budget; a malformed value raises :class:`ValueError` here
+    (at campaign construction) rather than surfacing as mystery
+    exhaustion mid-run.
+    """
+    configured = os.environ.get(RETRIES_ENV_VAR, "").strip()
+    if configured == "":
+        return RetryPolicy()
+    try:
+        attempts = int(configured)
+    except ValueError:
+        raise ValueError(
+            f"{RETRIES_ENV_VAR} must be a positive integer, "
+            f"got {configured!r}"
+        ) from None
+    return RetryPolicy(max_attempts=attempts)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether re-running the failed work could plausibly succeed.
+
+    Broken pools (a worker died), OS errors, and timeouts are
+    infrastructure failures; injected faults carry ``retryable = True``
+    themselves.  Everything else — ordinary exceptions raised *by* a
+    deterministic task — would simply recur, so it fails fast into a
+    poison record instead of burning the retry budget.
+    """
+    if isinstance(error, (BrokenExecutor, OSError, TimeoutError)):
+        return True
+    return bool(getattr(error, "retryable", False))
+
+
+@dataclass(frozen=True)
+class TaskFailureRecord:
+    """Structured record of one permanently failed (poison) task."""
+
+    index: int
+    key: str
+    label: str
+    attempts: int
+    error_type: str
+    error_message: str
+    retryable: bool
+
+    @classmethod
+    def from_error(
+        cls,
+        index: int,
+        key: str,
+        label: str,
+        attempts: int,
+        error: BaseException,
+    ) -> "TaskFailureRecord":
+        return cls(
+            index=index,
+            key=key,
+            label=label,
+            attempts=attempts,
+            error_type=type(error).__name__,
+            error_message=str(error),
+            retryable=is_retryable(error),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "label": self.label,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "retryable": self.retryable,
+        }
+
+
+class CampaignTaskFailure(RuntimeError):
+    """Some tasks failed permanently; every other task completed.
+
+    ``failures`` holds one :class:`TaskFailureRecord` per poison task;
+    ``results`` the submission-ordered result list with ``None`` at the
+    failed positions — completed work (already cached) is never thrown
+    away with the exception.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[TaskFailureRecord],
+        results: Sequence[Optional[ExperimentResult]],
+    ) -> None:
+        self.failures = list(failures)
+        self.results = list(results)
+        labels = ", ".join(record.label for record in self.failures[:3])
+        if len(self.failures) > 3:
+            labels += ", ..."
+        super().__init__(
+            f"{len(self.failures)} task(s) failed permanently after "
+            f"retries: {labels}"
+        )
+
+
+class CampaignInterrupted(RuntimeError):
+    """A shutdown signal stopped the campaign after a clean flush.
+
+    Completed results were recorded (and cached), sessions closed and
+    stats flushed before this was raised; a re-run resumes warm from the
+    cache.
+    """
+
+    def __init__(self, signal_name: str, completed: int, total: int) -> None:
+        self.signal_name = signal_name
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"campaign interrupted by {signal_name} after {completed}/{total} "
+            f"task(s); completed results are cached — re-run to resume"
+        )
+
+
+class ShutdownGuard:
+    """Turns the first SIGINT/SIGTERM into a cooperative shutdown flag.
+
+    Installed only in the main thread of the main interpreter (signal
+    handlers cannot be set elsewhere); everywhere else it is an inert
+    flag that never trips.  A second SIGINT raises
+    :class:`KeyboardInterrupt` immediately — graceful shutdown must
+    never take the ability to actually stop away from the user.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self._requested: Optional[str] = None
+        self._previous: Dict[int, object] = {}
+        self.installed = False
+
+    @property
+    def requested(self) -> Optional[str]:
+        """Name of the received signal, or ``None``."""
+        return self._requested
+
+    def _handle(self, signum: int, _frame: object) -> None:
+        if self._requested is not None and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        self._requested = signal.Signals(signum).name
+
+    def __enter__(self) -> "ShutdownGuard":
+        if threading.current_thread() is threading.main_thread():
+            try:
+                for signum in self.SIGNALS:
+                    self._previous[signum] = signal.signal(
+                        signum, self._handle
+                    )
+                self.installed = True
+            except ValueError:  # pragma: no cover - non-main interpreter
+                self._previous.clear()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        for signum, handler in self._previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
+        self._previous.clear()
+        self.installed = False

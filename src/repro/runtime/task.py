@@ -118,7 +118,17 @@ class ExperimentTask:
 
 
 def execute_task(task: ExperimentTask) -> ExperimentResult:
-    """Module-level task entry point (picklable for process pools)."""
+    """Module-level task entry point (picklable for process pools).
+
+    Every execution path — serial, per-task pool, warm batched session —
+    funnels through here or :class:`~repro.runtime.executor._WarmWorkerState`,
+    which makes this the injection site for the deterministic fault
+    harness (:mod:`repro.runtime.faults`); a no-op when ``REPRO_FAULTS``
+    is unset.
+    """
+    from repro.runtime import faults
+
+    faults.maybe_inject_task_fault(task.label())
     return task.run()
 
 

@@ -173,8 +173,12 @@ def _normalised_entry(document: dict) -> str:
     exclusions (``wall_seconds`` and each report's ``elapsed_seconds``)
     but keeps everything else — including the stored task fingerprint and
     key — so two entries compare byte-identically on the full document.
+    The envelope-level integrity ``checksum`` (added after the sample was
+    committed) covers the raw stored bytes including wall-clock fields,
+    so it is excluded alongside them.
     """
     document = copy.deepcopy(document)
+    document.pop("checksum", None)
     document["result"].pop("wall_seconds", None)
     for sample in document["result"]["series"]["samples"]:
         sample["report"].pop("elapsed_seconds", None)

@@ -155,8 +155,11 @@ class TestBatchedCampaignWithObsEnabled:
 
 def _normalised_entry(document: dict) -> str:
     """Canonical JSON with wall-clock fields removed (mirrors the digest
-    suite's exclusions — everything else must compare byte-identically)."""
+    suite's exclusions — everything else must compare byte-identically).
+    The envelope-level integrity ``checksum`` covers the raw stored bytes
+    including wall-clock fields, so it is excluded alongside them."""
     document = copy.deepcopy(document)
+    document.pop("checksum", None)
     document["result"].pop("wall_seconds", None)
     for sample in document["result"]["series"]["samples"]:
         sample["report"].pop("elapsed_seconds", None)

@@ -2,11 +2,14 @@
 
 import json
 import logging
+import os
+import time
 
 import pytest
 
 from repro.experiments.scenarios import get_scenario
 from repro.runtime import Campaign, ExperimentTask, ResultCache
+from repro.runtime.cache import CHECKSUM_FIELD, QUARANTINE_DIRNAME
 from repro.runtime.executor import Executor
 
 
@@ -80,12 +83,18 @@ class TestResultCache:
         assert cache.clear() == 1
         assert cache.info().entries == 0
 
-    def test_corrupt_entry_is_a_miss(self, task, result, tmp_path):
+    def test_corrupt_entry_is_quarantined_miss(self, task, result, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         path = cache.put(task, result)
         path.write_text("{not json", encoding="utf-8")
         assert cache.get(task) is None
         assert not path.exists()
+        # The corrupt bytes were moved aside, not destroyed, and counted.
+        quarantined = tmp_path / "cache" / QUARANTINE_DIRNAME / path.name
+        assert quarantined.read_text(encoding="utf-8") == "{not json"
+        assert cache.stats.corrupt_entries == 1
+        assert cache.info().corrupt_entries == 1
+        assert ResultCache(tmp_path / "cache").info().corrupt_entries == 1
 
     def test_non_object_json_entry_is_a_miss(self, task, result, tmp_path):
         cache = ResultCache(tmp_path / "cache")
@@ -99,8 +108,48 @@ class TestResultCache:
         path = cache.put(task, result)
         document = json.loads(path.read_text(encoding="utf-8"))
         document["task"]["seed"] = document["task"]["seed"] + 1
+        document.pop(CHECKSUM_FIELD, None)
         path.write_text(json.dumps(document), encoding="utf-8")
         assert cache.get(task) is None
+
+    def test_checksum_mismatch_is_quarantined_miss(
+        self, task, result, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        # Flip one payload byte without touching the JSON structure: the
+        # document still parses and still matches the fingerprint, so only
+        # the checksum can catch it.
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["result"]["wall_seconds"] = (
+            document["result"]["wall_seconds"] + 1.0
+        )
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get(task) is None
+        assert cache.stats.corrupt_entries == 1
+        assert (tmp_path / "cache" / QUARANTINE_DIRNAME / path.name).exists()
+
+    def test_quarantined_entry_is_recomputed_and_overwritten(
+        self, task, result, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        path.write_text("garbage", encoding="utf-8")
+        assert cache.get(task) is None  # quarantined
+        cache.put(task, result)  # the campaign re-runs and overwrites
+        assert cache.get(task) is not None
+
+    def test_legacy_entry_without_checksum_still_hits(
+        self, task, result, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document.pop(CHECKSUM_FIELD)
+        path.write_text(json.dumps(document), encoding="utf-8")
+        restored = cache.get(task)
+        assert restored is not None
+        assert cache.stats.corrupt_entries == 0
 
     def test_cache_survives_reopening(self, task, result, tmp_path):
         ResultCache(tmp_path / "cache").put(task, result)
@@ -271,3 +320,88 @@ class TestOversizedStores:
         assert cache.info().entries == 0
         assert cache.stats.stores_dropped == 1
         assert cache.get(task) is None  # and a later lookup is an honest miss
+
+
+class TestVerify:
+    def test_clean_cache_verifies_ok(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(task, result)
+        report = cache.verify()
+        assert report.clean
+        assert (report.checked, report.ok, report.corrupt) == (1, 1, 0)
+        assert report.quarantined == []
+
+    def test_verify_quarantines_corrupt_entries(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        good_tasks = distinct_tasks(2)
+        for t in good_tasks:
+            cache.put(t, result)
+        bad_path = cache.put(task, result)
+        bad_path.write_text("{truncated", encoding="utf-8")
+        report = cache.verify()
+        assert not report.clean
+        assert (report.checked, report.ok, report.corrupt) == (3, 2, 1)
+        assert report.quarantined == [bad_path.name]
+        assert not bad_path.exists()
+        assert (tmp_path / "cache" / QUARANTINE_DIRNAME / bad_path.name).exists()
+        # The good entries are untouched and a re-scan is clean.
+        assert cache.verify().clean
+        for t in good_tasks:
+            assert cache.contains(t)
+
+    def test_verify_no_repair_reports_without_moving(
+        self, task, result, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        bad_path = cache.put(task, result)
+        bad_path.write_text("{truncated", encoding="utf-8")
+        report = cache.verify(repair=False)
+        assert report.corrupt == 1 and report.quarantined == []
+        assert bad_path.exists()  # left in place for inspection
+
+    def test_verify_flags_legacy_entries(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document.pop(CHECKSUM_FIELD)
+        path.write_text(json.dumps(document), encoding="utf-8")
+        report = cache.verify()
+        assert report.clean
+        assert report.legacy == 1 and report.ok == 0
+
+    def test_clear_removes_quarantine(self, task, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        path.write_text("bad", encoding="utf-8")
+        assert cache.get(task) is None
+        assert (tmp_path / "cache" / QUARANTINE_DIRNAME).is_dir()
+        cache.clear()
+        assert not (tmp_path / "cache" / QUARANTINE_DIRNAME).exists()
+
+
+class TestStaleTmpSweep:
+    def test_open_sweeps_aged_tmp_files(self, task, result, tmp_path):
+        directory = tmp_path / "cache"
+        ResultCache(directory).put(task, result)
+        stale = [
+            directory / "deadbeef.1234.tmp",
+            directory / "_meta.5678.metatmp",
+            directory / "_costs.9012.coststmp",
+        ]
+        old = time.time() - 7200
+        for path in stale:
+            path.write_text("debris", encoding="utf-8")
+            os.utime(path, (old, old))
+        fresh = directory / "cafef00d.4321.tmp"
+        fresh.write_text("live writer", encoding="utf-8")
+
+        cache = ResultCache(directory)  # open triggers the sweep
+        for path in stale:
+            assert not path.exists()
+        assert fresh.exists()  # age-gated: a live writer's file survives
+        assert cache.info().entries == 1  # entries never swept
+
+    def test_open_without_directory_is_fine(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.info().entries == 0
+        assert not (tmp_path / "never-created").exists()

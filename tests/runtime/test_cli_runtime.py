@@ -211,6 +211,112 @@ class TestRunCommandCache:
         assert "[1/1]" not in out
 
 
+class TestFaultInjectionCli:
+    def test_faulted_sweep_output_identical_to_clean(self, capsys, tmp_path):
+        # Satellite acceptance: injected task errors are healed by the
+        # default retry policy, so --faults changes nothing on stdout.
+        cache_dir = str(tmp_path / "cache")
+        clean_out, _ = run_cli(capsys, SWEEP_ARGV + ["--batch", "2"])
+        faulted_out, _ = run_cli(
+            capsys,
+            SWEEP_ARGV + [
+                "--batch", "2", "--cache-dir", cache_dir,
+                "--faults", "task-error@1", "--retries", "4",
+            ],
+        )
+        assert faulted_out == clean_out
+
+    def test_faults_env_not_leaked_after_command(self, capsys):
+        import os as _os
+
+        from repro.runtime import faults
+
+        run_cli(
+            capsys,
+            SWEEP_ARGV + ["--batch", "2", "--faults", "task-error@1"],
+        )
+        assert faults.ENV_VAR not in _os.environ
+
+    def test_invalid_faults_spec_is_an_argument_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(SWEEP_ARGV + ["--faults", "explode@1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid --faults spec" in err
+        assert "Traceback" not in err
+
+    def test_invalid_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(SWEEP_ARGV + ["--retries", "0"])
+        assert excinfo.value.code == 2
+
+
+class TestCacheVerifyCli:
+    def _populate(self, capsys, cache_dir):
+        run_cli(capsys, SWEEP_ARGV + ["--cache-dir", cache_dir])
+
+    @staticmethod
+    def _corrupt_one_entry(tmp_path):
+        entries = sorted(
+            path for path in (tmp_path / "cache").glob("*.json")
+            if not path.name.startswith("_")
+        )
+        target = entries[0]
+        payload = bytearray(target.read_bytes())
+        payload[len(payload) // 2] ^= 0x01
+        target.write_bytes(bytes(payload))
+        return target
+
+    def test_verify_clean_cache_exits_zero(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        out, _ = run_cli(capsys, ["cache", "verify", "--cache-dir", cache_dir])
+        assert "entries checked: 2" in out
+        assert "ok:              2" in out
+        assert "corrupt:         0" in out
+
+    def test_verify_quarantines_corrupt_entry_and_exits_nonzero(
+        self, capsys, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        target = self._corrupt_one_entry(tmp_path)
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt:         1" in out
+        assert "quarantined:     1" in out
+        assert target.name in out
+        assert not target.exists()  # moved into quarantine/
+        # A re-scan of the repaired cache is clean (one entry remains).
+        out, _ = run_cli(capsys, ["cache", "verify", "--cache-dir", cache_dir])
+        assert "entries checked: 1" in out
+        assert "corrupt:         0" in out
+
+    def test_verify_no_repair_leaves_entry_in_place(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        target = self._corrupt_one_entry(tmp_path)
+        assert main(["cache", "verify", "--cache-dir", cache_dir,
+                     "--no-repair"]) == 1
+        capsys.readouterr()
+        assert target.exists()
+
+    def test_verify_missing_directory_is_an_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "verify", "--cache-dir", str(tmp_path / "nope")])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_cache_info_reports_corrupt_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(capsys, cache_dir)
+        self._corrupt_one_entry(tmp_path)
+        main(["cache", "verify", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        info_out, _ = run_cli(capsys, ["cache", "info", "--cache-dir", cache_dir])
+        assert "corrupt entries: 1" in info_out
+
+
 class TestObservabilityCli:
     RUN_ARGV = ["run", "E", "--profile", "tiny", "--bucket-size", "3",
                 "--seed", "1"]

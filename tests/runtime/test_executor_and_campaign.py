@@ -9,11 +9,14 @@ from repro.experiments.replication import replicate_scenario
 from repro.experiments.scenarios import get_scenario
 from repro.experiments.sweep import run_bucket_size_sweep
 from repro.runtime import (
+    FAIL_FAST,
     SCHEDULE_CHEAPEST,
     Campaign,
+    CampaignTaskFailure,
     ExperimentTask,
     ParallelExecutor,
     ResultCache,
+    RetryPolicy,
     SerialExecutor,
     TaskCostModel,
     make_executor,
@@ -476,6 +479,9 @@ class TestBatchedPoolLifecycle:
             cache=cache,
             progress=events.append,
             batch=2,
+            # Fail-fast: a task that kills its own process must propagate,
+            # not be healed into in-process (driver-killing) re-execution.
+            retry_policy=FAIL_FAST,
         )
         # Batches (dispatch order, size 2): [good0, good1] then
         # [exploding, good2].  The single worker finishes the first batch
@@ -546,6 +552,122 @@ class TestBatchedPoolLifecycle:
         assert second.map(str, [7]) == ["7"]
         second.close()
         assert os.environ.get("PYTHONPATH") == original
+
+
+class _PoisonTask(ExperimentTask):
+    """A task that always raises a deterministic (non-retryable) error."""
+
+    def run(self):
+        raise ValueError("deterministically bad task")
+
+
+def _poison_task():
+    return _PoisonTask.create(
+        scenario=get_scenario("E"), profile="tiny", seed=98
+    )
+
+
+class TestSelfHealingCampaign:
+    """The default retry policy completes around failures (PR tentpole)."""
+
+    def test_poison_task_is_isolated_not_fatal(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        good = tiny_tasks(bucket_sizes=(3, 5, 8))
+        tasks = good[:2] + [_poison_task()] + good[2:]
+        events = []
+        with Campaign(
+            cache=cache, progress=events.append, batch=2
+        ) as campaign:
+            with pytest.raises(CampaignTaskFailure) as exc_info:
+                campaign.run(tasks)
+        failure = exc_info.value
+        # Exactly the poison task is reported, with a structured record.
+        assert [record.index for record in failure.failures] == [2]
+        record = failure.failures[0]
+        assert record.error_type == "ValueError"
+        assert record.attempts == 1  # non-retryable: no budget burned
+        assert not record.retryable
+        assert record.key == tasks[2].key()
+        # Every healthy task completed, was cached and carried results.
+        for index, task in enumerate(tasks):
+            if index == 2:
+                assert failure.results[index] is None
+                assert not cache.contains(task)
+            else:
+                assert failure.results[index] is not None
+                assert cache.contains(task)
+        statuses = {event.index: event.status for event in events}
+        assert statuses[2] == "failed"
+        assert all(
+            statuses[index] == "completed" for index in (0, 1, 3)
+        )
+
+    def test_retryable_failures_heal_transparently(self, tmp_path):
+        # An error marked retryable that stops recurring: the campaign
+        # retries and the run succeeds with no exception at all.
+        attempts = {"count": 0}
+
+        class _FlakySession:
+            def submit_batch(self, batch):
+                from concurrent.futures import Future
+
+                pairs = list(batch)
+                future = Future()
+                future.set_running_or_notify_cancel()
+                attempts["count"] += 1
+                if attempts["count"] == 1:
+                    future.set_exception(TimeoutError("transient"))
+                else:
+                    future.set_result(
+                        [(index, task.run()) for index, task in pairs]
+                    )
+                return future
+
+            def close(self):
+                pass
+
+        tasks = tiny_tasks(bucket_sizes=(3,))
+        campaign = Campaign(
+            batch=1,
+            retry_policy=RetryPolicy(base_delay=0.0, jitter=0.0),
+        )
+        campaign._task_session = _FlakySession()
+        results = campaign.run(tasks)
+        campaign._task_session = None  # the stub is not a real session
+        assert len(results) == 1 and results[0] is not None
+        assert attempts["count"] == 2  # failed once, healed on retry
+
+    def test_respawn_ladder_degrades_to_serial(self, tmp_path):
+        # A pool that breaks on every submit: the campaign respawns up to
+        # the budget, then degrades to in-process serial execution and
+        # still completes the run.
+        from concurrent.futures import BrokenExecutor
+
+        opened = {"count": 0}
+
+        class _BrokenSession:
+            def submit_batch(self, batch):
+                raise BrokenExecutor("pool is broken")
+
+            def close(self):
+                pass
+
+        class _BrokenExecutorBackend(SerialExecutor):
+            def open_task_session(self):
+                opened["count"] += 1
+                return _BrokenSession()
+
+        tasks = tiny_tasks(bucket_sizes=(3, 5))
+        policy = RetryPolicy(max_respawns=2, base_delay=0.0, jitter=0.0)
+        with Campaign(
+            executor=_BrokenExecutorBackend(), batch=2, retry_policy=policy
+        ) as campaign:
+            results = campaign.run(tasks)
+        assert all(result is not None for result in results)
+        # First open + two respawns, then the serial fallback finished it.
+        assert opened["count"] == 3
+        # The degraded session was dropped so a later run starts fresh.
+        assert campaign._task_session is None
 
 
 class TestRewiredSweeps:

@@ -1,0 +1,272 @@
+"""Property tests of the resilience layer.
+
+Two families, both hypothesis-driven:
+
+* :class:`RetryPolicy` backoff — deterministic under a fixed seed,
+  monotone non-decreasing in the attempt number, capped at ``max_delay``;
+* batch bisection — for *any* batch geometry and poison position, the
+  campaign driver isolates exactly the poison task (everything else
+  completes and is recorded exactly once).
+"""
+
+import signal
+import threading
+from concurrent.futures import BrokenExecutor, Future
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.campaign import Campaign
+from repro.runtime.resilience import (
+    FAIL_FAST,
+    RETRIES_ENV_VAR,
+    RetryPolicy,
+    ShutdownGuard,
+    TaskFailureRecord,
+    default_retry_policy,
+    is_retryable,
+)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy backoff properties
+# ----------------------------------------------------------------------
+policies = st.builds(
+    RetryPolicy,
+    base_delay=st.floats(min_value=0.0, max_value=1.0),
+    max_delay=st.floats(min_value=1.0, max_value=10.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+
+class TestBackoffProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(policy=policies, key=st.text(max_size=16),
+           attempt=st.integers(min_value=1, max_value=30))
+    def test_deterministic_under_fixed_seed(self, policy, key, attempt):
+        rebuilt = RetryPolicy(
+            base_delay=policy.base_delay, max_delay=policy.max_delay,
+            jitter=policy.jitter, seed=policy.seed,
+        )
+        assert policy.backoff_delay(attempt, key) == rebuilt.backoff_delay(
+            attempt, key
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(policy=policies, key=st.text(max_size=16))
+    def test_monotone_and_capped(self, policy, key):
+        schedule = policy.backoff_schedule(12, key)
+        assert all(
+            later >= earlier
+            for earlier, later in zip(schedule, schedule[1:])
+        )
+        assert all(delay <= policy.max_delay for delay in schedule)
+        assert all(delay >= 0.0 for delay in schedule)
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32),
+           attempt=st.integers(min_value=1, max_value=10))
+    def test_distinct_keys_desynchronise(self, seed, attempt):
+        policy = RetryPolicy(jitter=1.0, seed=seed, max_delay=1000.0)
+        delays = {policy.backoff_delay(attempt, f"task-{i}") for i in range(8)}
+        assert len(delays) > 1  # jitter spreads tasks apart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_respawns=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(straggler_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_delay(0)
+
+    def test_fail_fast_sentinel(self):
+        assert FAIL_FAST.fail_fast
+        assert not RetryPolicy().fail_fast
+
+    def test_default_policy_env_override(self, monkeypatch):
+        monkeypatch.delenv(RETRIES_ENV_VAR, raising=False)
+        assert default_retry_policy() == RetryPolicy()
+        monkeypatch.setenv(RETRIES_ENV_VAR, "12")
+        assert default_retry_policy().max_attempts == 12
+        assert Campaign(batch=2).retry_policy.max_attempts == 12
+        for bogus in ("many", "0"):
+            monkeypatch.setenv(RETRIES_ENV_VAR, bogus)
+            with pytest.raises(ValueError):
+                default_retry_policy()
+
+
+class TestRetryClassification:
+    def test_infrastructure_errors_are_retryable(self):
+        assert is_retryable(BrokenExecutor("pool broke"))
+        assert is_retryable(OSError("disk"))
+        assert is_retryable(TimeoutError("slow"))
+
+    def test_marked_errors_are_retryable(self):
+        error = RuntimeError("injected")
+        error.retryable = True
+        assert is_retryable(error)
+
+    def test_plain_task_errors_are_not(self):
+        assert not is_retryable(ValueError("bad input"))
+        assert not is_retryable(RuntimeError("task bug"))
+
+    def test_failure_record_round_trip(self):
+        record = TaskFailureRecord.from_error(
+            3, "abc123", "scenario E", 2, TimeoutError("too slow")
+        )
+        assert record.to_dict() == {
+            "index": 3,
+            "key": "abc123",
+            "label": "scenario E",
+            "attempts": 2,
+            "error_type": "TimeoutError",
+            "error_message": "too slow",
+            "retryable": True,
+        }
+
+
+# ----------------------------------------------------------------------
+# Batch-bisection poison isolation
+# ----------------------------------------------------------------------
+class _StubTask:
+    """Minimal stand-in for ExperimentTask inside the dispatch driver."""
+
+    def __init__(self, index):
+        self.index = index
+
+    def key(self):
+        return f"stub-{self.index}"
+
+    def label(self):
+        return f"stub task {self.index}"
+
+
+class _ScriptedSession:
+    """A task session whose batches fail whenever they contain the poison."""
+
+    def __init__(self, poison, error_factory):
+        self.poison = poison
+        self.error_factory = error_factory
+        self.dispatched = []
+
+    def submit_batch(self, batch):
+        pairs = list(batch)
+        self.dispatched.append([index for index, _ in pairs])
+        future = Future()
+        future.set_running_or_notify_cancel()
+        if any(index == self.poison for index, _ in pairs):
+            future.set_exception(self.error_factory())
+        else:
+            future.set_result([(index, f"result-{index}") for index, _ in pairs])
+        return future
+
+    def close(self):
+        pass
+
+
+def _drive(tasks_count, poison, batch_size, error_factory, policy):
+    tasks = [_StubTask(i) for i in range(tasks_count)]
+    campaign = Campaign(batch=batch_size, retry_policy=policy)
+    session = _ScriptedSession(poison, error_factory)
+    campaign._task_session = session
+    recorded, failed = {}, []
+    failures = campaign._run_batched(
+        tasks,
+        list(range(tasks_count)),
+        lambda index, result: recorded.__setitem__(index, result),
+        failed.append,
+    )
+    return recorded, failed, failures, session
+
+
+class TestBisectionIsolation:
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_exactly_the_poison_task_fails(self, data):
+        count = data.draw(st.integers(min_value=1, max_value=12))
+        poison = data.draw(st.integers(min_value=0, max_value=count - 1))
+        batch_size = data.draw(st.integers(min_value=1, max_value=12))
+        recorded, failed, failures, _ = _drive(
+            count, poison, batch_size,
+            lambda: RuntimeError("poison"),  # non-retryable: one attempt
+            RetryPolicy(base_delay=0.0, jitter=0.0),
+        )
+        assert [record.index for record in failures] == [poison]
+        assert failed == [poison]
+        assert set(recorded) == set(range(count)) - {poison}
+        assert failures[0].attempts == 1
+        assert failures[0].error_type == "RuntimeError"
+        assert not failures[0].retryable
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_retryable_poison_exhausts_the_attempt_budget(self, data):
+        count = data.draw(st.integers(min_value=1, max_value=8))
+        poison = data.draw(st.integers(min_value=0, max_value=count - 1))
+        batch_size = data.draw(st.integers(min_value=1, max_value=8))
+        max_attempts = data.draw(st.integers(min_value=1, max_value=4))
+        recorded, failed, failures, session = _drive(
+            count, poison, batch_size,
+            lambda: TimeoutError("still poisoned"),
+            RetryPolicy(
+                max_attempts=max_attempts, base_delay=0.0, jitter=0.0
+            ),
+        )
+        assert [record.index for record in failures] == [poison]
+        assert failures[0].attempts == max_attempts
+        assert set(recorded) == set(range(count)) - {poison}
+        # Every singleton dispatch of the poison task is one attempt.
+        singleton_poison = [
+            batch for batch in session.dispatched if batch == [poison]
+        ]
+        assert len(singleton_poison) == max_attempts
+
+    def test_healthy_run_returns_no_failures(self):
+        recorded, failed, failures, _ = _drive(
+            6, poison=-1, batch_size=2,
+            error_factory=lambda: AssertionError("never raised"),
+            policy=RetryPolicy(),
+        )
+        assert failures == [] and failed == []
+        assert set(recorded) == set(range(6))
+
+
+# ----------------------------------------------------------------------
+# ShutdownGuard
+# ----------------------------------------------------------------------
+class TestShutdownGuard:
+    def test_installs_and_restores_handlers(self):
+        previous = signal.getsignal(signal.SIGINT)
+        with ShutdownGuard() as guard:
+            assert guard.installed
+            assert guard.requested is None
+            assert signal.getsignal(signal.SIGINT) is not previous
+        assert signal.getsignal(signal.SIGINT) is previous
+
+    def test_first_signal_sets_flag_second_sigint_raises(self):
+        with ShutdownGuard() as guard:
+            guard._handle(signal.SIGINT, None)
+            assert guard.requested == "SIGINT"
+            with pytest.raises(KeyboardInterrupt):
+                guard._handle(signal.SIGINT, None)
+
+    def test_inert_outside_the_main_thread(self):
+        outcome = {}
+
+        def body():
+            with ShutdownGuard() as guard:
+                outcome["installed"] = guard.installed
+                outcome["requested"] = guard.requested
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert outcome == {"installed": False, "requested": None}
