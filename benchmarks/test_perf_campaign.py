@@ -27,6 +27,13 @@ scenario A on the ``smoke`` profile):
     sweep and packs tasks into near-equal-cost worker batches.  The
     pool spin-up *is* included in the timing — it is paid once.
 
+A fourth, ``distributed``, section records the same sweep through a
+loopback :class:`DistributedExecutor` fleet (coordinator + spawned
+``repro worker`` TCP processes): not a speed contender on one machine —
+frames, pickling and heartbeats price in the network seam — but the
+trend line that keeps the wire overhead honest, and the digest assert
+proves the backend is identity-free like every other configuration.
+
 All parallel configurations use the ``spawn`` start method, for two
 reasons: it is the portable production default (the only method on
 Windows, the default on macOS, and the direction CPython is moving on
@@ -52,6 +59,7 @@ from repro.experiments.scenarios import get_scenario
 from repro.runtime import (
     BATCH_OFF,
     Campaign,
+    DistributedExecutor,
     ExperimentTask,
     ParallelExecutor,
     SerialExecutor,
@@ -127,6 +135,17 @@ def run_persistent_batched(
     return _timed(run)
 
 
+def run_distributed(tasks: List[ExperimentTask]) -> Dict[str, object]:
+    def run() -> List:
+        with Campaign(
+            executor=DistributedExecutor(workers=PARALLEL_JOBS),
+            batch="auto",
+        ) as campaign:
+            return campaign.run(tasks)
+
+    return _timed(run)
+
+
 def _strip_results(record: Dict[str, object]) -> Dict[str, object]:
     return {key: value for key, value in record.items() if key != "results"}
 
@@ -149,10 +168,12 @@ def test_perf_campaign_trajectory(output_dir):
             tasks, method
         )
 
-    # Batching, pooling and the start method are identity-free: every
-    # configuration must reproduce the serial trajectories bit for bit,
-    # in submission order.
-    for section in (configs, fork_section):
+    distributed = run_distributed(tasks)
+
+    # Batching, pooling, the start method and the executor backend are
+    # identity-free: every configuration must reproduce the serial
+    # trajectories bit for bit, in submission order.
+    for section in (configs, fork_section, {"distributed": distributed}):
         for name, record in section.items():
             digests = [
                 trajectory_digest(result) for result in record["results"]
@@ -188,6 +209,18 @@ def test_perf_campaign_trajectory(output_dir):
         "fork_configs": {
             name: _strip_results(record)
             for name, record in fork_section.items()
+        },
+        "distributed": {
+            "workers": PARALLEL_JOBS,
+            "transport": "loopback TCP frames (spawned repro workers)",
+            **_strip_results(distributed),
+            "vs_persistent_batched": round(
+                distributed["tasks_per_sec"]
+                / configs[f"persistent_batched{PARALLEL_JOBS}"][
+                    "tasks_per_sec"
+                ],
+                3,
+            ),
         },
         "speedups": {
             f"{batched_key}_vs_{per_task_key}": headline,
@@ -227,6 +260,10 @@ def test_perf_campaign_trajectory(output_dir):
             f"{name + ' (fork)':<24} {record['seconds']:>10} "
             f"{record['tasks_per_sec']:>10}"
         )
+    lines.append(
+        f"{'distributed' + str(PARALLEL_JOBS):<24} "
+        f"{distributed['seconds']:>10} {distributed['tasks_per_sec']:>10}"
+    )
     lines.append(
         f"headline speedup ({batched_key} vs {per_task_key}, "
         f"{START_METHOD}): {headline}x"

@@ -25,7 +25,17 @@ Subcommands:
     Inspect (``cache info``), integrity-check (``cache verify`` —
     sha256 payload checksums, corrupt entries quarantined), empty
     (``cache clear``) or size-cap (``cache prune --max-bytes N``, LRU
-    order) a result cache directory used by the run/sweep commands.
+    order) a result cache directory used by the run/sweep commands;
+    ``cache serve`` exposes a directory as a shared cache tier over TCP
+    for ``--shared-cache`` clients (every served entry is checksum
+    verified, corrupt entries quarantined server-side).
+
+``worker``
+    Join a distributed campaign: connect to a coordinator started by
+    ``--backend distributed`` (or an embedding program) and execute
+    leased task batches until told to shut down.  This is the
+    entrypoint the coordinator spawns for loopback fleets; run it by
+    hand on other machines to scale a campaign out.
 
 ``obs``
     Observability: ``obs summary`` runs one scenario with
@@ -37,16 +47,19 @@ Subcommands:
     bit-identical with it on or off.
 
 Simulation commands accept ``--jobs N`` (process-pool execution across
-experiment tasks), ``--flow-jobs N`` (process-pool execution of the
-per-snapshot pair-flow batches *inside* a task), ``--cache-dir DIR``
-(content-addressed result reuse across invocations), ``--schedule
-{fifo,cheapest}`` (dispatch pending tasks in submission order or
-cheapest-first by the ``_costs.json`` cost model beside the cache) and
-``--adaptive-shards`` (cost-aware pair-flow shard sizing and wave
-ordering); all combinations produce bit-identical output — scheduling
-knobs change only *when* work runs, never what it computes.  Progress and
+experiment tasks), ``--backend {local,distributed}`` (same campaign on
+an in-process pool or a fleet of TCP workers), ``--flow-jobs N``
+(process-pool execution of the per-snapshot pair-flow batches *inside*
+a task), ``--cache-dir DIR`` (content-addressed result reuse across
+invocations), ``--shared-cache HOST:PORT`` (a remote ``cache serve``
+tier behind the local directory), ``--schedule {fifo,cheapest}``
+(dispatch pending tasks in submission order or cheapest-first by the
+``_costs.json`` cost model beside the cache) and ``--adaptive-shards``
+(cost-aware pair-flow shard sizing and wave ordering); all combinations
+produce bit-identical output — scheduling and placement knobs change
+only *when and where* work runs, never what it computes.  Progress and
 cache statistics go to stderr so stdout stays identical regardless of
-parallelism, schedule or cache state.
+parallelism, backend, schedule or cache state.
 """
 
 from __future__ import annotations
@@ -78,7 +91,13 @@ from repro.analysis.figures import render_series_table
 from repro.runtime import faults
 from repro.runtime.cache import ResultCache
 from repro.runtime.campaign import Campaign, resolve_batch, sweep_tasks
-from repro.runtime.executor import make_executor
+from repro.runtime.distributed import (
+    RemoteCacheTier,
+    parse_address,
+    run_worker,
+    serve_cache,
+)
+from repro.runtime.executor import EXECUTOR_BACKENDS, make_executor
 from repro.runtime.resilience import RetryPolicy
 
 
@@ -139,6 +158,16 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         help="number of worker processes (1 = run in-process; default: 1)",
     )
     parser.add_argument(
+        "--backend", default="local", choices=list(EXECUTOR_BACKENDS),
+        help=(
+            "executor family for --jobs workers: 'local' (in-process "
+            "pool, default) or 'distributed' (spawn a loopback TCP "
+            "worker fleet with lease-based dispatch and heartbeat "
+            "liveness; identity-free — results are bit-identical to "
+            "the local backend)"
+        ),
+    )
+    parser.add_argument(
         "--flow-jobs", type=_positive_int, default=1,
         help=(
             "worker processes for the per-snapshot pair-flow engine "
@@ -148,6 +177,15 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None,
         help="directory of the content-addressed result cache (default: off)",
+    )
+    parser.add_argument(
+        "--shared-cache", default=None, metavar="HOST:PORT",
+        help=(
+            "address of a 'repro-kademlia cache serve' tier used as a "
+            "second cache level behind --cache-dir (remote hits are "
+            "sha256 verified and re-written locally; remote outages "
+            "degrade silently to local-only); requires --cache-dir"
+        ),
     )
     parser.add_argument(
         "--schedule", default="fifo", choices=["fifo", "cheapest"],
@@ -239,7 +277,31 @@ def _scenario_name(args: argparse.Namespace) -> str:
 
 
 def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
-    return ResultCache(args.cache_dir) if args.cache_dir else None
+    shared = getattr(args, "shared_cache", None)
+    if not args.cache_dir:
+        if shared:
+            # The local directory is the L1 in front of the shared tier
+            # (and the only place verified remote hits can be re-read
+            # from); a remote-only cache would silently re-verify every
+            # hit over the network, so insist on the pairing.
+            print(
+                "error: --shared-cache needs --cache-dir (the local "
+                "directory is the first cache level in front of the "
+                "shared tier)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return None
+    remote = None
+    if shared:
+        try:
+            host, port = parse_address(shared)
+        except ValueError as error:
+            print(f"error: invalid --shared-cache address: {error}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        remote = RemoteCacheTier(host, port)
+    return ResultCache(args.cache_dir, remote=remote)
 
 
 def _make_retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
@@ -390,6 +452,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 progress=_make_progress(args),
                 schedule=args.schedule, adaptive_shards=args.adaptive_shards,
                 batch=args.batch, retry_policy=_make_retry_policy(args),
+                backend=args.backend,
             )
         _report_cache_stats(cache)
     finally:
@@ -422,6 +485,7 @@ def _cmd_sweep_k(args: argparse.Namespace) -> int:
                 progress=_make_progress(args),
                 schedule=args.schedule, adaptive_shards=args.adaptive_shards,
                 batch=args.batch, retry_policy=_make_retry_policy(args),
+                backend=args.backend,
             )
         _report_cache_stats(cache)
     finally:
@@ -453,7 +517,8 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     ]
     try:
         with _faults_scope(args), Campaign(
-            executor=make_executor(args.jobs), cache=cache,
+            executor=make_executor(args.jobs, backend=args.backend),
+            cache=cache,
             progress=_make_progress(args), schedule=args.schedule,
             batch=args.batch, retry_policy=_make_retry_policy(args),
         ) as campaign:
@@ -489,6 +554,7 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
                 progress=_make_progress(args),
                 schedule=args.schedule, adaptive_shards=args.adaptive_shards,
                 batch=args.batch, retry_policy=_make_retry_policy(args),
+                backend=args.backend,
             )
         _report_cache_stats(cache)
         registry = obs.active()
@@ -593,6 +659,46 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
             f"<= cap {args.max_bytes})"
         )
     return 0
+
+
+def _cmd_cache_serve(args: argparse.Namespace) -> int:
+    try:
+        serve_cache(
+            args.cache_dir,
+            args.host,
+            args.port,
+            shard_depth=args.shard_depth,
+            ready=lambda address: print(
+                f"[cache] serving {args.cache_dir} on "
+                f"{address[0]}:{address[1]}",
+                file=sys.stderr,
+            ),
+        )
+    except KeyboardInterrupt:
+        print("[cache] interrupted; shutting down", file=sys.stderr)
+    except OSError as error:
+        print(f"error: cannot serve cache: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as error:
+        print(f"error: invalid --connect address: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        return run_worker(
+            host,
+            port,
+            heartbeat_interval=args.heartbeat_interval,
+            reconnect_attempts=args.reconnect_attempts,
+            idle_timeout=args.idle_timeout,
+        )
+    except KeyboardInterrupt:
+        print("[worker] interrupted; shutting down", file=sys.stderr)
+        return 0
 
 
 def _cmd_analyze_snapshot(args: argparse.Namespace) -> int:
@@ -779,6 +885,70 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cache_prune_parser.set_defaults(func=_cmd_cache_prune)
+
+    cache_serve_parser = cache_subparsers.add_parser(
+        "serve",
+        help=(
+            "serve a cache directory as a shared tier over TCP for "
+            "--shared-cache clients (blocking; checksum-verified reads "
+            "and writes, concurrent-writer safe)"
+        ),
+    )
+    cache_serve_parser.add_argument(
+        "--cache-dir", required=True, help="result cache directory to serve"
+    )
+    cache_serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    cache_serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default: 0 = pick an ephemeral port)",
+    )
+    cache_serve_parser.add_argument(
+        "--shard-depth", type=int, default=0, choices=range(0, 9),
+        metavar="N",
+        help=(
+            "spread entries over 16^N fingerprint-prefix subdirectories "
+            "(0-8, default: 0 = flat layout; existing flat entries stay "
+            "readable)"
+        ),
+    )
+    cache_serve_parser.set_defaults(func=_cmd_cache_serve)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help=(
+            "join a distributed campaign: execute leased task batches "
+            "from a --backend distributed coordinator"
+        ),
+    )
+    worker_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address to connect to",
+    )
+    worker_parser.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help=(
+            "liveness heartbeat period (default: the interval the "
+            "coordinator advertises in its welcome frame)"
+        ),
+    )
+    worker_parser.add_argument(
+        "--reconnect-attempts", type=_positive_int, default=8, metavar="N",
+        help=(
+            "consecutive failed connection attempts before giving up "
+            "(reset after any successful session; default: 8)"
+        ),
+    )
+    worker_parser.add_argument(
+        "--idle-timeout", type=float, default=300.0, metavar="SECONDS",
+        help=(
+            "exit if the coordinator link stays silent this long "
+            "(default: 300)"
+        ),
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
 
     return parser
 

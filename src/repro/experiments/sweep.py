@@ -43,9 +43,14 @@ def _make_campaign(
     schedule: str = SCHEDULE_FIFO,
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend: str = "local",
 ) -> Campaign:
     return Campaign(
-        executor=executor if executor is not None else make_executor(jobs),
+        executor=(
+            executor
+            if executor is not None
+            else make_executor(jobs, backend=backend)
+        ),
         cache=cache,
         progress=progress,
         schedule=schedule,
@@ -68,6 +73,7 @@ def run_scenario(
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend: str = "local",
 ) -> ExperimentResult:
     """Run a single scenario with the given profile and seed.
 
@@ -77,14 +83,18 @@ def run_scenario(
     ``adaptive_shards`` and ``batch`` select cost-aware dispatch
     (order/grouping only; results are bit-identical for every
     combination — ``batch`` runs several tasks per warm worker call
-    through a persistent pool, see :class:`Campaign`).
+    through a persistent pool, see :class:`Campaign`).  ``backend``
+    picks the executor family (``"local"`` pool or ``"distributed"``
+    loopback workers) when no explicit ``executor`` is given; output is
+    bit-identical either way.
     """
     tasks = sweep_tasks(
         scenario, [{}], profile=profile, seed=seed, algorithm=algorithm,
         flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
     with _make_campaign(
-        jobs, cache, executor, progress, schedule, batch, retry_policy
+        jobs, cache, executor, progress, schedule, batch, retry_policy,
+        backend,
     ) as campaign:
         return campaign.run(tasks)[0]
 
@@ -104,6 +114,7 @@ def run_sweep(
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend: str = "local",
 ) -> List[ExperimentResult]:
     """Run one variant of ``base`` per override set and return the results.
 
@@ -116,7 +127,8 @@ def run_sweep(
         flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
     )
     with _make_campaign(
-        jobs, cache, executor, progress, schedule, batch, retry_policy
+        jobs, cache, executor, progress, schedule, batch, retry_policy,
+        backend,
     ) as campaign:
         return campaign.run(tasks)
 
@@ -135,6 +147,7 @@ def run_bucket_size_sweep(
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend: str = "local",
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per bucket size (the k-sweep of Figures 2–9)."""
     bucket_sizes = list(bucket_sizes)
@@ -144,7 +157,7 @@ def run_bucket_size_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
-        retry_policy=retry_policy,
+        retry_policy=retry_policy, backend=backend,
     )
     return dict(zip(bucket_sizes, results))
 
@@ -164,6 +177,7 @@ def run_alpha_sweep(
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend: str = "local",
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the (alpha, k) grid behind Figure 10; keys are ``(alpha, k)``."""
     keys = [(alpha, k) for alpha in alphas for k in bucket_sizes]
@@ -173,7 +187,7 @@ def run_alpha_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
-        retry_policy=retry_policy,
+        retry_policy=retry_policy, backend=backend,
     )
     return dict(zip(keys, results))
 
@@ -192,6 +206,7 @@ def run_staleness_sweep(
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend: str = "local",
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per staleness limit (Figure 11)."""
     staleness_values = list(staleness_values)
@@ -201,7 +216,7 @@ def run_staleness_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
-        retry_policy=retry_policy,
+        retry_policy=retry_policy, backend=backend,
     )
     return dict(zip(staleness_values, results))
 
@@ -221,6 +236,7 @@ def run_loss_sweep(
     adaptive_shards: bool = False,
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend: str = "local",
 ) -> Dict[Tuple[str, int], ExperimentResult]:
     """Run the (loss, s) grid behind Figures 12–14; keys are ``(loss, s)``."""
     keys = [(loss, s) for loss in loss_levels for s in staleness_values]
@@ -230,6 +246,6 @@ def run_loss_sweep(
         profile=profile, seed=seed, jobs=jobs, flow_jobs=flow_jobs,
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
-        retry_policy=retry_policy,
+        retry_policy=retry_policy, backend=backend,
     )
     return dict(zip(keys, results))

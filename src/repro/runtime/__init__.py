@@ -28,8 +28,15 @@ execution harness:
   engine's adaptive shard sizing);
 * :mod:`repro.runtime.faults` — the deterministic fault-injection harness
   (``REPRO_FAULTS``): seeded nth-occurrence/probability matchers that
-  crash workers, raise task errors, stall batches and corrupt cache
-  bytes, for chaos-testing the layers below without touching any result;
+  crash workers, raise task errors, stall batches, corrupt cache bytes
+  and mangle network frames (drops, corruption, delays, partitions),
+  for chaos-testing the layers below without touching any result;
+* :mod:`repro.runtime.distributed` — the TCP work-queue backend:
+  :class:`DistributedExecutor` (coordinator with lease-based dispatch,
+  heartbeat liveness, bounded worker respawn, local degrade), the
+  ``repro worker`` loop, and the shared cache tier
+  (:class:`RemoteCacheTier` / ``repro cache serve``) layered over the
+  same checksummed frame codec;
 * :mod:`repro.runtime.resilience` — the self-healing primitives the
   campaign composes around the executor: :class:`RetryPolicy` (bounded
   seeded backoff, respawn budget, straggler hedging), poison-task
@@ -37,8 +44,8 @@ execution harness:
 
 Every higher layer (``repro.experiments.sweep``, ``repro.experiments
 .replication``, the CLI and the benchmark harness) dispatches its runs
-through this package, so future scaling work (sharding, distributed
-backends) only has to provide a new :class:`Executor`.
+through this package; the distributed backend is exactly the "new
+:class:`Executor`" that contract promised.
 """
 
 from repro.runtime.cache import CacheInfo, CacheStats, ResultCache, VerifyReport
@@ -58,7 +65,20 @@ from repro.runtime.costmodel import (
     TaskCostModel,
     task_shape_key,
 )
+from repro.runtime.distributed import (
+    Coordinator,
+    DistributedExecutor,
+    FrameChecksumError,
+    FrameError,
+    RemoteCacheTier,
+    RemoteTaskError,
+    WorkerLostError,
+    parse_address,
+    run_worker,
+    serve_cache,
+)
 from repro.runtime.executor import (
+    EXECUTOR_BACKENDS,
     ExecutionSession,
     Executor,
     ParallelExecutor,
@@ -67,7 +87,12 @@ from repro.runtime.executor import (
     execute_task_batch,
     make_executor,
 )
-from repro.runtime.faults import FaultPlan, FaultSpecError, InjectedTaskError
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultSpecError,
+    InjectedConnectionError,
+    InjectedTaskError,
+)
 from repro.runtime.pairflow import PairFlowEngine, PairFlowOutcome
 from repro.runtime.resilience import (
     FAIL_FAST,
@@ -91,19 +116,27 @@ __all__ = [
     "Campaign",
     "CampaignInterrupted",
     "CampaignTaskFailure",
+    "Coordinator",
     "CostModel",
+    "DistributedExecutor",
+    "EXECUTOR_BACKENDS",
     "ExecutionSession",
     "Executor",
     "ExperimentTask",
     "FAIL_FAST",
     "FaultPlan",
     "FaultSpecError",
+    "FrameChecksumError",
+    "FrameError",
+    "InjectedConnectionError",
     "InjectedTaskError",
     "PairCostTracker",
     "PairFlowEngine",
     "PairFlowOutcome",
     "ParallelExecutor",
     "RETRIES_ENV_VAR",
+    "RemoteCacheTier",
+    "RemoteTaskError",
     "ResultCache",
     "RetryPolicy",
     "SCHEDULE_CHEAPEST",
@@ -115,12 +148,16 @@ __all__ = [
     "TaskProgress",
     "TaskSession",
     "VerifyReport",
+    "WorkerLostError",
     "default_retry_policy",
     "derive_seed",
     "execute_task",
     "execute_task_batch",
     "is_retryable",
     "make_executor",
+    "parse_address",
     "resolve_batch",
+    "run_worker",
+    "serve_cache",
     "task_shape_key",
 ]

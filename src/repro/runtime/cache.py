@@ -30,6 +30,21 @@ crashing, and the corrupt bytes stay available for post-mortems.
 ``repro cache verify`` scans a whole directory through
 :meth:`ResultCache.verify`.  Entries predating the checksum field are
 accepted as legacy (structure-checked only).
+
+Shared tier: a cache constructed with ``remote=`` (any object with
+``get_raw``/``put_raw``, e.g. :class:`repro.runtime.distributed.
+RemoteCacheTier`) uses its own directory as the L1 and the remote as a
+second tier — local misses consult the remote, verified hits are
+re-checksummed and filled into the L1 atomically, and every local store
+is pushed best-effort.  A corrupt or unreachable remote can never fail
+a lookup: the worst case is a recompute.  ``shard_depth`` spreads
+entries over ``key[:depth]/`` subdirectories so a shared directory
+written by a whole fleet does not collapse into one giant flat dir;
+reads fall back to the flat layout, so enabling sharding on an existing
+directory is safe.  Concurrent writers need no lock in either layout:
+the key is a content hash (two writers of one key write identical
+bytes) and the atomic tmp-file + ``rename`` publish means readers see
+either nothing or a complete entry.
 """
 
 from __future__ import annotations
@@ -83,6 +98,29 @@ SYNCED_STAT_NAMES = ("hits", "misses", "stores", "bytes_served")
 logger = logging.getLogger("repro.runtime.cache")
 
 
+def _verify_entry_bytes(raw: bytes) -> str:
+    """Classify raw entry bytes: ``"ok"`` / ``"legacy"`` / ``"corrupt"``.
+
+    The shared verification core of :meth:`ResultCache._verify_entry`
+    (local scans) and the shared-tier raw path (remote reads and
+    writes), so every tier applies byte-identical acceptance rules.
+    """
+    try:
+        document = json.loads(raw)
+    except ValueError:
+        return "corrupt"
+    if not isinstance(document, dict):
+        return "corrupt"
+    checksum = document.pop(CHECKSUM_FIELD, None)
+    if "task" not in document or "result" not in document:
+        return "corrupt"
+    if checksum is None:
+        return "legacy"
+    if checksum != _document_checksum(document):
+        return "corrupt"
+    return "ok"
+
+
 def _document_checksum(document: dict) -> str:
     """SHA-256 over the canonical serialisation of an entry document.
 
@@ -113,6 +151,9 @@ class CacheStats:
     stores_dropped: int = 0
     bytes_served: int = 0
     corrupt_entries: int = 0
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_puts: int = 0
 
     @property
     def lookups(self) -> int:
@@ -193,13 +234,35 @@ class ResultCache:
         entry larger than the cap on its own is dropped up front with a
         warning and counted in ``stats.stores_dropped`` (see
         :meth:`put`); it never displaces the existing entries.
+    shard_depth:
+        Hex-prefix length used to spread entries over subdirectories
+        (``0`` keeps the flat layout).  Reads fall back to the flat
+        path, so raising the depth on a populated directory never loses
+        entries.  Purely a placement knob — never part of a fingerprint.
+    remote:
+        Optional shared-tier client (``get_raw``/``put_raw``) consulted
+        on local misses and pushed to on stores; see the module
+        docstring.
     """
 
-    def __init__(self, directory: PathLike, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        directory: PathLike,
+        max_bytes: Optional[int] = None,
+        *,
+        shard_depth: int = 0,
+        remote: Optional[object] = None,
+    ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if not 0 <= shard_depth <= 8:
+            raise ValueError(
+                f"shard_depth must be in [0, 8], got {shard_depth}"
+            )
         self.directory = Path(directory)
         self.max_bytes = max_bytes
+        self.shard_depth = shard_depth
+        self.remote = remote
         self.stats = CacheStats()
         # Snapshot of the stats already flushed to the ``_meta.json``
         # sidecar; sync_persistent_stats() persists only the delta since
@@ -219,7 +282,9 @@ class ResultCache:
             return 0
         cutoff = time.time() - STALE_TMP_SECONDS
         removed = 0
-        for pattern in TMP_PATTERNS:
+        for pattern in TMP_PATTERNS + tuple(
+            f"[0-9a-f]*/{suffix}" for suffix in TMP_PATTERNS
+        ):
             for stale in self.directory.glob(pattern):
                 try:
                     if stale.stat().st_mtime <= cutoff:
@@ -237,20 +302,63 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: str) -> Path:
+        """Where an entry for ``key`` is *written* under this layout."""
+        if self.shard_depth and len(key) > self.shard_depth:
+            return (
+                self.directory / key[: self.shard_depth]
+                / f"{key}{ENTRY_SUFFIX}"
+            )
         return self.directory / f"{key}{ENTRY_SUFFIX}"
+
+    def _existing_entry_path(self, key: str) -> Path:
+        """Where an entry for ``key`` is *read* from.
+
+        This instance's layout when the entry exists there, otherwise
+        any other depth's placement of the same key — so a directory
+        populated before sharding was enabled (or by a peer with a
+        different depth) keeps serving every entry to every reader.
+        """
+        preferred = self._entry_path(key)
+        if preferred.exists():
+            return preferred
+        name = f"{key}{ENTRY_SUFFIX}"
+        candidates = [self.directory / name] + [
+            self.directory / key[:depth] / name
+            for depth in range(1, min(8, len(key) - 1) + 1)
+        ]
+        for candidate in candidates:
+            if candidate != preferred and candidate.exists():
+                return candidate
+        return preferred
 
     def _entry_paths(self) -> List[Path]:
         # The directory is created lazily by put(), so a cache that never
         # stored anything (e.g. ``cache info`` on a typo'd path) does not
         # leave an empty directory behind.  Sidecar files (``_``-prefixed)
-        # are metadata, not entries.
+        # are metadata, not entries.  Shard subdirectories are scanned
+        # regardless of this instance's shard_depth, so info/verify/prune
+        # see every entry of a directory written at any depth; the
+        # quarantine/ subdirectory stays outside the entry namespace.
         if not self.directory.is_dir():
             return []
-        return sorted(
+        paths = [
             path
             for path in self.directory.glob(f"*{ENTRY_SUFFIX}")
             if not path.name.startswith("_")
-        )
+        ]
+        for subdir in self.directory.iterdir():
+            if (
+                not subdir.is_dir()
+                or subdir.name == QUARANTINE_DIRNAME
+                or subdir.name.startswith("_")
+            ):
+                continue
+            paths.extend(
+                path
+                for path in subdir.glob(f"*{ENTRY_SUFFIX}")
+                if not path.name.startswith("_")
+            )
+        return sorted(paths)
 
     # ------------------------------------------------------------------
     def contains(self, task: ExperimentTask) -> bool:
@@ -262,7 +370,7 @@ class ResultCache:
         recently used, otherwise a size-cap prune between the scan and
         the read can evict an entry the scan just promised.
         """
-        path = self._entry_path(task.key())
+        path = self._existing_entry_path(task.key())
         if not path.exists():
             return False
         try:
@@ -278,14 +386,45 @@ class ResultCache:
         truncated JSON, incompatible fingerprint format — counts as a
         miss and is quarantined (see :meth:`_quarantine`) so the caller
         re-runs and overwrites it while the bad bytes stay inspectable.
+
+        With a shared tier attached, a local miss (including a
+        quarantined-corrupt local entry) consults the remote; remote
+        bytes are verified with exactly the same checks and, when valid,
+        filled into the local L1 atomically.  Remote failures of any
+        kind degrade to a plain miss.
         """
-        path = self._entry_path(task.key())
+        path = self._existing_entry_path(task.key())
         faults.maybe_corrupt_file(path)
+        raw: Optional[bytes] = None
         try:
             raw = path.read_bytes()
         except FileNotFoundError:
-            self.stats.misses += 1
-            return None
+            pass
+        if raw is not None:
+            result = self._decode_entry(raw, task)
+            if result is not None:
+                self.stats.hits += 1
+                self.stats.bytes_served += len(raw)
+                try:
+                    os.utime(path)  # refresh LRU recency
+                except OSError:  # pragma: no cover - entry raced away
+                    pass
+                return result
+            # Any malformed document shape (non-object JSON, wrong field
+            # types, truncated entries, checksum mismatches) is treated
+            # the same way: quarantine and fall through to the remote
+            # tier (or a recompute).
+            self._quarantine(path)
+        result = self._get_remote(task)
+        if result is not None:
+            return result
+        self.stats.misses += 1
+        return None
+
+    def _decode_entry(
+        self, raw: bytes, task: ExperimentTask
+    ) -> Optional[ExperimentResult]:
+        """Parse + verify raw entry bytes against ``task``; None if invalid."""
         try:
             document = json.loads(raw)
             if not isinstance(document, dict):
@@ -295,22 +434,51 @@ class ResultCache:
                 raise ValueError("cache entry failed its payload checksum")
             if document.get("task") != task.fingerprint():
                 raise ValueError("cache entry does not match task fingerprint")
-            result = result_from_dict(document["result"])
+            return result_from_dict(document["result"])
         except (ValueError, KeyError, TypeError, AttributeError,
                 json.JSONDecodeError):
-            # Any malformed document shape (non-object JSON, wrong field
-            # types, truncated entries, checksum mismatches) is treated
-            # the same way: quarantine and re-run.
-            self._quarantine(path)
-            self.stats.misses += 1
             return None
+
+    def _get_remote(self, task: ExperimentTask) -> Optional[ExperimentResult]:
+        """Consult the shared tier after a local miss (never raises)."""
+        if self.remote is None:
+            return None
+        key = task.key()
+        try:
+            raw = self.remote.get_raw(key)
+        except Exception:  # noqa: BLE001 — a broken tier must not fail a get
+            logger.warning("shared cache tier lookup failed", exc_info=True)
+            raw = None
+        if raw is None:
+            self.stats.remote_misses += 1
+            return None
+        result = self._decode_entry(raw, task)
+        if result is None:
+            # The serving side quarantines on read; count the corruption
+            # here too so a poisoned tier is visible from the client.
+            self.stats.corrupt_entries += 1
+            self.stats.remote_misses += 1
+            logger.warning(
+                "shared cache tier served a corrupt entry for %s", key[:12]
+            )
+            return None
+        self.stats.remote_hits += 1
         self.stats.hits += 1
         self.stats.bytes_served += len(raw)
-        try:
-            os.utime(path)  # refresh LRU recency
-        except OSError:  # pragma: no cover - entry raced away
-            pass
+        self._fill_local(key, raw)
         return result
+
+    def _fill_local(self, key: str, raw: bytes) -> None:
+        """Atomically install verified remote bytes as the L1 entry."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp_path.write_bytes(raw)
+            tmp_path.replace(path)
+        except OSError:  # pragma: no cover - L1 fill is best-effort
+            logger.warning("failed to fill local cache from shared tier")
 
     def put(self, task: ExperimentTask, result: ExperimentResult) -> Path:
         """Store ``result`` under the content hash of ``task``.
@@ -330,6 +498,7 @@ class ResultCache:
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._entry_path(task.key())
+        path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "key": task.key(),
             "task": task.fingerprint(),
@@ -360,9 +529,90 @@ class ResultCache:
                 return path
         tmp_path.replace(path)
         self.stats.stores += 1
+        if self.remote is not None:
+            # Best-effort push to the shared tier: the serving side
+            # re-verifies the checksum before its own atomic write, so a
+            # payload corrupted in flight (or by a corrupt-write fault
+            # above) can never poison the tier.
+            try:
+                if self.remote.put_raw(task.key(), payload):
+                    self.stats.remote_puts += 1
+            except Exception:  # noqa: BLE001 — a broken tier must not fail a put
+                logger.warning("shared cache tier push failed", exc_info=True)
         if self.max_bytes is not None:
             self.prune()
         return path
+
+    # ------------------------------------------------------------------
+    # Raw-bytes access — the serving side of the shared tier (and the
+    # client's transport payloads).  Always checksum-verified: a remote
+    # peer is never served (or allowed to store) bytes that do not
+    # verify, so corruption cannot propagate between tiers.
+    # ------------------------------------------------------------------
+    def get_raw(self, key: str) -> Optional[bytes]:
+        """Return verified raw entry bytes for ``key``, or ``None``.
+
+        Corrupt entries are quarantined exactly like a local ``get``
+        would; legacy (pre-checksum) entries are *not* served — a shared
+        tier only ever hands out bytes it can prove.
+        """
+        path = self._existing_entry_path(key)
+        faults.maybe_corrupt_file(path)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        status = _verify_entry_bytes(raw)
+        if status == "corrupt":
+            self._quarantine(path)
+            return None
+        if status == "legacy":
+            return None
+        self.stats.bytes_served += len(raw)
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return raw
+
+    def put_raw(self, key: str, raw: bytes) -> bool:
+        """Verify and store raw entry bytes under ``key`` (atomic).
+
+        Rejects payloads that fail the checksum or whose embedded key
+        does not match ``key`` (a peer cannot overwrite entry A with a
+        valid entry B).  Concurrent writers of one key are safe without
+        a lock: identical content by construction, atomic rename either
+        way.
+        """
+        status = _verify_entry_bytes(raw)
+        if status != "ok":
+            self.stats.corrupt_entries += 1
+            self._bump_persistent_counter("corrupt_entries", 1)
+            logger.warning(
+                "rejected %s shared-tier store for %s", status, key[:12]
+            )
+            return False
+        try:
+            document = json.loads(raw)
+        except ValueError:  # pragma: no cover - verified above
+            return False
+        if document.get("key") != key:
+            logger.warning(
+                "rejected shared-tier store whose payload key %r does not "
+                "match the requested key %r",
+                str(document.get("key"))[:12], key[:12],
+            )
+            return False
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp_path.write_bytes(raw)
+        tmp_path.replace(path)
+        self.stats.stores += 1
+        if self.max_bytes is not None:
+            self.prune()
+        return True
 
     # ------------------------------------------------------------------
     def _quarantine(self, path: Path) -> Optional[Path]:
@@ -428,26 +678,17 @@ class ResultCache:
 
     def _verify_entry(self, path: Path) -> str:
         try:
-            document = json.loads(path.read_bytes())
+            raw = path.read_bytes()
         except FileNotFoundError:
             return "missing"
-        except (ValueError, OSError):
+        except OSError:
             return "corrupt"
-        if not isinstance(document, dict):
-            return "corrupt"
-        checksum = document.pop(CHECKSUM_FIELD, None)
-        if "task" not in document or "result" not in document:
-            return "corrupt"
-        if checksum is None:
-            return "legacy"
-        if checksum != _document_checksum(document):
-            return "corrupt"
-        return "ok"
+        return _verify_entry_bytes(raw)
 
     # ------------------------------------------------------------------
     def evict(self, task: ExperimentTask) -> bool:
         """Remove the entry of ``task``; returns whether one existed."""
-        path = self._entry_path(task.key())
+        path = self._existing_entry_path(task.key())
         if path.exists():
             path.unlink()
             return True
@@ -461,13 +702,23 @@ class ResultCache:
         entry).
         """
         removed = 0
+        shard_dirs = set()
         for path in self._entry_paths():
+            if path.parent != self.directory:
+                shard_dirs.add(path.parent)
             path.unlink()
             removed += 1
         if self.directory.is_dir():
-            for pattern in TMP_PATTERNS:
+            for pattern in TMP_PATTERNS + tuple(
+                f"[0-9a-f]*/{suffix}" for suffix in TMP_PATTERNS
+            ):
                 for stale in self.directory.glob(pattern):
                     stale.unlink()
+            for shard_dir in shard_dirs:
+                try:
+                    shard_dir.rmdir()
+                except OSError:  # pragma: no cover - not empty / raced
+                    pass
             quarantine_dir = self.directory / QUARANTINE_DIRNAME
             if quarantine_dir.is_dir():
                 for item in quarantine_dir.iterdir():

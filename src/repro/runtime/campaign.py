@@ -469,6 +469,10 @@ class Campaign:
             registry.set_gauge("cache.evictions", stats.evictions)
             registry.set_gauge("cache.bytes_served", stats.bytes_served)
             registry.set_gauge("cache.hit_rate", stats.hit_rate)
+            if stats.remote_hits or stats.remote_misses or stats.remote_puts:
+                registry.set_gauge("cache.remote_hits", stats.remote_hits)
+                registry.set_gauge("cache.remote_misses", stats.remote_misses)
+                registry.set_gauge("cache.remote_puts", stats.remote_puts)
 
     def run_one(self, task: ExperimentTask) -> ExperimentResult:
         """Run a single task (through cache and executor)."""
@@ -565,7 +569,11 @@ class Campaign:
                 try:
                     future = self._task_session.submit_batch(flight.pairs)
                     break
-                except BrokenExecutor:
+                except (BrokenExecutor, ConnectionError):
+                    # ConnectionError covers remote backends whose submit
+                    # path touches a transport (the distributed executor
+                    # raises BrokenExecutor itself, but the contract is
+                    # "any retryable submit failure heals via respawn").
                     if policy.fail_fast:
                         raise
                     respawn_session()
@@ -695,7 +703,7 @@ class Campaign:
                     continue
                 try:
                     twin = self._task_session.submit_batch(survivors)
-                except BrokenExecutor:
+                except (BrokenExecutor, ConnectionError):
                     continue  # the flight's own failure path heals the pool
                 if registry is not None:
                     registry.inc("campaign.hedges")

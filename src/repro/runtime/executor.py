@@ -561,16 +561,40 @@ class ParallelExecutor(Executor):
         return _PoolSession(pool, owned=stack)
 
 
-def make_executor(jobs: Optional[int] = None) -> Executor:
-    """Return the executor matching a ``--jobs`` value.
+#: Executor backends selectable by ``make_executor`` / ``--backend``.
+EXECUTOR_BACKENDS = ("local", "distributed")
 
-    ``None`` or ``1`` selects :class:`SerialExecutor`; anything larger a
-    :class:`ParallelExecutor` with that many workers.  Zero and negative
-    values are rejected — historically they silently degraded to serial
-    execution, which masked misconfigured callers.
+
+def make_executor(
+    jobs: Optional[int] = None, backend: str = "local"
+) -> Executor:
+    """Return the executor matching ``--jobs`` / ``--backend`` values.
+
+    With the default ``local`` backend, ``None`` or ``1`` selects
+    :class:`SerialExecutor`; anything larger a :class:`ParallelExecutor`
+    with that many workers.  Zero and negative values are rejected —
+    historically they silently degraded to serial execution, which
+    masked misconfigured callers.
+
+    ``backend="distributed"`` returns a
+    :class:`~repro.runtime.distributed.DistributedExecutor` spawning
+    ``jobs`` loopback ``repro worker`` subprocesses (default 2 — a
+    distributed fleet of one defeats the point).  Like every placement
+    knob it is identity-free: results are byte-identical across
+    backends, which the chaos suite asserts under injected faults.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if backend not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; "
+            f"expected one of {EXECUTOR_BACKENDS}"
+        )
+    if backend == "distributed":
+        # Imported lazily: distributed.py imports this module.
+        from repro.runtime.distributed import DistributedExecutor
+
+        return DistributedExecutor(workers=jobs if jobs is not None else 2)
     if jobs is None or jobs == 1:
         return SerialExecutor()
     return ParallelExecutor(jobs=jobs)

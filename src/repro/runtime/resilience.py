@@ -34,6 +34,7 @@ never a bit of its result.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import signal
 import threading
@@ -42,6 +43,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ExperimentResult
+
+logger = logging.getLogger(__name__)
 
 #: Environment override for the *default* per-task attempt budget
 #: (mirrors ``REPRO_CAMPAIGN_BATCH``): consulted only when a campaign is
@@ -176,15 +179,35 @@ def default_retry_policy() -> RetryPolicy:
 def is_retryable(error: BaseException) -> bool:
     """Whether re-running the failed work could plausibly succeed.
 
-    Broken pools (a worker died), OS errors, and timeouts are
-    infrastructure failures; injected faults carry ``retryable = True``
-    themselves.  Everything else — ordinary exceptions raised *by* a
-    deterministic task — would simply recur, so it fails fast into a
-    poison record instead of burning the retry budget.
+    Broken pools (a worker died), OS errors (including every
+    ``ConnectionError`` the distributed transport raises), and timeouts
+    are infrastructure failures; injected faults carry
+    ``retryable = True`` themselves.  Everything else — ordinary
+    exceptions raised *by* a deterministic task — would simply recur, so
+    it fails fast into a poison record instead of burning the retry
+    budget.
+
+    The classification walks the exception chain (``__cause__`` and
+    ``__context__``): a ``ConnectionError`` wrapped in a framework
+    error — ``raise RuntimeError(...) from conn_err`` — must still heal.
+    The walk visits each exception object once, so cyclic chains (which
+    Python permits) terminate.
     """
-    if isinstance(error, (BrokenExecutor, OSError, TimeoutError)):
-        return True
-    return bool(getattr(error, "retryable", False))
+    stack: List[BaseException] = [error]
+    seen: set = set()
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        if isinstance(current, (BrokenExecutor, OSError, TimeoutError)):
+            return True
+        if bool(getattr(current, "retryable", False)):
+            return True
+        for linked in (current.__cause__, current.__context__):
+            if isinstance(linked, BaseException):
+                stack.append(linked)
+    return False
 
 
 @dataclass(frozen=True)
@@ -301,15 +324,26 @@ class ShutdownGuard:
         self._requested = signal.Signals(signum).name
 
     def __enter__(self) -> "ShutdownGuard":
-        if threading.current_thread() is threading.main_thread():
-            try:
-                for signum in self.SIGNALS:
-                    self._previous[signum] = signal.signal(
-                        signum, self._handle
-                    )
-                self.installed = True
-            except ValueError:  # pragma: no cover - non-main interpreter
-                self._previous.clear()
+        if threading.current_thread() is not threading.main_thread():
+            # Embedding a Campaign in a server/worker thread is
+            # supported: signal handlers simply cannot be installed
+            # there, so graceful-shutdown-on-signal is owned by whatever
+            # runs the main thread.  Logged (once per guard) rather than
+            # raised or silently ignored.
+            logger.debug(
+                "ShutdownGuard: not on the main thread; signal handlers "
+                "not installed (cooperative shutdown disabled for this "
+                "campaign)"
+            )
+            return self
+        try:
+            for signum in self.SIGNALS:
+                self._previous[signum] = signal.signal(
+                    signum, self._handle
+                )
+            self.installed = True
+        except ValueError:  # pragma: no cover - non-main interpreter
+            self._previous.clear()
         return self
 
     def __exit__(self, *_exc_info) -> None:

@@ -2,6 +2,7 @@
 
 import json
 import logging
+import multiprocessing
 import os
 import time
 
@@ -405,3 +406,137 @@ class TestStaleTmpSweep:
         cache = ResultCache(tmp_path / "never-created")
         assert cache.info().entries == 0
         assert not (tmp_path / "never-created").exists()
+
+
+# ----------------------------------------------------------------------
+# Sharded layout (shared-tier placement knob)
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_shard_depth_validation(self, tmp_path):
+        for bogus in (-1, 9):
+            with pytest.raises(ValueError):
+                ResultCache(tmp_path / "cache", shard_depth=bogus)
+
+    def test_sharded_writes_and_flat_fallback_reads(
+        self, task, result, tmp_path
+    ):
+        directory = tmp_path / "cache"
+        flat_path = ResultCache(directory).put(task, result)
+        assert flat_path.parent == directory
+
+        # A sharded instance still serves the pre-sharding flat entry...
+        sharded = ResultCache(directory, shard_depth=2)
+        assert sharded.get(task) is not None
+
+        # ...and writes new entries under the fingerprint-prefix subdir.
+        sharded.evict(task)
+        assert not flat_path.exists()
+        shard_path = sharded.put(task, result)
+        assert shard_path.parent == directory / task.key()[:2]
+        assert sharded.get(task) is not None
+
+        # A flat instance reads the sharded entry via the fallback too.
+        assert ResultCache(directory).get(task) is not None
+
+    def test_maintenance_sees_every_depth(self, task, result, tmp_path):
+        directory = tmp_path / "cache"
+        tasks = distinct_tasks(2)
+        ResultCache(directory).put(tasks[0], result)
+        ResultCache(directory, shard_depth=1).put(tasks[1], result)
+        cache = ResultCache(directory)
+        assert cache.info().entries == 2
+        report = cache.verify()
+        assert report.clean and report.checked == 2
+        assert cache.clear() == 2
+        assert ResultCache(directory).info().entries == 0
+
+
+# ----------------------------------------------------------------------
+# Raw-bytes access (the serving side of the shared tier)
+# ----------------------------------------------------------------------
+class TestRawAccess:
+    def test_raw_round_trip_across_layouts(self, task, result, tmp_path):
+        source = ResultCache(tmp_path / "source")
+        source.put(task, result)
+        raw = source.get_raw(task.key())
+        assert raw is not None
+        assert source.stats.bytes_served == len(raw)
+
+        mirror = ResultCache(tmp_path / "mirror", shard_depth=1)
+        assert mirror.put_raw(task.key(), raw)
+        assert mirror.get(task) is not None
+
+    def test_put_raw_rejects_damage_and_key_mismatch(
+        self, task, result, tmp_path
+    ):
+        source = ResultCache(tmp_path / "source")
+        source.put(task, result)
+        raw = source.get_raw(task.key())
+
+        sink = ResultCache(tmp_path / "sink")
+        corrupted = bytearray(raw)
+        corrupted[len(corrupted) // 2] ^= 0x01
+        assert not sink.put_raw(task.key(), bytes(corrupted))
+        assert sink.stats.corrupt_entries == 1
+        # A valid entry stored under the wrong key must not overwrite it.
+        assert not sink.put_raw("0" * 64, raw)
+        assert sink.info().entries == 0
+
+    def test_get_raw_never_serves_corrupt_or_legacy(
+        self, task, result, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put(task, result)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document.pop(CHECKSUM_FIELD)
+        path.write_text(json.dumps(document), encoding="utf-8")
+        # Legacy entries hit locally (backward compatibility) but are
+        # never handed to remote peers, who cannot re-verify them.
+        assert cache.get(task) is not None
+        assert cache.get_raw(task.key()) is None
+
+        path.write_text("{torn", encoding="utf-8")
+        assert cache.get_raw(task.key()) is None
+        assert not path.exists()  # quarantined
+        assert cache.stats.corrupt_entries == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers (lock-free shared directories)
+# ----------------------------------------------------------------------
+def _racing_put(directory, task, result, barrier):
+    cache = ResultCache(directory)
+    barrier.wait()  # maximise overlap: both processes rename together
+    cache.put(task, result)
+    cache.sync_persistent_stats()
+
+
+class TestConcurrentWriters:
+    def test_simultaneous_puts_of_one_fingerprint(
+        self, task, result, tmp_path
+    ):
+        directory = tmp_path / "cache"
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(2)
+        writers = [
+            context.Process(
+                target=_racing_put, args=(directory, task, result, barrier)
+            )
+            for _ in range(2)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120)
+        assert [writer.exitcode for writer in writers] == [0, 0]
+
+        # Atomic rename means the survivor is one intact entry — never a
+        # torn interleaving — with no temp debris left behind.
+        cache = ResultCache(directory)
+        assert cache.verify().clean
+        assert cache.info().entries == 1
+        assert not list(directory.glob("*.tmp"))
+        restored = cache.get(task)
+        assert restored is not None
+        assert restored.series.minimum_series() == result.series.minimum_series()
+        assert cache.info().corrupt_entries == 0

@@ -1,6 +1,7 @@
 """Fault-injection harness tests: DSL, determinism, identity-freedom."""
 
 import json
+import time
 
 import pytest
 
@@ -186,3 +187,59 @@ class TestIdentityFreedom:
         assert task.fingerprint() == baseline_fingerprint
         serialised = json.dumps(task.fingerprint())
         assert "fault" not in serialised and "retry" not in serialised
+
+
+class TestNetworkFaultKinds:
+    def test_network_kinds_parse(self):
+        plan = FaultPlan.parse(
+            "conn-drop@2;frame-corrupt@1;delay@3=0.01;partition@p0.5;seed=3"
+        )
+        assert set(plan.rules) == {
+            "conn-drop", "frame-corrupt", "delay", "partition",
+        }
+        assert plan.rules["delay"].param == 0.01
+        assert plan.rules["partition"].probability == 0.5
+
+    def test_conn_drop_raises_retryable_connection_error(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "conn-drop@2")
+        faults.reset()
+        payload = b"frame payload"
+        assert faults.maybe_inject_frame_fault(payload) == payload
+        with pytest.raises(faults.InjectedConnectionError) as excinfo:
+            faults.maybe_inject_frame_fault(payload)
+        assert isinstance(excinfo.value, ConnectionError)
+        assert excinfo.value.retryable
+        # The occurrence was consumed: later frames pass untouched.
+        assert faults.maybe_inject_frame_fault(payload) == payload
+
+    def test_frame_corrupt_flips_one_payload_byte(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "frame-corrupt@1")
+        faults.reset()
+        payload = b"frame payload"
+        mangled = faults.maybe_inject_frame_fault(payload)
+        assert mangled != payload
+        assert len(mangled) == len(payload)
+        assert faults.maybe_inject_frame_fault(payload) == payload
+
+    def test_delay_sleeps_param_seconds(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "delay@1=0.05")
+        faults.reset()
+        started = time.monotonic()
+        assert faults.maybe_inject_frame_fault(b"x") == b"x"
+        assert time.monotonic() - started >= 0.05
+
+    def test_partition_sleeps_then_drops(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "partition@1=0.05")
+        faults.reset()
+        started = time.monotonic()
+        with pytest.raises(faults.InjectedConnectionError):
+            faults.maybe_inject_frame_fault(b"x")
+        assert time.monotonic() - started >= 0.05
+
+    def test_worker_env_marks_worker_process(self, monkeypatch):
+        monkeypatch.delenv(faults.WORKER_ENV_VAR, raising=False)
+        assert not faults.in_worker_process()
+        monkeypatch.setenv(faults.WORKER_ENV_VAR, "1")
+        assert faults.in_worker_process()
+        monkeypatch.setenv(faults.WORKER_ENV_VAR, "0")
+        assert not faults.in_worker_process()

@@ -9,6 +9,7 @@ Two families, both hypothesis-driven:
   completes and is recorded exactly once).
 """
 
+import logging
 import signal
 import threading
 from concurrent.futures import BrokenExecutor, Future
@@ -117,6 +118,66 @@ class TestRetryClassification:
     def test_plain_task_errors_are_not(self):
         assert not is_retryable(ValueError("bad input"))
         assert not is_retryable(RuntimeError("task bug"))
+
+    def test_wrapped_transport_errors_stay_retryable(self):
+        # A remote backend wrapping a ConnectionError in its own
+        # dispatch error must still be healed, not reported as poison.
+        try:
+            try:
+                raise ConnectionResetError("link lost")
+            except ConnectionResetError as inner:
+                raise RuntimeError("dispatch failed") from inner
+        except RuntimeError as outer:
+            explicit_cause = outer
+        assert is_retryable(explicit_cause)
+
+        try:
+            try:
+                raise TimeoutError("slow")
+            except TimeoutError:
+                raise RuntimeError("cleanup failed")  # implicit __context__
+        except RuntimeError as outer:
+            implicit_context = outer
+        assert is_retryable(implicit_context)
+
+    def test_non_retryable_chains_stay_non_retryable(self):
+        try:
+            try:
+                raise ValueError("bad input")
+            except ValueError as inner:
+                raise KeyError("missing") from inner
+        except KeyError as outer:
+            error = outer
+        assert not is_retryable(error)
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_arbitrary_cyclic_chains_terminate_and_classify(self, data):
+        """For any chain geometry — including cycles, which hand-built
+        exception graphs can form — the walk terminates and returns
+        whether any reachable link is retryable."""
+        length = data.draw(st.integers(min_value=1, max_value=8))
+        retryable_at = data.draw(
+            st.one_of(st.none(), st.integers(0, length - 1))
+        )
+        links = data.draw(
+            st.lists(
+                st.sampled_from(["cause", "context"]),
+                min_size=length, max_size=length,
+            )
+        )
+        errors = [
+            OSError(f"node {i}")
+            if retryable_at is not None and i == retryable_at
+            else RuntimeError(f"node {i}")
+            for i in range(length)
+        ]
+        for i in range(length - 1):
+            setattr(errors[i], f"__{links[i]}__", errors[i + 1])
+        # Close a cycle from the tail back into the chain.
+        cycle_target = data.draw(st.integers(0, length - 1))
+        setattr(errors[-1], f"__{links[-1]}__", errors[cycle_target])
+        assert is_retryable(errors[0]) == (retryable_at is not None)
 
     def test_failure_record_round_trip(self):
         record = TaskFailureRecord.from_error(
@@ -270,3 +331,38 @@ class TestShutdownGuard:
         worker.start()
         worker.join()
         assert outcome == {"installed": False, "requested": None}
+
+    def test_off_main_thread_logs_the_degradation(self, caplog):
+        # The no-op must be observable: embedding code driving campaigns
+        # from worker threads should find the breadcrumb in DEBUG logs
+        # instead of silently losing cooperative shutdown.
+        with caplog.at_level(
+            logging.DEBUG, logger="repro.runtime.resilience"
+        ):
+            worker = threading.Thread(target=lambda: ShutdownGuard().__enter__())
+            worker.start()
+            worker.join()
+        assert any(
+            "not on the main thread" in record.message
+            for record in caplog.records
+        )
+
+    def test_campaign_driven_from_a_worker_thread_completes(self):
+        # Regression: Campaign.run() wraps dispatch in a ShutdownGuard;
+        # off the main thread that guard must degrade, not raise the way
+        # signal.signal() would.
+        outcome = {}
+
+        def body():
+            recorded, failed, failures, _ = _drive(
+                4, poison=-1, batch_size=2,
+                error_factory=lambda: AssertionError("never raised"),
+                policy=RetryPolicy(),
+            )
+            outcome["recorded"] = set(recorded)
+            outcome["failures"] = failures
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert outcome == {"recorded": {0, 1, 2, 3}, "failures": []}
