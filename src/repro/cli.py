@@ -87,6 +87,7 @@ from repro.experiments.snapshot import RoutingTableSnapshot
 from repro.experiments.sweep import run_bucket_size_sweep, run_scenario
 from repro.graph.io.dimacs import write_dimacs
 from repro.graph.transform.even_transform import even_transform
+from repro.overlay import overlay_names
 from repro.analysis.figures import render_series_table
 from repro.runtime import faults
 from repro.runtime.cache import ResultCache
@@ -152,6 +153,14 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--loss", default=None, choices=["none", "low", "medium", "high"],
         help="override the message loss scenario",
+    )
+    parser.add_argument(
+        "--protocol", default="kademlia", choices=overlay_names(),
+        help=(
+            "overlay protocol under test (default: kademlia); chord and "
+            "pastry run the same churn/attack/loss scenarios through the "
+            "protocol-agnostic resilience pipeline"
+        ),
     )
     parser.add_argument(
         "--jobs", type=_positive_int, default=1,
@@ -436,6 +445,10 @@ def _apply_overrides(scenario, args):
         overrides["staleness_limit"] = args.staleness
     if args.loss is not None:
         overrides["loss"] = args.loss
+    # An explicit --protocol kademlia is the default, not an override: the
+    # scenario keeps its plain name (and its pinned golden digests).
+    if getattr(args, "protocol", "kademlia") != "kademlia":
+        overrides["protocol"] = args.protocol
     return scenario.with_overrides(**overrides) if overrides else scenario
 
 
@@ -505,11 +518,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     # One batch across all four scenarios so --jobs parallelises the whole
     # E-H x k grid through a single process pool.
+    bases = [get_scenario(name) for name in ("E", "F", "G", "H")]
+    if args.protocol != "kademlia":
+        bases = [base.with_overrides(protocol=args.protocol) for base in bases]
     tasks = [
         task
-        for name in ("E", "F", "G", "H")
+        for base in bases
         for task in sweep_tasks(
-            get_scenario(name),
+            base,
             [{"bucket_size": k} for k in args.k],
             profile=args.profile, seed=args.seed, flow_jobs=args.flow_jobs,
             adaptive_shards=args.adaptive_shards,

@@ -78,6 +78,11 @@ def result_to_dict(result: ExperimentResult, include_snapshots: bool = False) ->
             ],
         },
     }
+    # Kademlia results keep the pre-protocol-dimension encoding (no
+    # "protocol" key): result documents feed the pinned trajectory
+    # digests, which must stay byte-stable on the Kademlia path.
+    if result.scenario.protocol != "kademlia":
+        document["scenario"]["protocol"] = result.scenario.protocol
     if include_snapshots and result.snapshots:
         document["snapshots"] = [
             json.loads(snapshot.to_json()) for snapshot in result.snapshots
@@ -107,6 +112,8 @@ def result_from_dict(document: Dict) -> ExperimentResult:
         # Documents written before the field was persisted default to the
         # Scenario default (True).
         bootstrap_reseed=scenario_data.get("bootstrap_reseed", True),
+        # Pre-overlay documents (and all Kademlia ones) carry no protocol.
+        protocol=scenario_data.get("protocol", "kademlia"),
     )
     phases = PhaseSchedule(
         setup_end=document["phases"]["setup_end"],

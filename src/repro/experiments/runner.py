@@ -19,6 +19,7 @@ from repro.experiments.profiles import ScaleProfile, get_profile
 from repro.experiments.scenarios import Scenario
 from repro.experiments.simulation import KademliaSimulation
 from repro.experiments.snapshot import RoutingTableSnapshot
+from repro.overlay import get_overlay
 from repro.simulator.random_source import RandomSource
 from repro.simulator.transport import TransportStats
 
@@ -199,14 +200,21 @@ class ExperimentRunner:
     ) -> KademliaSimulation:
         """Construct (but do not run) the simulation for ``scenario``.
 
+        The scenario's ``protocol`` selects the overlay (Kademlia, Chord
+        or Pastry) via the registry in :mod:`repro.overlay`; its
+        configuration and per-node protocol factory come from the
+        overlay's descriptor.
+
         ``hardening`` is an optional
         :class:`repro.extensions.hardening.HardeningConfig`; when given, its
         protocol factory and maintenance policies are attached to the
         simulation (used by the ablation benchmarks and the hardening
-        examples).
+        examples).  The hardening extensions subclass the Kademlia
+        protocol, so they are rejected for other overlays.
         """
         profile = self.profile
-        config = scenario.kademlia_config(
+        overlay = get_overlay(scenario.protocol)
+        config = scenario.overlay_config(
             refresh_interval_minutes=profile.refresh_interval_minutes,
             refresh_all_buckets=profile.refresh_all_buckets,
         )
@@ -221,9 +229,19 @@ class ExperimentRunner:
         )
         extra_kwargs = {}
         if hardening is not None:
+            if scenario.protocol != "kademlia":
+                raise ValueError(
+                    "hardening extensions are Kademlia-specific; scenario "
+                    f"{scenario.name!r} uses protocol {scenario.protocol!r}"
+                )
             extra_kwargs = {
                 "protocol_factory": hardening.protocol_factory(),
                 "maintenance": hardening.maintenance_policies(),
+            }
+        else:
+            extra_kwargs = {
+                "protocol_factory": overlay.protocol_factory(),
+                "protocol_name": overlay.name,
             }
         return KademliaSimulation(
             config=config,

@@ -67,11 +67,24 @@ class Scenario:
     #: (see KademliaConfig.bootstrap_reseed).  Disabled only by the
     #: bootstrap-recovery ablation benchmark.
     bootstrap_reseed: bool = True
+    #: Overlay protocol under test (see :mod:`repro.overlay`).  Not a paper
+    #: dimension — the paper measures Kademlia only — but the pipeline is
+    #: protocol-shaped, so the same churn/attack/loss scenarios run against
+    #: Chord and Pastry for cross-protocol resilience comparisons.
+    protocol: str = "kademlia"
 
     def __post_init__(self) -> None:
         if self.size_class not in ("small", "large"):
             raise ValueError(f"size_class must be 'small' or 'large', got {self.size_class!r}")
-        # Validate that the churn / loss names resolve.
+        # Validate that the churn / loss / protocol names resolve.  The
+        # overlay registry is imported lazily: repro.overlay pulls in the
+        # obs layer, whose summary module in turn names the overlays.
+        from repro.overlay import overlay_names
+
+        if self.protocol not in overlay_names():
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; available: {overlay_names()}"
+            )
         get_churn_scenario(self.churn)
         get_loss_model(self.loss)
 
@@ -103,14 +116,45 @@ class Scenario:
             bootstrap_reseed=self.bootstrap_reseed,
         )
 
+    def overlay_config(
+        self,
+        refresh_interval_minutes: float = 60.0,
+        refresh_all_buckets: bool = False,
+    ):
+        """Build this scenario's protocol configuration via the overlay registry.
+
+        ``bucket_size`` maps onto each protocol's redundancy analogue
+        (Kademlia's ``k``, Chord's successor count, Pastry's leaf set
+        size); Kademlia-only knobs are ignored by the other protocols.
+        """
+        from repro.overlay import get_overlay
+
+        return get_overlay(self.protocol).build_config(
+            bit_length=self.bit_length,
+            bucket_size=self.bucket_size,
+            alpha=self.alpha,
+            staleness_limit=self.staleness_limit,
+            bootstrap_reseed=self.bootstrap_reseed,
+            refresh_interval_minutes=refresh_interval_minutes,
+            refresh_all_buckets=refresh_all_buckets,
+        )
+
     def label(self) -> str:
-        """Short human-readable label used in report tables."""
+        """Short human-readable label used in report tables.
+
+        The protocol suffix appears only for non-Kademlia overlays: the
+        label feeds the connectivity series (and through it the pinned
+        trajectory digests), which predate the protocol dimension.
+        """
         traffic = "traffic" if self.traffic else "no-traffic"
-        return (
+        label = (
             f"{self.name}: {self.size_class}, churn {self.churn}, {traffic}, "
             f"loss {self.loss}, k={self.bucket_size}, alpha={self.alpha}, "
             f"b={self.bit_length}, s={self.staleness_limit}"
         )
+        if self.protocol != "kademlia":
+            label += f", protocol={self.protocol}"
+        return label
 
 
 class ScenarioRegistry:

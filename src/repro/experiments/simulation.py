@@ -1,7 +1,8 @@
-"""Orchestration of one Kademlia simulation.
+"""Orchestration of one overlay simulation.
 
-:class:`KademliaSimulation` wires the protocol, churn, traffic and loss
-models onto the discrete-event engine:
+:class:`OverlaySimulation` wires an overlay protocol (Kademlia, Chord or
+Pastry — anything implementing :class:`repro.overlay.base.OverlayProtocol`),
+churn, traffic and loss models onto the discrete-event engine:
 
 * the *setup phase* schedules every initial node's join at a uniformly
   random time, bootstrapping from a uniformly random already-joined node;
@@ -10,9 +11,13 @@ models onto the discrete-event engine:
   lookups and 1 dissemination per node and minute);
 * a per-minute *churn control* schedules node joins/leaves according to the
   churn scenario, also at random times within the minute;
-* every node runs a periodic *bucket refresh* (paper: every 60 minutes),
-  scheduled relative to its own join time;
+* every node runs a periodic *maintenance refresh* (Kademlia's bucket
+  refresh, paper: every 60 minutes; Chord's stabilisation; Pastry's row
+  repair), scheduled relative to its own join time;
 * *snapshots* capture all alive nodes' routing tables at fixed intervals.
+
+``KademliaSimulation`` remains as an alias: the Kademlia path is a pure
+refactor and every existing caller keeps working unchanged.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.experiments.snapshot import RoutingTableSnapshot
 from repro.kademlia.config import KademliaConfig
 from repro.kademlia.node_id import generate_node_id
 from repro.kademlia.protocol import KademliaProtocol
+from repro.overlay.base import OverlayProtocol
 from repro.simulator.engine import Simulator
 from repro.simulator.network import Network
 from repro.simulator.node import SimNode
@@ -35,8 +41,16 @@ from repro.simulator.random_source import RandomSource
 from repro.simulator.transport import Transport
 
 
-class KademliaSimulation:
-    """A running Kademlia network with its environment models."""
+class OverlaySimulation:
+    """A running overlay network with its environment models.
+
+    ``config`` is the protocol's own configuration object (it must expose
+    ``bit_length``, ``id_space_size`` and ``refresh_interval_minutes``);
+    ``protocol_factory`` builds one protocol instance per node.  The
+    protocol name defaults to the factory's ``protocol_name`` attribute —
+    plain-function factories (the hardening extensions wrap
+    ``KademliaProtocol`` in closures) fall back to Kademlia.
+    """
 
     def __init__(
         self,
@@ -45,8 +59,9 @@ class KademliaSimulation:
         traffic: TrafficModel,
         churn: ChurnScenario,
         random_source: Optional[RandomSource] = None,
-        protocol_factory: Callable[[int, KademliaConfig], KademliaProtocol] = KademliaProtocol,
+        protocol_factory: Callable[[int, KademliaConfig], OverlayProtocol] = KademliaProtocol,
         maintenance: Sequence = (),
+        protocol_name: Optional[str] = None,
     ) -> None:
         self.config = config
         self.loss = loss
@@ -54,6 +69,11 @@ class KademliaSimulation:
         self.churn = churn
         self.random = random_source or RandomSource(0)
         self.protocol_factory = protocol_factory
+        if protocol_name is None:
+            protocol_name = getattr(
+                protocol_factory, "protocol_name", KademliaProtocol.protocol_name
+            )
+        self.protocol_name = protocol_name
         #: Extension maintenance policies (see ``repro.extensions``); each is
         #: applied to every alive node once per its ``interval_minutes``.
         self.maintenance = list(maintenance)
@@ -64,7 +84,7 @@ class KademliaSimulation:
             self.network,
             loss_probability=loss.one_way_probability,
             rng=self.random.stream("loss"),
-            protocol_name=KademliaProtocol.protocol_name,
+            protocol_name=self.protocol_name,
         )
         self._bootstrap_policy = RandomBootstrapPolicy(self.random.stream("bootstrap"))
         self._id_rng = self.random.stream("node-ids")
@@ -77,9 +97,7 @@ class KademliaSimulation:
         self._traffic_labels: Dict[str, str] = {}
         #: Maintains the connectivity graph incrementally across snapshots
         #: (rows rebuilt only for routing tables whose membership changed).
-        self.graph_maintainer = IncrementalGraphMaintainer(
-            KademliaProtocol.protocol_name
-        )
+        self.graph_maintainer = IncrementalGraphMaintainer(self.protocol_name)
         self.joins = 0
         self.leaves = 0
         self.snapshots_taken = 0
@@ -87,7 +105,7 @@ class KademliaSimulation:
     # ------------------------------------------------------------------
     # Node lifecycle
     # ------------------------------------------------------------------
-    def _new_protocol(self, time: float) -> KademliaProtocol:
+    def _new_protocol(self, time: float) -> OverlayProtocol:
         node_id = generate_node_id(
             self.config.bit_length, self._id_rng, exclude=self._used_ids
         )
@@ -95,14 +113,14 @@ class KademliaSimulation:
         node = SimNode(node_id, joined_at=time)
         protocol = self.protocol_factory(node_id, self.config)
         protocol.bind(self.transport, self.simulator.clock)
-        node.register_protocol(KademliaProtocol.protocol_name, protocol)
+        node.register_protocol(self.protocol_name, protocol)
         self.network.add_node(node)
         return protocol
 
-    def join_new_node(self) -> KademliaProtocol:
+    def join_new_node(self) -> OverlayProtocol:
         """Create a node, pick a random alive bootstrap node and join now.
 
-        Also schedules the new node's periodic bucket refresh.
+        Also schedules the new node's periodic maintenance refresh.
         """
         time = self.simulator.now
         protocol = self._new_protocol(time)
@@ -120,26 +138,26 @@ class KademliaSimulation:
         if victim is None:
             return None
         self.network.remove_node(victim.node_id, self.simulator.now)
-        protocol = victim.protocols.get(KademliaProtocol.protocol_name)
+        protocol = victim.protocols.get(self.protocol_name)
         if protocol is not None:
             protocol.on_leave(self.simulator.now)
         self.leaves += 1
         return victim.node_id
 
-    def _schedule_refresh(self, protocol: KademliaProtocol) -> None:
-        """Schedule the node's periodic bucket refresh from its join time on."""
+    def _schedule_refresh(self, protocol: OverlayProtocol) -> None:
+        """Schedule the node's periodic maintenance refresh from its join time on."""
         interval = self.config.refresh_interval_minutes
 
         def _refresh() -> None:
             node = self.network.get(protocol.node_id)
             if node.alive:
-                protocol.bucket_refresh(self._refresh_rng)
+                protocol.maintenance_refresh(self._refresh_rng)
 
         self.simulator.schedule_periodic(
             interval, _refresh, label=f"refresh:{protocol.node_id:x}"
         )
 
-    def _schedule_maintenance(self, protocol: KademliaProtocol) -> None:
+    def _schedule_maintenance(self, protocol: OverlayProtocol) -> None:
         """Schedule the extension maintenance policies for one node."""
         for policy in self.maintenance:
 
@@ -172,7 +190,7 @@ class KademliaSimulation:
         def _minute_tick() -> None:
             minute_start = self.simulator.now
             for node in self.network.alive_nodes():
-                protocol = node.protocol(KademliaProtocol.protocol_name)
+                protocol = node.protocol(self.protocol_name)
                 actions = self.traffic.minute_actions(minute_start, self._traffic_rng)
                 for action_time, kind in actions:
                     self._schedule_traffic_action(protocol, action_time, kind)
@@ -182,7 +200,7 @@ class KademliaSimulation:
         )
 
     def _schedule_traffic_action(
-        self, protocol: KademliaProtocol, action_time: float, kind: str
+        self, protocol: OverlayProtocol, action_time: float, kind: str
     ) -> None:
         # The callback and its operands ride on the event itself (no
         # per-action closure): traffic actions are the most numerous
@@ -197,7 +215,7 @@ class KademliaSimulation:
             args=(protocol, kind),
         )
 
-    def _run_traffic_action(self, protocol: KademliaProtocol, kind: str) -> None:
+    def _run_traffic_action(self, protocol: OverlayProtocol, kind: str) -> None:
         node = self.network.get(protocol.node_id)
         if not node.alive:
             return
@@ -251,9 +269,11 @@ class KademliaSimulation:
         self.snapshots_taken += 1
         tables: Dict[int, List[int]] = {}
         for node in self.network.alive_nodes():
-            protocol = node.protocol(KademliaProtocol.protocol_name)
+            protocol = node.protocol(self.protocol_name)
             tables[node.node_id] = protocol.routing_table_snapshot()
-        return RoutingTableSnapshot.capture(self.simulator.now, tables)
+        return RoutingTableSnapshot.capture(
+            self.simulator.now, tables, self.protocol_name
+        )
 
     def connectivity_graph(self):
         """Return the current connectivity graph, maintained incrementally.
@@ -267,13 +287,18 @@ class KademliaSimulation:
         """
         return self.graph_maintainer.refresh(self.network)
 
-    def alive_protocols(self) -> List[KademliaProtocol]:
+    def alive_protocols(self) -> List[OverlayProtocol]:
         """Return the protocol objects of all alive nodes."""
         return [
-            node.protocol(KademliaProtocol.protocol_name)
+            node.protocol(self.protocol_name)
             for node in self.network.alive_nodes()
         ]
 
     def run_until(self, end_time: float) -> None:
         """Advance the simulation to ``end_time``."""
         self.simulator.run_until(end_time)
+
+
+#: Backwards-compatible alias — every pre-overlay caller constructed the
+#: simulation under this name with Kademlia defaults.
+KademliaSimulation = OverlaySimulation

@@ -26,6 +26,8 @@ class RoutingTableSnapshot:
 
     time: float
     routing_tables: Dict[int, List[int]]
+    #: Overlay protocol the tables belong to (see :mod:`repro.overlay`).
+    protocol: str = "kademlia"
 
     # ------------------------------------------------------------------
     @property
@@ -48,7 +50,10 @@ class RoutingTableSnapshot:
     # ------------------------------------------------------------------
     @classmethod
     def capture(
-        cls, time: float, tables: Mapping[int, Sequence[int]]
+        cls,
+        time: float,
+        tables: Mapping[int, Sequence[int]],
+        protocol: str = "kademlia",
     ) -> "RoutingTableSnapshot":
         """Deep-copy ``tables`` into an immutable snapshot."""
         return cls(
@@ -56,11 +61,17 @@ class RoutingTableSnapshot:
             routing_tables={
                 int(node_id): list(contacts) for node_id, contacts in tables.items()
             },
+            protocol=protocol,
         )
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
-        """Serialise to a JSON string."""
+        """Serialise to a JSON string.
+
+        Kademlia snapshots keep the pre-protocol-dimension encoding (no
+        ``protocol`` key): snapshot bytes participate in the pinned
+        trajectory digests, which must stay stable on the Kademlia path.
+        """
         payload = {
             "time": self.time,
             "routing_tables": {
@@ -68,11 +79,17 @@ class RoutingTableSnapshot:
                 for node_id, contacts in self.routing_tables.items()
             },
         }
+        if self.protocol != "kademlia":
+            payload["protocol"] = self.protocol
         return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "RoutingTableSnapshot":
-        """Deserialise from :meth:`to_json` output."""
+        """Deserialise from :meth:`to_json` output.
+
+        Legacy payloads (written before the protocol dimension existed)
+        carry no ``protocol`` key and load as Kademlia snapshots.
+        """
         payload = json.loads(text)
         return cls(
             time=float(payload["time"]),
@@ -80,6 +97,7 @@ class RoutingTableSnapshot:
                 int(node_id): [int(c) for c in contacts]
                 for node_id, contacts in payload["routing_tables"].items()
             },
+            protocol=payload.get("protocol", "kademlia"),
         )
 
     def save(self, path: PathLike) -> None:

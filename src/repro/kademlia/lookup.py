@@ -21,70 +21,16 @@ what the paper's connectivity results hinge on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
-from typing import List, Set, TYPE_CHECKING
+from typing import Set, TYPE_CHECKING
 
 from repro.kademlia.messages import FindNodeRequest, FindNodeResponse
+from repro.overlay.base import LookupResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.kademlia.protocol import KademliaProtocol
 
-
-@dataclass(slots=True)
-class LookupResult:
-    """Outcome of one iterative lookup.
-
-    Attributes
-    ----------
-    target_id:
-        The identifier that was looked up.
-    contacted:
-        Nodes that answered, sorted by XOR distance to the target (closest
-        first), at most ``k`` entries.
-    queried:
-        Total number of round-trips attempted.
-    failures:
-        Number of failed round-trips.
-    rounds:
-        Number of parallel query rounds performed.
-    """
-
-    target_id: int
-    contacted: List[int] = field(default_factory=list)
-    queried: int = 0
-    failures: int = 0
-    rounds: int = 0
-
-    @property
-    def succeeded(self) -> bool:
-        """True if at least one node answered."""
-        return bool(self.contacted)
-
-    def virtual_latency(
-        self, rtt: float = 1.0, timeout_penalty: float = 3.0
-    ) -> float:
-        """Per-hop virtual-time latency of this lookup, in RTT units.
-
-        The whole lookup executes within one simulator event, so no
-        virtual duration can be measured directly — but the per-hop
-        structure is fully known: every parallel query round is one
-        request/response round-trip deep (one ``rtt``), and every failed
-        round-trip additionally waited out a timeout
-        (``timeout_penalty``).  Accumulating those per-hop costs yields
-        the latency a real deployment would have observed; the default
-        constants mirror :mod:`repro.obs.virtualtime`.
-        """
-        return self.rounds * rtt + self.failures * timeout_penalty
-
-    def closest(self) -> int:
-        """Return the contacted node closest to the target.
-
-        Raises ``ValueError`` when nothing was contacted.
-        """
-        if not self.contacted:
-            raise ValueError("lookup contacted no nodes")
-        return self.contacted[0]
+__all__ = ["LookupResult", "iterative_find_node"]
 
 
 def iterative_find_node(protocol: "KademliaProtocol", target_id: int) -> LookupResult:

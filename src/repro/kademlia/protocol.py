@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from heapq import heappush
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.kademlia.config import KademliaConfig
 from repro.kademlia.lookup import LookupResult, iterative_find_node
@@ -22,13 +22,10 @@ from repro.kademlia.routing_table import RoutingTable
 from repro.kademlia.storage import DataStore
 from repro.obs import active as obs_active
 from repro.obs.virtualtime import lookup_virtual_latency
-from repro.simulator.protocol import Protocol
-from repro.simulator.transport import Transport
-
-Clock = Callable[[], float]
+from repro.overlay.base import OverlayProtocol
 
 
-class KademliaProtocol(Protocol):
+class KademliaProtocol(OverlayProtocol):
     """Kademlia state machine for one node.
 
     The protocol is *bound* to a transport and a simulated clock after
@@ -42,14 +39,12 @@ class KademliaProtocol(Protocol):
     protocol_name = "kademlia"
 
     def __init__(self, node_id: int, config: KademliaConfig) -> None:
+        # OverlayProtocol.__init__ sets up the wiring attributes
+        # (transport, clock, bootstrap_id, ever_connected).
         super().__init__(node_id)
         self.config = config
         self.routing_table = RoutingTable(node_id, config)
         self.storage = DataStore()
-        self.transport: Optional[Transport] = None
-        self._clock: Clock = lambda: 0.0
-        self.bootstrap_id: Optional[int] = None
-        self._ever_connected = False
         self.lookups_performed = 0
         self.disseminations_performed = 0
         self.refreshes_performed = 0
@@ -59,24 +54,6 @@ class KademliaProtocol(Protocol):
         #: every node of one run records into that run's registry.  Purely
         #: write-only — nothing here feeds back into protocol behaviour.
         self._obs = obs_active()
-
-    # ------------------------------------------------------------------
-    # Wiring
-    # ------------------------------------------------------------------
-    def bind(self, transport: Transport, clock: Clock) -> None:
-        """Attach the transport and the simulated clock."""
-        self.transport = transport
-        self._clock = clock
-
-    @property
-    def now(self) -> float:
-        """Current simulated time."""
-        return self._clock()
-
-    @property
-    def ever_connected(self) -> bool:
-        """True once this node has completed one successful outgoing round-trip."""
-        return self._ever_connected
 
     def note_contact(self, node_id: int, time: Optional[float] = None) -> bool:
         """Record a (successful) interaction with ``node_id`` in the routing table.
@@ -344,6 +321,10 @@ class KademliaProtocol(Protocol):
             iterative_find_node(self, target)
         return len(targets)
 
+    def maintenance_refresh(self, rng: random.Random) -> int:
+        """The overlay seam's maintenance hook: Kademlia's bucket refresh."""
+        return self.bucket_refresh(rng)
+
     # ------------------------------------------------------------------
     def routing_table_snapshot(self) -> List[int]:
         """Return the current contact ids (the node's row of the snapshot)."""
@@ -358,9 +339,3 @@ class KademliaProtocol(Protocol):
         must extend the stamp accordingly.
         """
         return self.routing_table.membership_version
-
-    def _require_bound(self) -> None:
-        if self.transport is None:
-            raise RuntimeError(
-                "protocol is not bound to a transport; call bind() first"
-            )

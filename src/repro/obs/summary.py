@@ -127,19 +127,30 @@ def format_summary(snapshot: Dict[str, Any]) -> str:
         f"messages: {rendered}"
     )
 
-    # Kademlia ----------------------------------------------------------
-    lookups = _counter(snapshot, "kademlia.lookups")
-    latency = _hist(snapshot, "kademlia.lookup.virtual_latency")
-    rounds = _hist(snapshot, "kademlia.lookup.rounds")
-    evictions = _counter(snapshot, "kademlia.evictions")
-    refreshes = _counter(snapshot, "kademlia.refreshes")
-    lines.append(
-        f"kademlia   lookups: {lookups} | "
-        f"mean lookup virtual-time latency: "
-        f"{(latency['mean'] if latency else 0.0):.2f} RTT "
-        f"({(rounds['mean'] if rounds else 0.0):.2f} rounds) | "
-        f"bucket refreshes: {refreshes} | evictions: {evictions}"
-    )
+    # Overlay protocols --------------------------------------------------
+    # One line per registered overlay (kademlia, chord, pastry), each
+    # reading the protocol-prefixed counters its implementation records
+    # (``<name>.lookups``, ``<name>.lookup.virtual_latency``, ...).  The
+    # registry import is deferred: repro.overlay imports the obs layer.
+    from repro.overlay import overlay_names
+
+    refresh_labels = {"kademlia": "bucket refreshes"}
+    for protocol in overlay_names():
+        lookups = _counter(snapshot, f"{protocol}.lookups")
+        latency = _hist(snapshot, f"{protocol}.lookup.virtual_latency")
+        rounds = _hist(snapshot, f"{protocol}.lookup.rounds")
+        failed = _counter(snapshot, f"{protocol}.lookup.failed_rpcs")
+        evictions = _counter(snapshot, f"{protocol}.evictions")
+        refreshes = _counter(snapshot, f"{protocol}.refreshes")
+        refresh_label = refresh_labels.get(protocol, "refreshes")
+        lines.append(
+            f"{protocol:<10} lookups: {lookups} | "
+            f"mean lookup virtual-time latency: "
+            f"{(latency['mean'] if latency else 0.0):.2f} RTT "
+            f"({(rounds['mean'] if rounds else 0.0):.2f} rounds) | "
+            f"{refresh_label}: {refreshes} | evictions: {evictions} | "
+            f"failed RPCs: {failed}"
+        )
 
     # Pair-flow engine ---------------------------------------------------
     pairs_submitted = _counter(snapshot, "pairflow.pairs_submitted")

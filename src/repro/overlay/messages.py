@@ -1,0 +1,45 @@
+"""Protocol-agnostic overlay RPC message types.
+
+Structured overlays that route by a distance metric (Chord, Pastry) need
+only two round-trip shapes: a routing query ("give me the contacts you
+know that are useful toward this target") and a replica store.  Like the
+Kademlia messages they are frozen, slotted dataclasses — value objects
+the transport passes by reference; one :class:`RouteRequest` is created
+per lookup and reused for every hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class RouteRequest:
+    """Ask for the responder's best-known contacts toward ``target_id``."""
+
+    target_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class RouteResponse:
+    """Contacts from the responder's routing state, closest-first."""
+
+    responder_id: int
+    contacts: Tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaStoreRequest:
+    """Ask the receiver to store a key/value replica."""
+
+    key_id: int
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaStoreResponse:
+    """Acknowledgement of a :class:`ReplicaStoreRequest`."""
+
+    responder_id: int
+    stored: bool

@@ -81,11 +81,16 @@ class ExperimentTask:
         Every field that influences the result is included (``flow_jobs``
         and ``adaptive_shards`` are not — see the class docstring); two
         tasks are interchangeable exactly when their fingerprints are
-        equal.
+        equal.  The overlay protocol is identity-bearing, but Kademlia
+        fingerprints keep the pre-protocol-dimension encoding (key
+        omitted) so committed cache entries stay valid.
         """
+        scenario = asdict(self.scenario)
+        if scenario.get("protocol") == "kademlia":
+            del scenario["protocol"]
         return {
             "format": TASK_FORMAT_VERSION,
-            "scenario": asdict(self.scenario),
+            "scenario": scenario,
             "profile": asdict(self.profile),
             "seed": self.seed,
             "algorithm": self.algorithm,

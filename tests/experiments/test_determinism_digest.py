@@ -46,6 +46,18 @@ GOLDEN_DIGESTS = {
     ("smoke", "E"): "0a3ce5fa0536a348de7460626991bc2489fb01ba13b9a1dd1ddab0d5b59a913b",
 }
 
+#: (profile, scenario, protocol) -> digest, pinned when the overlay seam
+#: was introduced: Chord and Pastry run the same churn/attack scenarios
+#: through the shared resilience pipeline, and their trajectories are as
+#: frozen as Kademlia's.  Every digest must hold with adaptive shards on
+#: or off and with observability on or off (obs is identity-free).
+OVERLAY_GOLDEN_DIGESTS = {
+    ("tiny", "A", "chord"): "7787c685eb15104026d00ea68e75df36e5b0a9ca08169b310920ea010d6dcbf4",
+    ("tiny", "E", "chord"): "03e452134d3da5f4fa4ed48c403b9b446a69f391ef8fe1dcd7fb36412b670329",
+    ("tiny", "A", "pastry"): "cbbb78730f18b1f8d0220acd3bddb36cbd236ac52e3bfbc557dfbf6293e6fa0e",
+    ("tiny", "E", "pastry"): "fa0097b0095921c552dce5d6b0d35e14ec93fe8c393c631b4508cf97f1d5d3d7",
+}
+
 #: (profile, scenario) -> (events processed, live pending events at the end,
 #: snapshot times) of the pre-rewrite event loop.
 GOLDEN_EVENTS = {
@@ -91,6 +103,39 @@ class TestTrajectoryDigests:
         assert trajectory_digest(result) == GOLDEN_DIGESTS[("tiny", "E")]
         result = run_result("tiny", "E", flow_jobs=2, adaptive_shards=True)
         assert trajectory_digest(result) == GOLDEN_DIGESTS[("tiny", "E")]
+
+
+class TestOverlayTrajectoryDigests:
+    """The protocol axis of the determinism gate.
+
+    The scenario's ``protocol`` dimension selects the overlay via
+    :mod:`repro.overlay`; the pinned digests freeze the Chord and Pastry
+    trajectories exactly like the Kademlia ones above.  Kademlia needs no
+    entry here — its scenarios ARE the ``GOLDEN_DIGESTS`` rows, untouched
+    by the overlay refactor by construction (legacy-stable encoding).
+    """
+
+    @pytest.mark.parametrize(
+        "profile,scenario,protocol", sorted(OVERLAY_GOLDEN_DIGESTS)
+    )
+    def test_digest_matches_pinned(self, profile, scenario, protocol):
+        runner = ExperimentRunner(
+            profile=profile, seed=SEED, keep_snapshots=True,
+            adaptive_shards=ADAPTIVE_SHARDS,
+        )
+        result = runner.run(
+            get_scenario(scenario).with_overrides(protocol=protocol)
+        )
+        assert (
+            trajectory_digest(result)
+            == OVERLAY_GOLDEN_DIGESTS[(profile, scenario, protocol)]
+        )
+
+    def test_overlay_snapshots_carry_their_protocol(self):
+        runner = ExperimentRunner(profile="tiny", seed=SEED, keep_snapshots=True)
+        result = runner.run(get_scenario("A").with_overrides(protocol="chord"))
+        assert result.snapshots
+        assert all(s.protocol == "chord" for s in result.snapshots)
 
 
 class TestSchedulingOrderInvariance:

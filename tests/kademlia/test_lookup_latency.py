@@ -1,13 +1,16 @@
-"""Property test: mean per-lookup virtual-time latency is O(log N).
+"""Property test: mean per-lookup virtual-time latency is O(log N), per overlay.
 
-Kademlia's core scaling claim — an iterative lookup converges in
-``O(log N)`` parallel query rounds — surfaces in the observability layer
-as the synthetic virtual-time latency ``rounds * RTT + failures *
-timeout_penalty`` (:meth:`LookupResult.virtual_latency`, constants in
+Every overlay's core scaling claim — an iterative lookup converges in
+``O(log N)`` parallel query rounds (Kademlia via XOR-prefix halving,
+Chord via power-of-two fingers, Pastry via per-digit prefix hops) —
+surfaces in the observability layer as the synthetic virtual-time latency
+``rounds * RTT + failures * timeout_penalty``
+(:meth:`LookupResult.virtual_latency`, constants in
 :mod:`repro.obs.virtualtime`).  This suite builds loss-free networks of
-increasing size directly (no simulator event loop; the protocol layer is
-all the lookup touches) and asserts the latency bound with headroom, plus
-the sublinearity that separates O(log N) from O(N).
+increasing size directly through the overlay seam (no simulator event
+loop; the protocol layer is all the lookup touches) and asserts the
+latency bound with per-protocol headroom, plus the sublinearity that
+separates O(log N) from O(N).
 """
 
 import math
@@ -16,42 +19,63 @@ import random
 import pytest
 
 from repro import obs
-from repro.kademlia.config import KademliaConfig
-from repro.kademlia.lookup import LookupResult
-from repro.kademlia.protocol import KademliaProtocol
 from repro.kademlia.node_id import generate_node_id
 from repro.obs.virtualtime import (
     LOOKUP_RTT,
     LOOKUP_TIMEOUT_PENALTY,
     lookup_virtual_latency,
 )
+from repro.overlay import LookupResult, get_overlay, overlay_names
 from repro.simulator.network import Network
 from repro.simulator.node import SimNode
 from repro.simulator.transport import Transport
 
-#: Latency-bound headroom: mean latency must stay below
-#: ``SLACK * log2(N) * RTT``.  Joins populate tables well enough that the
-#: observed constant is close to 1; 2.5 absorbs identifier-distribution
-#: variance across seeds without letting linear growth pass.
-SLACK = 2.5
+#: Latency-bound headroom per protocol: mean latency must stay below
+#: ``slack * log2(N) * RTT``.  Joins populate tables well enough that the
+#: observed constants are close to 1 (measured maxima across the size
+#: grid: kademlia 1.24, chord 1.30, pastry 1.24); the slacks absorb
+#: identifier-distribution variance across seeds without letting linear
+#: growth pass.  Chord routes on one-sided clockwise distance, so its
+#: frontier has less directional diversity than Kademlia's XOR balls or
+#: Pastry's digit rows and it converges a shade slower — hence the
+#: slightly larger constant.
+PROTOCOL_SLACK = {"kademlia": 2.5, "chord": 3.0, "pastry": 2.75}
 
 BIT_LENGTH = 64
 
+SIZE_GRID = [(10, 40), (50, 40), (200, 30), (2000, 15)]
 
-def build_network(size: int, rng: random.Random):
-    """A loss-free network of ``size`` joined nodes; returns the protocols."""
+
+def build_network(protocol_name: str, size: int, rng: random.Random):
+    """A loss-free network of ``size`` joined nodes; returns the protocols.
+
+    Built entirely through the overlay seam — registry descriptor for the
+    configuration and factory, :meth:`OverlayProtocol.bind` /
+    :meth:`~OverlayProtocol.join` for wiring — so this suite exercises
+    exactly the surface the simulation layer relies on.
+    """
+    descriptor = get_overlay(protocol_name)
+    config = descriptor.build_config(
+        bit_length=BIT_LENGTH,
+        bucket_size=20,
+        alpha=3,
+        staleness_limit=1,
+        bootstrap_reseed=True,
+    )
+    factory = descriptor.protocol_factory()
     network = Network()
-    transport = Transport(network, loss_probability=0.0, rng=rng)
-    config = KademliaConfig(bit_length=BIT_LENGTH)
+    transport = Transport(
+        network, loss_probability=0.0, rng=rng, protocol_name=protocol_name
+    )
     protocols = []
     used = set()
     for _ in range(size):
         node_id = generate_node_id(BIT_LENGTH, rng, exclude=used)
         used.add(node_id)
-        protocol = KademliaProtocol(node_id, config)
+        protocol = factory(node_id, config)
         protocol.bind(transport, lambda: 0.0)
         node = SimNode(node_id)
-        node.register_protocol("kademlia", protocol)
+        node.register_protocol(protocol_name, protocol)
         network.add_node(node)
         bootstrap = rng.choice(protocols).node_id if protocols else None
         protocol.join(bootstrap)
@@ -59,9 +83,11 @@ def build_network(size: int, rng: random.Random):
     return protocols
 
 
-def mean_lookup_latency(size: int, lookups: int, seed: int) -> float:
+def mean_lookup_latency(
+    protocol_name: str, size: int, lookups: int, seed: int
+) -> float:
     rng = random.Random(seed)
-    protocols = build_network(size, rng)
+    protocols = build_network(protocol_name, size, rng)
     total = 0.0
     for _ in range(lookups):
         origin = rng.choice(protocols)
@@ -80,53 +106,54 @@ class TestVirtualLatencyArithmetic:
             3 * LOOKUP_RTT + 2 * LOOKUP_TIMEOUT_PENALTY
         )
 
-    def test_loss_free_lookup_has_no_timeout_component(self):
+    @pytest.mark.parametrize("protocol", overlay_names())
+    def test_loss_free_lookup_has_no_timeout_component(self, protocol):
         rng = random.Random(7)
-        protocols = build_network(30, rng)
+        protocols = build_network(protocol, 30, rng)
         result = protocols[0].lookup(generate_node_id(BIT_LENGTH, rng))
         assert result.failures == 0
         assert lookup_virtual_latency(result) == result.rounds * LOOKUP_RTT
 
 
 class TestLogarithmicScaling:
-    @pytest.mark.parametrize(
-        "size,lookups",
-        [(10, 40), (50, 40), (200, 30), (2000, 15)],
-    )
-    def test_mean_latency_within_log_bound(self, size, lookups):
-        mean = mean_lookup_latency(size, lookups, seed=size)
-        bound = SLACK * math.log2(size) * LOOKUP_RTT
+    @pytest.mark.parametrize("protocol", overlay_names())
+    @pytest.mark.parametrize("size,lookups", SIZE_GRID)
+    def test_mean_latency_within_log_bound(self, protocol, size, lookups):
+        mean = mean_lookup_latency(protocol, size, lookups, seed=size)
+        bound = PROTOCOL_SLACK[protocol] * math.log2(size) * LOOKUP_RTT
         assert mean <= bound, (
-            f"N={size}: mean lookup latency {mean:.2f} RTT exceeds "
-            f"O(log N) bound {bound:.2f} RTT"
+            f"{protocol} N={size}: mean lookup latency {mean:.2f} RTT "
+            f"exceeds O(log N) bound {bound:.2f} RTT"
         )
 
-    def test_growth_is_sublinear(self):
+    @pytest.mark.parametrize("protocol", overlay_names())
+    def test_growth_is_sublinear(self, protocol):
         # 20x the nodes may cost at most ~double the latency — far below
         # the 20x a linear search would pay, and comfortably above the
-        # log2(2000)/log2(100) ~ 1.65 ratio an ideal Kademlia shows.
-        small = mean_lookup_latency(100, 30, seed=101)
-        large = mean_lookup_latency(2000, 15, seed=102)
+        # log2(2000)/log2(100) ~ 1.65 ratio an ideal overlay shows.
+        small = mean_lookup_latency(protocol, 100, 30, seed=101)
+        large = mean_lookup_latency(protocol, 2000, 15, seed=102)
         assert large <= small * 2.0, (
-            f"latency grew from {small:.2f} to {large:.2f} RTT "
+            f"{protocol}: latency grew from {small:.2f} to {large:.2f} RTT "
             "(more than 2x for 20x nodes — not logarithmic)"
         )
 
 
 class TestObsIntegration:
-    def test_lookup_latency_lands_in_registry_histogram(self):
+    @pytest.mark.parametrize("protocol", overlay_names())
+    def test_lookup_latency_lands_in_registry_histogram(self, protocol):
         obs.disable()
         try:
             registry = obs.enable()
             rng = random.Random(11)
-            protocols = build_network(20, rng)
-            before = registry.histogram("kademlia.lookup.virtual_latency")
+            protocols = build_network(protocol, 20, rng)
+            before = registry.histogram(f"{protocol}.lookup.virtual_latency")
             observed_before = before.count if before is not None else 0
             result = protocols[0].lookup(generate_node_id(BIT_LENGTH, rng))
-            histogram = registry.histogram("kademlia.lookup.virtual_latency")
+            histogram = registry.histogram(f"{protocol}.lookup.virtual_latency")
             assert histogram is not None
             assert histogram.count == observed_before + 1
             assert histogram.max >= lookup_virtual_latency(result)
-            assert registry.counter("kademlia.lookups") >= 1
+            assert registry.counter(f"{protocol}.lookups") >= 1
         finally:
             obs.disable()

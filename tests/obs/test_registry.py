@@ -244,6 +244,29 @@ class TestSummary:
         assert "campaign" in text
         assert "kademlia" in text
 
+    def test_format_summary_has_one_line_per_overlay(self):
+        registry = MetricsRegistry()
+        registry.inc("chord.lookups", 5)
+        registry.observe("chord.lookup.virtual_latency", 4.0)
+        registry.observe("chord.lookup.rounds", 4.0)
+        registry.inc("chord.lookup.failed_rpcs", 2)
+        registry.inc("pastry.lookups", 7)
+        registry.inc("pastry.refreshes", 3)
+        text = format_summary(registry.snapshot())
+        lines = {
+            line.split()[0]: line
+            for line in text.splitlines()
+            if line.split() and line.split()[0] in ("kademlia", "chord", "pastry")
+        }
+        assert set(lines) == {"kademlia", "chord", "pastry"}
+        assert "lookups: 5" in lines["chord"]
+        assert "mean lookup virtual-time latency: 4.00 RTT" in lines["chord"]
+        assert "failed RPCs: 2" in lines["chord"]
+        assert "lookups: 7" in lines["pastry"]
+        assert "refreshes: 3" in lines["pastry"]
+        # Kademlia keeps its historical refresh wording.
+        assert "bucket refreshes:" in lines["kademlia"]
+
     def test_write_metrics_wraps_schema(self, tmp_path):
         path = tmp_path / "metrics.json"
         write_metrics(str(path), self._populated_snapshot())

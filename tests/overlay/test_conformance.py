@@ -1,0 +1,254 @@
+"""Overlay conformance suite: one battery every implementation must pass.
+
+The resilience pipeline relies on a small behavioural contract beyond the
+method signatures of :class:`repro.overlay.base.OverlayProtocol`:
+
+* **join/leave updates routing state** — a join populates the joiner's
+  snapshot and announces it to the network; a peer's death is eventually
+  evicted from the tables (that is what the paper's churn resilience
+  measures);
+* **capture is deterministic** — identical seeds produce identical
+  snapshot rows, the bedrock of the pinned trajectory digests;
+* **membership_version bumps exactly on membership change** — the
+  incremental graph maintainer skips rows with unchanged versions, so a
+  missing bump silently corrupts connectivity results and a spurious one
+  only wastes work;
+* **lookups terminate** — under loss, against dead targets, and when
+  isolated.
+
+Every test is parametrized over the full registry; a new overlay
+implementation is conformant exactly when this module passes for it.
+"""
+
+import random
+
+import pytest
+
+from repro.kademlia.node_id import generate_node_id
+from repro.overlay import get_overlay, overlay_names
+from repro.simulator.network import Network
+from repro.simulator.node import SimNode
+from repro.simulator.transport import Transport
+
+BIT_LENGTH = 64
+
+
+def build_network(
+    protocol_name: str,
+    size: int,
+    rng: random.Random,
+    *,
+    loss: float = 0.0,
+    bucket_size: int = 20,
+    staleness_limit: int = 1,
+):
+    """A network of ``size`` joined nodes; returns (network, protocols)."""
+    descriptor = get_overlay(protocol_name)
+    config = descriptor.build_config(
+        bit_length=BIT_LENGTH,
+        bucket_size=bucket_size,
+        alpha=3,
+        staleness_limit=staleness_limit,
+        bootstrap_reseed=True,
+    )
+    factory = descriptor.protocol_factory()
+    network = Network()
+    transport = Transport(
+        network, loss_probability=loss, rng=rng, protocol_name=protocol_name
+    )
+    protocols = []
+    used = set()
+    for _ in range(size):
+        node_id = generate_node_id(BIT_LENGTH, rng, exclude=used)
+        used.add(node_id)
+        protocol = factory(node_id, config)
+        protocol.bind(transport, lambda: 0.0)
+        node = SimNode(node_id)
+        node.register_protocol(protocol_name, protocol)
+        network.add_node(node)
+        bootstrap = rng.choice(protocols).node_id if protocols else None
+        protocol.join(bootstrap)
+        protocols.append(protocol)
+    return network, protocols
+
+
+@pytest.mark.parametrize("protocol", overlay_names())
+class TestJoinLeave:
+    def test_join_populates_joiner_and_announces_it(self, protocol):
+        rng = random.Random(3)
+        _network, protocols = build_network(protocol, 12, rng)
+        joiner = protocols[-1]
+        # The joiner learned contacts beyond its bootstrap...
+        snapshot = joiner.routing_table_snapshot()
+        assert snapshot, "join left the joiner's routing state empty"
+        assert joiner.ever_connected
+        # ...and the self-lookup announced it: somebody else knows it.
+        known_by = sum(
+            1
+            for other in protocols[:-1]
+            if joiner.node_id in other.routing_table_snapshot()
+        )
+        assert known_by > 0, "no existing node learned the joiner"
+
+    def test_dead_peer_is_evicted_after_failed_round_trips(self, protocol):
+        rng = random.Random(5)
+        network, protocols = build_network(protocol, 12, rng)
+        victim = protocols[-1]
+        observers = [
+            p
+            for p in protocols[:-1]
+            if victim.node_id in p.routing_table_snapshot()
+        ]
+        assert observers, "victim unknown to everyone — join broken"
+        network.remove_node(victim.node_id, 0.0)
+        # staleness_limit=1: one failed round-trip evicts the dead peer.
+        for observer in observers:
+            ok, _ = observer.rpc(victim.node_id, None)
+            assert not ok
+            assert victim.node_id not in observer.routing_table_snapshot(), (
+                f"{protocol}: dead peer survived a failed round-trip "
+                "at staleness limit 1"
+            )
+
+
+@pytest.mark.parametrize("protocol", overlay_names())
+class TestDeterministicCapture:
+    def test_identical_seeds_produce_identical_snapshots(self, protocol):
+        def capture(seed):
+            _network, protocols = build_network(
+                protocol, 15, random.Random(seed)
+            )
+            return {
+                p.node_id: (p.routing_table_snapshot(), p.snapshot_version())
+                for p in protocols
+            }
+
+        assert capture(21) == capture(21)
+
+    def test_snapshot_rows_are_plain_contact_lists(self, protocol):
+        _network, protocols = build_network(protocol, 8, random.Random(2))
+        for p in protocols:
+            row = p.routing_table_snapshot()
+            assert isinstance(row, list)
+            assert all(isinstance(contact, int) for contact in row)
+            assert p.node_id not in row, "a node must not list itself"
+            assert len(set(row)) == len(row), "duplicate contacts in a row"
+
+
+@pytest.mark.parametrize("protocol", overlay_names())
+class TestMembershipVersion:
+    def _fresh_pair(self, protocol):
+        """Two bound protocols on a shared network, no joins performed."""
+        descriptor = get_overlay(protocol)
+        config = descriptor.build_config(
+            bit_length=BIT_LENGTH,
+            bucket_size=20,
+            alpha=3,
+            staleness_limit=1,
+            bootstrap_reseed=True,
+        )
+        factory = descriptor.protocol_factory()
+        network = Network()
+        transport = Transport(
+            network, loss_probability=0.0, protocol_name=protocol
+        )
+        protocols = []
+        for node_id in (0x1111, 0x9999):
+            p = factory(node_id, config)
+            p.bind(transport, lambda: 0.0)
+            node = SimNode(node_id)
+            node.register_protocol(protocol, p)
+            network.add_node(node)
+            protocols.append(p)
+        return network, protocols
+
+    def test_bumps_on_new_contact_not_on_refresh(self, protocol):
+        _network, (a, b) = self._fresh_pair(protocol)
+        before = a.snapshot_version()
+        a.note_contact(b.node_id)
+        after_insert = a.snapshot_version()
+        assert after_insert != before, "learning a new contact must bump"
+        a.note_contact(b.node_id)
+        assert a.snapshot_version() == after_insert, (
+            "re-noting a known contact must NOT bump (the incremental "
+            "graph maintainer would rebuild unchanged rows)"
+        )
+
+    def test_bumps_on_eviction_only_for_known_contacts(self, protocol):
+        network, (a, b) = self._fresh_pair(protocol)
+        a.note_contact(b.node_id)
+        before = a.snapshot_version()
+        network.remove_node(b.node_id, 0.0)
+        ok, _ = a.rpc(b.node_id, None)
+        assert not ok
+        assert a.snapshot_version() != before, "eviction must bump"
+        assert b.node_id not in a.routing_table_snapshot()
+        # A failed round-trip to a node never in the table changes nothing.
+        stable = a.snapshot_version()
+        ok, _ = a.rpc(0x5555, None)
+        assert not ok
+        assert a.snapshot_version() == stable, (
+            "failure against an unknown node must NOT bump"
+        )
+
+    def test_version_tracks_snapshot_membership(self, protocol):
+        rng = random.Random(13)
+        network, protocols = build_network(protocol, 10, rng)
+        subject = protocols[0]
+        membership = set(subject.routing_table_snapshot())
+        version = subject.snapshot_version()
+        # Churn the network around the subject; whenever the membership
+        # set changes, the version must have changed with it.
+        for victim in protocols[5:]:
+            network.remove_node(victim.node_id, 0.0)
+            subject.rpc(victim.node_id, None)
+            new_membership = set(subject.routing_table_snapshot())
+            new_version = subject.snapshot_version()
+            if new_membership != membership:
+                assert new_version != version, (
+                    f"{protocol}: snapshot changed but version did not"
+                )
+            membership, version = new_membership, new_version
+
+
+@pytest.mark.parametrize("protocol", overlay_names())
+class TestLookupTermination:
+    def test_lookup_terminates_under_loss(self, protocol):
+        rng = random.Random(17)
+        _network, protocols = build_network(protocol, 20, rng, loss=0.3)
+        for _ in range(10):
+            origin = rng.choice(protocols)
+            target = generate_node_id(BIT_LENGTH, rng)
+            result = origin.lookup(target)
+            assert result.queried >= result.failures
+            assert result.rounds <= result.queried + 1
+
+    def test_lookup_for_member_finds_it_when_loss_free(self, protocol):
+        rng = random.Random(19)
+        _network, protocols = build_network(protocol, 20, rng)
+        origin, member = protocols[0], protocols[10]
+        result = origin.lookup(member.node_id)
+        assert result.succeeded
+        assert member.node_id in result.contacted, (
+            f"{protocol}: loss-free lookup missed an alive member"
+        )
+
+    def test_isolated_node_lookup_terminates_empty(self, protocol):
+        descriptor = get_overlay(protocol)
+        config = descriptor.build_config(
+            bit_length=BIT_LENGTH,
+            bucket_size=20,
+            alpha=3,
+            staleness_limit=1,
+            bootstrap_reseed=True,
+        )
+        network = Network()
+        transport = Transport(network, protocol_name=protocol)
+        lonely = descriptor.protocol_factory()(0xABCD, config)
+        lonely.bind(transport, lambda: 0.0)
+        node = SimNode(0xABCD)
+        node.register_protocol(protocol, lonely)
+        network.add_node(node)
+        result = lonely.lookup(0x1234)
+        assert not result.succeeded
+        assert result.contacted == []
