@@ -16,6 +16,10 @@ Gates:
     pair-flow engine over the per-pair serial baseline) — the snapshot
     connectivity fast path.  A ratio of two numbers measured in the same
     process, so host-speed variance largely cancels.
+``estimation``
+    Sampling-estimator flows/sec on a 10,000-node synthetic snapshot —
+    the estimate-mode hot path (stratified draw + batched evaluation +
+    branch-and-bound minimum pass).
 
 Usage::
 
@@ -47,6 +51,10 @@ def _connectivity_metric(document: dict) -> float:
     return float(document["headline"]["speedup"])
 
 
+def _estimation_metric(document: dict) -> float:
+    return float(document["headline"]["flows_per_sec"])
+
+
 #: gate name -> (benchmark JSON file, metric extractor, metric description)
 GATES = {
     "simulator": (
@@ -58,6 +66,11 @@ GATES = {
         "BENCH_connectivity.json",
         _connectivity_metric,
         "minimum-pass engine-vs-baseline speedup",
+    ),
+    "estimation": (
+        "BENCH_estimation.json",
+        _estimation_metric,
+        "10k-node estimation flows/sec",
     ),
 }
 

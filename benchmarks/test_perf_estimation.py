@@ -1,0 +1,128 @@
+"""Perf trajectory benchmark for million-node-scale connectivity estimation.
+
+Exercises the sampling estimator on a 10,000-node synthetic snapshot —
+two orders of magnitude past what the exhaustive pipeline can touch
+(O(n^2) would be ~10^8 max-flows) — and writes
+``benchmarks/output/BENCH_estimation.json``: the trend line for the
+estimate-mode hot path (stratified pair draw + one batched cutoff-free
+evaluation + branch-and-bound minimum pass).
+
+The sweep runs the estimator at increasing pair budgets on the same
+snapshot; the headline is flows/sec at the largest budget, which is the
+number a capacity plan scales by (a million-node estimate costs
+``budget / flows_per_sec`` seconds, independent of n^2).  Estimator
+determinism is asserted before anything is timed: two runs with the same
+seed must agree bit for bit, otherwise the measured workload would not
+be the shipped workload.
+
+The committed JSON was measured on the maintainer container; CI gates
+flows/sec against it via ``check_regression.py estimation``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import BENCH_SEED, attach_obs_metrics, write_artefact
+from repro.core.estimation import ConnectivityEstimator
+from repro.experiments.snapshot import synthetic_snapshot
+
+#: Snapshot shape (fixed so the JSON is comparable across PRs).  The
+#: XOR-octave contact structure mirrors Kademlia's bucket geometry, so
+#: per-flow cost is representative of real routing-table graphs.
+SNAPSHOT_NODES = 10_000
+CONTACTS_PER_NODE = 16
+#: Ordered-pair budgets of the sweep (headline = largest).
+BUDGETS = (16, 64)
+CI_LEVEL = 0.95
+
+
+def test_perf_estimation_trajectory(output_dir):
+    build_started = time.perf_counter()
+    snapshot = synthetic_snapshot(
+        SNAPSHOT_NODES, contacts_per_node=CONTACTS_PER_NODE, seed=BENCH_SEED
+    )
+    build_seconds = time.perf_counter() - build_started
+    edge_count = sum(len(row) for row in snapshot.routing_tables.values())
+
+    def run(budget: int):
+        estimator = ConnectivityEstimator(
+            sample_pairs=budget, ci_level=CI_LEVEL, seed=BENCH_SEED
+        )
+        with estimator:
+            return estimator.analyze_snapshot(snapshot.routing_tables)
+
+    # Determinism gate: the timed workload must be the shipped workload.
+    probe_budget = BUDGETS[0]
+    first, second = run(probe_budget).as_dict(), run(probe_budget).as_dict()
+    first.pop("elapsed_seconds"), second.pop("elapsed_seconds")
+    assert first == second, "estimator must be bit-deterministic for a fixed seed"
+
+    sweep = {}
+    for budget in BUDGETS:
+        report = run(budget)
+        assert report.vertex_count == SNAPSHOT_NODES
+        assert report.ci_low <= report.average_estimate <= report.ci_high
+        flows = report.avg_pairs_evaluated + report.min_pairs_evaluated
+        sweep[str(budget)] = {
+            "pairs_sampled": report.pairs_sampled,
+            "flows_evaluated": flows,
+            "pairs_pruned": report.pairs_pruned,
+            "seconds": round(report.elapsed_seconds, 6),
+            "flows_per_sec": (
+                round(flows / report.elapsed_seconds, 2)
+                if report.elapsed_seconds > 0 else 0.0
+            ),
+            "average_estimate": round(report.average_estimate, 4),
+            "ci": [round(report.ci_low, 4), round(report.ci_high, 4)],
+            "ci_width": round(report.ci_width, 4),
+            "minimum_bound": report.minimum_bound,
+        }
+
+    headline_budget = str(BUDGETS[-1])
+    # The budget sweep must show the estimator's defining property: more
+    # pairs -> tighter interval, same snapshot.
+    widths = [sweep[str(budget)]["ci_width"] for budget in BUDGETS]
+    assert all(earlier > later for earlier, later in zip(widths, widths[1:]))
+
+    document = {
+        "schema": 1,
+        "created_unix": round(time.time(), 3),
+        "snapshot": {
+            "nodes": SNAPSHOT_NODES,
+            "contacts_per_node": CONTACTS_PER_NODE,
+            "edges": edge_count,
+            "generator": "synthetic_snapshot (ring + XOR-octave contacts)",
+            "seed": BENCH_SEED,
+            "build_seconds": round(build_seconds, 6),
+        },
+        "ci_level": CI_LEVEL,
+        "sweep": sweep,
+        "headline": {
+            "description": (
+                "estimation flows/sec on a 10k-node snapshot at the "
+                f"{headline_budget}-pair budget (average pass + minimum pass)"
+            ),
+            "flows_per_sec": sweep[headline_budget]["flows_per_sec"],
+            "seconds": sweep[headline_budget]["seconds"],
+        },
+    }
+    attach_obs_metrics(document)
+
+    json_path = output_dir / "BENCH_estimation.json"
+    json_path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"{'budget':>7} {'flows':>6} {'pruned':>7} {'seconds':>8} "
+        f"{'flows/s':>8} {'avg est':>8} {'ci width':>9} {'min bound':>9}"
+    ]
+    for budget in BUDGETS:
+        row = sweep[str(budget)]
+        lines.append(
+            f"{budget:>7} {row['flows_evaluated']:>6} {row['pairs_pruned']:>7} "
+            f"{row['seconds']:>8.2f} {row['flows_per_sec']:>8.2f} "
+            f"{row['average_estimate']:>8.2f} {row['ci_width']:>9.3f} "
+            f"{row['minimum_bound']:>9}"
+        )
+    write_artefact(output_dir, "BENCH_estimation.txt", "\n".join(lines))

@@ -20,9 +20,12 @@ see):
 Run with:  python examples/connectivity_hardening.py
 """
 
-from repro.experiments.scenarios import get_scenario
-from repro.extensions.hardening import HardeningConfig
-from repro.extensions.evaluation import hardening_study, hardening_summary
+from repro.api import (
+    HardeningConfig,
+    get_scenario,
+    hardening_study,
+    hardening_summary,
+)
 
 
 def main() -> None:

@@ -15,7 +15,7 @@ paths.
 Run with:  python examples/disjoint_path_lookups.py
 """
 
-from repro.extensions.evaluation import disjoint_path_study
+from repro.api import disjoint_path_study
 
 
 def main() -> None:

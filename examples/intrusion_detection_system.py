@@ -18,10 +18,7 @@ Run with:  python examples/intrusion_detection_system.py           (bench scale)
 
 import argparse
 
-from repro.analysis.figures import format_table
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.scenarios import get_scenario
-from repro.experiments.sweep import run_loss_sweep
+from repro.api import format_table, get_scenario, run_loss_sweep
 
 
 def main() -> None:

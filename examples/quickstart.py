@@ -13,15 +13,18 @@ This walks through the paper's whole pipeline in one short script:
 Run with:  python examples/quickstart.py
 """
 
-from repro.churn.churn_model import get_churn_scenario
-from repro.churn.loss import get_loss_model
-from repro.churn.traffic import TrafficModel
-from repro.core.analyzer import ConnectivityAnalyzer
-from repro.core.resilience import ResilienceModel
-from repro.experiments.simulation import KademliaSimulation
-from repro.graph.algorithms.paths import vertex_disjoint_paths
-from repro.kademlia.config import KademliaConfig
-from repro.simulator.random_source import RandomSource
+from repro.api import (
+    KademliaConfig,
+    KademliaSimulation,
+    RandomSource,
+    ResilienceModel,
+    TrafficModel,
+    analyze_snapshot,
+    estimate_connectivity,
+    get_churn_scenario,
+    get_loss_model,
+    vertex_disjoint_paths,
+)
 
 
 def main() -> None:
@@ -47,18 +50,31 @@ def main() -> None:
     print(f"network size:            {snapshot.network_size}")
     print(f"routing table entries:   {snapshot.total_contacts()}")
 
-    # 3 + 4. Connectivity graph and vertex connectivity.
-    analyzer = ConnectivityAnalyzer(source_fraction=None)  # exact, small graph
-    report = analyzer.analyze_snapshot(snapshot.routing_tables)
-    print(f"minimum connectivity:    {report.minimum}")
-    print(f"average connectivity:    {report.average:.1f}")
+    # 3 + 4. Connectivity graph and vertex connectivity (exact mode: the
+    #    graph is small enough for all pairs).
+    report = analyze_snapshot(snapshot)
+    print(f"minimum connectivity:    {report.min_connectivity}")
+    print(f"average connectivity:    {report.avg_connectivity:.1f}")
     print(f"graph almost undirected: symmetry ratio {report.symmetry_ratio:.2f}")
+
+    # At deployment scale (10^4+ nodes) exact mode is infeasible; the
+    # estimator reports the same quantities from a sampled pair budget,
+    # with a confidence interval for the average.
+    estimate = estimate_connectivity(snapshot, sample_pairs=64, seed=1)
+    low, high = estimate.confidence_interval
+    print(f"estimated average:       {estimate.avg_connectivity:.1f} "
+          f"(95% CI [{low:.1f}, {high:.1f}], "
+          f"{estimate.pairs_sampled} pairs sampled)")
 
     # 5. Resilience (Equation 2: kappa(D) > r >= a).
     print(f"resilience r:            {report.resilience} "
           f"(tolerates {report.resilience} compromised nodes)")
     attacker = ResilienceModel(attacker_budget=3)
-    verdict = "tolerates" if attacker.is_satisfied_by(report.minimum) else "does NOT tolerate"
+    verdict = (
+        "tolerates"
+        if attacker.is_satisfied_by(report.min_connectivity)
+        else "does NOT tolerate"
+    )
     print(f"attacker with budget 3:  network {verdict} the attack")
 
     # Bonus: show concrete node-disjoint paths between two nodes.

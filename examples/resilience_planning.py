@@ -15,11 +15,12 @@ Run with:  python examples/resilience_planning.py --attacker-budget 4
 
 import argparse
 
-from repro.analysis.figures import format_table
-from repro.core.resilience import ResilienceModel
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.scenarios import get_scenario
-from repro.experiments.sweep import run_bucket_size_sweep
+from repro.api import (
+    ResilienceModel,
+    format_table,
+    get_scenario,
+    run_bucket_size_sweep,
+)
 
 
 def main() -> None:

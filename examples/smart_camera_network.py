@@ -19,10 +19,7 @@ Run with:  python examples/smart_camera_network.py            (bench scale)
 
 import argparse
 
-from repro.analysis.figures import format_table
-from repro.core.resilience import resilience_of
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.scenarios import get_scenario
+from repro.api import format_table, get_scenario, resilience_of, run_scenario
 
 
 def main() -> None:
@@ -34,13 +31,15 @@ def main() -> None:
 
     profile = "tiny" if args.quick else "bench"
     bucket_sizes = (5, 10, 20) if not args.quick else (3, 5, 8)
-    runner = ExperimentRunner(profile=profile, seed=args.seed)
 
     rows = []
     for churn_scenario in ("E", "G"):  # churn 1/1 and 10/10, small network
         base = get_scenario(churn_scenario)
         for k in bucket_sizes:
-            result = runner.run(base.with_overrides(bucket_size=k))
+            result = run_scenario(
+                base.with_overrides(bucket_size=k),
+                profile=profile, seed=args.seed,
+            )
             mean_min = result.churn_mean_minimum()
             rows.append([
                 base.churn,

@@ -41,6 +41,13 @@ from scratch in pure Python:
 ``repro.analysis``
     Statistics (mean, relative variance), series aggregation and ASCII
     rendering of the figures.
+
+``repro.api``
+    **The stable public facade.**  External callers (and ``examples/``)
+    should import from :mod:`repro.api` — ``run_scenario``,
+    ``run_sweep``, ``analyze_snapshot``, ``estimate_connectivity``,
+    ``open_campaign`` plus curated re-exports — rather than from the
+    internal modules above, whose layout may change between releases.
 """
 
 from repro.core.analyzer import ConnectivityAnalyzer, ConnectivityReport

@@ -184,6 +184,31 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--connectivity", default="exact", choices=["exact", "estimate"],
+        help=(
+            "per-snapshot connectivity measurement: 'exact' (the paper's "
+            "pipeline, default) or 'estimate' (stratified sampled-pair "
+            "estimation with confidence intervals — the only feasible "
+            "mode beyond ~10^4 nodes).  Identity-bearing: estimated "
+            "results live under their own fingerprint/cache dimension"
+        ),
+    )
+    parser.add_argument(
+        "--sample-pairs", type=_positive_int, default=None, metavar="N",
+        help=(
+            "estimate mode: ordered-pair budget per snapshot (default: "
+            "256); requires --connectivity estimate"
+        ),
+    )
+    parser.add_argument(
+        "--ci-level", type=float, default=None, metavar="LEVEL",
+        help=(
+            "estimate mode: two-sided confidence level in (0,1) for the "
+            "reported interval (default: 0.95); requires --connectivity "
+            "estimate"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="directory of the content-addressed result cache (default: off)",
     )
@@ -452,6 +477,30 @@ def _apply_overrides(scenario, args):
     return scenario.with_overrides(**overrides) if overrides else scenario
 
 
+def _estimation_kwargs(args) -> dict:
+    """Resolve the --connectivity/--sample-pairs/--ci-level options.
+
+    The sampling parameters are identity-bearing, so passing them without
+    selecting estimate mode is a hard error rather than a silent no-op.
+    """
+    if args.connectivity != "estimate":
+        if args.sample_pairs is not None or args.ci_level is not None:
+            raise SystemExit(
+                "--sample-pairs/--ci-level require --connectivity estimate"
+            )
+        return {"connectivity": "exact"}
+    ci_level = 0.95 if args.ci_level is None else args.ci_level
+    if not 0.0 < ci_level < 1.0:
+        raise SystemExit(f"--ci-level must be in (0, 1), got {ci_level}")
+    return {
+        "connectivity": "estimate",
+        "sample_pairs": (
+            256 if args.sample_pairs is None else args.sample_pairs
+        ),
+        "ci_level": ci_level,
+    }
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _apply_overrides(get_scenario(_scenario_name(args)), args)
     _warn_schedule_without_cache(args)
@@ -465,7 +514,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 progress=_make_progress(args),
                 schedule=args.schedule, adaptive_shards=args.adaptive_shards,
                 batch=args.batch, retry_policy=_make_retry_policy(args),
-                backend=args.backend,
+                backend=args.backend, **_estimation_kwargs(args),
             )
         _report_cache_stats(cache)
     finally:
@@ -498,7 +547,7 @@ def _cmd_sweep_k(args: argparse.Namespace) -> int:
                 progress=_make_progress(args),
                 schedule=args.schedule, adaptive_shards=args.adaptive_shards,
                 batch=args.batch, retry_policy=_make_retry_policy(args),
-                backend=args.backend,
+                backend=args.backend, **_estimation_kwargs(args),
             )
         _report_cache_stats(cache)
     finally:
@@ -528,7 +577,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             base,
             [{"bucket_size": k} for k in args.k],
             profile=args.profile, seed=args.seed, flow_jobs=args.flow_jobs,
-            adaptive_shards=args.adaptive_shards,
+            adaptive_shards=args.adaptive_shards, **_estimation_kwargs(args),
         )
     ]
     try:
@@ -570,7 +619,7 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
                 progress=_make_progress(args),
                 schedule=args.schedule, adaptive_shards=args.adaptive_shards,
                 batch=args.batch, retry_policy=_make_retry_policy(args),
-                backend=args.backend,
+                backend=args.backend, **_estimation_kwargs(args),
             )
         _report_cache_stats(cache)
         registry = obs.active()
@@ -719,21 +768,53 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 def _cmd_analyze_snapshot(args: argparse.Namespace) -> int:
     snapshot = RoutingTableSnapshot.load(args.snapshot)
-    analyzer = ConnectivityAnalyzer(
-        algorithm=args.algorithm,
-        source_fraction=None if args.exact else args.sample_fraction,
-        target_fraction=args.sample_fraction,
-        flow_jobs=args.flow_jobs,
-    )
-    report = analyzer.analyze_snapshot(snapshot.routing_tables)
+    estimate_mode = getattr(args, "connectivity", "exact") == "estimate"
+    if not estimate_mode and (
+        args.sample_pairs is not None or args.ci_level is not None
+    ):
+        raise SystemExit(
+            "--sample-pairs/--ci-level require --connectivity estimate"
+        )
+    if args.exact and estimate_mode:
+        raise SystemExit("--exact and --connectivity estimate are exclusive")
+    if estimate_mode:
+        from repro.core.estimation import ConnectivityEstimator
+
+        estimator = ConnectivityEstimator(
+            sample_pairs=(
+                256 if args.sample_pairs is None else args.sample_pairs
+            ),
+            ci_level=0.95 if args.ci_level is None else args.ci_level,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            flow_jobs=args.flow_jobs,
+        )
+        with estimator:
+            report = estimator.analyze_snapshot(snapshot.routing_tables)
+    else:
+        analyzer = ConnectivityAnalyzer(
+            algorithm=args.algorithm,
+            source_fraction=None if args.exact else args.sample_fraction,
+            target_fraction=args.sample_fraction,
+            flow_jobs=args.flow_jobs,
+        )
+        with analyzer:
+            report = analyzer.analyze_snapshot(snapshot.routing_tables)
     print(f"snapshot time:        {snapshot.time}")
     print(f"network size:         {snapshot.network_size}")
-    print(f"minimum connectivity: {report.minimum}")
-    print(f"average connectivity: {report.average:.2f}")
+    print(f"minimum connectivity: {report.min_connectivity}")
+    print(f"average connectivity: {report.avg_connectivity:.2f}")
     print(f"resilience r:         {report.resilience}")
     print(f"strongly connected:   {report.strongly_connected}")
     print(f"disconnected nodes:   {report.disconnected_count}")
     print(f"symmetry ratio:       {report.symmetry_ratio:.3f}")
+    if estimate_mode:
+        low, high = report.confidence_interval
+        level = int(round(report.ci_level * 100))
+        print(f"{level}% CI of average:   [{low:.2f}, {high:.2f}]")
+        print(f"pairs sampled:        {report.pairs_sampled}")
+        print(f"pairs pruned:         {report.pairs_pruned}")
+        print(f"minimum is exact:     {report.min_is_exact}")
     return 0
 
 
@@ -814,6 +895,32 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument(
         "--flow-jobs", type=_positive_int, default=1,
         help="worker processes for the pair-flow engine (default: 1)",
+    )
+    analyze_parser.add_argument(
+        "--connectivity", default="exact", choices=["exact", "estimate"],
+        help=(
+            "measurement mode: 'exact' (default) or 'estimate' "
+            "(sampled-pair estimation with confidence intervals — the "
+            "only feasible mode beyond ~10^4 nodes)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--sample-pairs", type=_positive_int, default=None, metavar="N",
+        help=(
+            "estimate mode: ordered-pair budget (default: 256); requires "
+            "--connectivity estimate"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--ci-level", type=float, default=None, metavar="LEVEL",
+        help=(
+            "estimate mode: confidence level in (0,1) (default: 0.95); "
+            "requires --connectivity estimate"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the estimate-mode sampling stream (default: 0)",
     )
     analyze_parser.set_defaults(func=_cmd_analyze_snapshot)
 

@@ -16,9 +16,25 @@ The pipeline mirrors Sections 4.2–4.5 of the paper:
    the object the experiment runner calls at every snapshot, and
    :mod:`repro.core.timeseries` collects the per-snapshot reports into the
    time series shown in the paper's figures.
+
+Beyond the paper's exact pipeline, :mod:`repro.core.estimation` provides
+the sampled-pair estimation mode for deployment-scale graphs
+(10^4–10^6 nodes): exact kappa on a stratified pair sample with a
+deterministic confidence interval, and a branch-and-bound bound on the
+minimum.
 """
 
-from repro.core.analyzer import ConnectivityAnalyzer, ConnectivityReport
+from repro.core.analyzer import (
+    ConnectivityAnalyzer,
+    ConnectivityReport,
+    FlowEngineHost,
+)
+from repro.core.estimation import (
+    ConnectivityEstimator,
+    EstimatedConnectivityReport,
+    EstimateValidation,
+    validate_exact_vs_estimate,
+)
 from repro.core.connectivity_graph import (
     build_connectivity_graph,
     connectivity_graph_from_protocols,
@@ -38,11 +54,16 @@ from repro.core.vertex_connectivity import (
 
 __all__ = [
     "ConnectivityAnalyzer",
+    "ConnectivityEstimator",
     "ConnectivityReport",
     "ConnectivitySample",
     "ConnectivityStatistics",
     "ConnectivityTimeSeries",
+    "EstimateValidation",
+    "EstimatedConnectivityReport",
+    "FlowEngineHost",
     "ResilienceModel",
+    "validate_exact_vs_estimate",
     "build_connectivity_graph",
     "connectivity_graph_from_protocols",
     "global_vertex_connectivity",

@@ -30,7 +30,7 @@ import math
 import random
 import time as wallclock
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.core.connectivity_graph import build_connectivity_graph, disconnected_vertices
 from repro.core.resilience import resilience_of
@@ -86,6 +86,35 @@ class ConnectivityReport:
     exact: bool
     elapsed_seconds: float
 
+    # -- shared report protocol ----------------------------------------
+    # Exact and estimated reports (see repro.core.estimation) expose the
+    # same four accessors so downstream tables, figures and obs code
+    # never branch on the result class.
+    @property
+    def min_connectivity(self) -> int:
+        """Protocol accessor: the reported minimum connectivity."""
+        return self.minimum
+
+    @property
+    def avg_connectivity(self) -> float:
+        """Protocol accessor: the reported average connectivity."""
+        return self.average
+
+    @property
+    def is_exact(self) -> bool:
+        """Protocol accessor: True — this class carries measured values.
+
+        (The ``exact`` field distinguishes full-pair from sampled-pair
+        measurement *within* the exact pipeline; either way the values
+        are real flow computations, not statistical estimates.)
+        """
+        return True
+
+    @property
+    def confidence_interval(self) -> Optional[Tuple[float, float]]:
+        """Protocol accessor: None — exact-mode reports carry no CI."""
+        return None
+
     def as_dict(self) -> dict:
         """Return the report as a plain dictionary (JSON-friendly)."""
         return {
@@ -104,7 +133,101 @@ class ConnectivityReport:
         }
 
 
-class ConnectivityAnalyzer:
+class FlowEngineHost:
+    """Shared engine plumbing of the exact analyzer and the estimator.
+
+    Owns the max-flow engine configuration (algorithm, worker count,
+    shard geometry, adaptive scheduling) and the lazily opened worker
+    pool that persists across every snapshot the host sees.  Subclasses
+    implement ``analyze_graph`` / ``analyze_snapshot`` on top of
+    :meth:`_make_engine`.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "dinic",
+        flow_jobs: int = 1,
+        flow_shard_size: Optional[int] = None,
+        flow_wave_width: Optional[int] = None,
+        adaptive_shards: bool = False,
+    ) -> None:
+        if flow_jobs < 1:
+            raise ValueError("flow_jobs must be >= 1")
+        self.algorithm = algorithm
+        self.flow_jobs = flow_jobs
+        self.flow_shard_size = flow_shard_size
+        self.flow_wave_width = flow_wave_width
+        self.adaptive_shards = adaptive_shards
+        self._pair_costs = None
+        if adaptive_shards:
+            from repro.runtime.costmodel import PairCostTracker
+
+            self._pair_costs = PairCostTracker()
+        self._flow_session = None
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifetime.  One host typically serves every snapshot of
+    # a run; with flow_jobs > 1 the process pool is opened on the first
+    # analysis and reused until close() — only the compact network differs
+    # between snapshots, the workers persist (ROADMAP: pool reuse across
+    # consecutive snapshots).
+    # ------------------------------------------------------------------
+    def _flow_pool(self):
+        """Return (opening lazily) the shared worker-pool session, or None."""
+        if self.flow_jobs <= 1:
+            return None
+        if self._flow_session is None:
+            from repro.runtime.executor import make_executor
+
+            self._flow_session = make_executor(self.flow_jobs).open_session()
+        return self._flow_session
+
+    def close(self) -> None:
+        """Release the shared worker pool (idempotent; serial is a no-op)."""
+        session, self._flow_session = self._flow_session, None
+        if session is not None:
+            session.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _make_engine(self, graph: DiGraph):
+        """Build the pair-flow engine for one connectivity graph.
+
+        Imported lazily: ``repro.runtime`` depends on the experiments
+        layer, which imports this module — resolving the engine at call
+        time keeps the package import graph acyclic.
+        """
+        from repro.runtime.pairflow import (
+            DEFAULT_SHARD_SIZE,
+            DEFAULT_WAVE_WIDTH,
+            PairFlowEngine,
+        )
+
+        return PairFlowEngine(
+            graph,
+            algorithm=self.algorithm,
+            flow_jobs=self.flow_jobs,
+            shard_size=(
+                DEFAULT_SHARD_SIZE
+                if self.flow_shard_size is None
+                else self.flow_shard_size
+            ),
+            wave_width=(
+                DEFAULT_WAVE_WIDTH
+                if self.flow_wave_width is None
+                else self.flow_wave_width
+            ),
+            adaptive=self.adaptive_shards,
+            cost_tracker=self._pair_costs,
+            session=self._flow_pool(),
+        )
+
+
+class ConnectivityAnalyzer(FlowEngineHost):
     """Computes :class:`ConnectivityReport` objects from connectivity graphs.
 
     Parameters
@@ -164,86 +287,19 @@ class ConnectivityAnalyzer:
             raise ValueError("source_fraction must be positive or None")
         if target_fraction <= 0:
             raise ValueError("target_fraction must be positive")
-        if flow_jobs < 1:
-            raise ValueError("flow_jobs must be >= 1")
-        self.algorithm = algorithm
+        super().__init__(
+            algorithm=algorithm,
+            flow_jobs=flow_jobs,
+            flow_shard_size=flow_shard_size,
+            flow_wave_width=flow_wave_width,
+            adaptive_shards=adaptive_shards,
+        )
         self.source_fraction = source_fraction
         self.target_fraction = target_fraction
         self.min_sources = min_sources
         self.min_targets = min_targets
         self.average_pairs = average_pairs
-        self.flow_jobs = flow_jobs
-        self.flow_shard_size = flow_shard_size
-        self.flow_wave_width = flow_wave_width
-        self.adaptive_shards = adaptive_shards
-        self._pair_costs = None
-        if adaptive_shards:
-            from repro.runtime.costmodel import PairCostTracker
-
-            self._pair_costs = PairCostTracker()
         self._rng = random.Random(seed)
-        self._flow_session = None
-
-    # ------------------------------------------------------------------
-    # Worker-pool lifetime.  One analyzer typically serves every snapshot
-    # of a run; with flow_jobs > 1 the process pool is opened on the first
-    # analysis and reused until close() — only the compact network differs
-    # between snapshots, the workers persist (ROADMAP: pool reuse across
-    # consecutive snapshots).
-    # ------------------------------------------------------------------
-    def _flow_pool(self):
-        """Return (opening lazily) the shared worker-pool session, or None."""
-        if self.flow_jobs <= 1:
-            return None
-        if self._flow_session is None:
-            from repro.runtime.executor import make_executor
-
-            self._flow_session = make_executor(self.flow_jobs).open_session()
-        return self._flow_session
-
-    def close(self) -> None:
-        """Release the shared worker pool (idempotent; serial is a no-op)."""
-        session, self._flow_session = self._flow_session, None
-        if session is not None:
-            session.close()
-
-    def __enter__(self) -> "ConnectivityAnalyzer":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
-
-    def _make_engine(self, graph: DiGraph):
-        """Build the pair-flow engine for one connectivity graph.
-
-        Imported lazily: ``repro.runtime`` depends on the experiments
-        layer, which imports this module — resolving the engine at call
-        time keeps the package import graph acyclic.
-        """
-        from repro.runtime.pairflow import (
-            DEFAULT_SHARD_SIZE,
-            DEFAULT_WAVE_WIDTH,
-            PairFlowEngine,
-        )
-
-        return PairFlowEngine(
-            graph,
-            algorithm=self.algorithm,
-            flow_jobs=self.flow_jobs,
-            shard_size=(
-                DEFAULT_SHARD_SIZE
-                if self.flow_shard_size is None
-                else self.flow_shard_size
-            ),
-            wave_width=(
-                DEFAULT_WAVE_WIDTH
-                if self.flow_wave_width is None
-                else self.flow_wave_width
-            ),
-            adaptive=self.adaptive_shards,
-            cost_tracker=self._pair_costs,
-            session=self._flow_pool(),
-        )
 
     # ------------------------------------------------------------------
     def analyze_graph(self, graph: DiGraph) -> ConnectivityReport:

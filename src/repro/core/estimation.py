@@ -1,0 +1,676 @@
+"""Sampled-pair connectivity estimation for deployment-scale graphs.
+
+The paper's exact pipeline costs O(n^2) max-flows per snapshot (~250
+CPU-hours for one 2500-node graph), which caps the reproduction at
+paper scale.  This module is the road past that limit: a seeded,
+deterministic estimator that analyzes 10^4-10^6-node connectivity
+graphs with a fixed flow budget.
+
+Estimation scheme
+-----------------
+*Average connectivity* — ordered non-adjacent pairs are sampled
+**stratified by degree bound**: vertices are ranked by out-degree and
+split into contiguous strata, each stratum receives a share of the pair
+budget proportional to its number of non-adjacent ordered pairs (the
+exact per-stratum population size, computable in O(n)), and every
+sampled pair is evaluated *exactly* through the batched
+:class:`~repro.runtime.pairflow.PairFlowEngine` — so ``--flow-jobs``,
+adaptive shards and the distributed backend apply unchanged.  The
+stratified mean is reported with a confidence interval built from the
+per-stratum sample variance plus one pseudo-observation at the
+conservative range variance (Popoviciu's ``B^2/4`` for values bounded
+by the stratum's degree bound ``B``) — the regularisation keeps tiny
+samples from reporting a dishonest zero-width interval and makes the
+width a smooth, strictly shrinking function of the budget on
+homogeneous graphs.  The whole computation is a pure function of
+``(graph, seed, budget)``: the rng stream never depends on a flow
+value, so serial, parallel and distributed runs report identical
+estimates bit for bit.
+
+*Minimum connectivity* — a branch-and-bound **bound**, not an exact
+minimum: candidates are the lowest-out-degree x lowest-in-degree corner
+of the pair grid (the paper's ``c * n`` sampling, Section 5.2),
+evaluated in ascending order of their degree bound
+``min(out_degree(s), in_degree(t))`` (the PR 4 tightness ordering) with
+the running minimum as the flow cutoff.  Because the order is
+ascending, the first candidate whose bound reaches the running minimum
+prunes *every* remaining candidate.  The reported value is an upper
+bound on ``kappa(D)``; the explicit ``min_is_exact`` flag is True only
+when the bound is provably tight (graph not strongly connected,
+complete graph, bound 0, or the sample exhausted every non-adjacent
+pair).
+
+Exact recovery — when the requested budget covers every non-adjacent
+ordered pair, the estimator enumerates them all: the average equals the
+exhaustive mean, the interval collapses to zero width and
+``min_is_exact`` is True.
+
+Results ship as :class:`EstimatedConnectivityReport` — deliberately
+**not** bit-compatible with the exact pipeline's
+:class:`~repro.core.analyzer.ConnectivityReport` (its own task
+fingerprint dimension, its own persisted encoding) — but both satisfy
+the shared report protocol (``min_connectivity`` / ``avg_connectivity``
+/ ``is_exact`` / ``confidence_interval``) so downstream tables, figures
+and observability never branch on the result class.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time as wallclock
+import warnings
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.analyzer import FlowEngineHost
+from repro.core.connectivity_graph import build_connectivity_graph, disconnected_vertices
+from repro.core.resilience import resilience_of
+from repro.graph.algorithms.components import strongly_connected_components
+from repro.graph.digraph import DiGraph
+
+#: Default ordered-pair budget of the average pass.
+DEFAULT_SAMPLE_PAIRS = 256
+#: Default two-sided confidence level of the reported interval.
+DEFAULT_CI_LEVEL = 0.95
+#: Default number of degree-bound strata for the average pass.
+DEFAULT_STRATA = 4
+#: Minimum-pass candidate corner: ``max(MIN_CANDIDATES, ceil(frac * n))``
+#: lowest-out-degree sources x lowest-in-degree targets.
+DEFAULT_MIN_FRACTION = 0.02
+DEFAULT_MIN_CANDIDATES = 8
+#: Pairs dispatched per branch-and-bound block of the minimum pass (the
+#: running minimum is re-read between blocks, so a small block prunes
+#: early; within a block the engine's cutoff propagation does the work).
+_MIN_BLOCK = 32
+
+
+@dataclass(frozen=True)
+class EstimatedConnectivityReport:
+    """Estimate-mode counterpart of :class:`ConnectivityReport`.
+
+    Attributes
+    ----------
+    minimum_bound / min_is_exact:
+        Branch-and-bound upper bound on ``kappa(D)`` and whether it is
+        provably the exact minimum (see module docstring).
+    average_estimate / ci_low / ci_high / ci_level:
+        Stratified estimate of the mean pairwise connectivity and its
+        two-sided confidence interval at ``ci_level``.
+    sample_pairs / pairs_sampled:
+        Requested pair budget and the number of pairs actually drawn for
+        the average pass (rejection sampling on near-complete strata can
+        fall short of the quota).
+    pairs_pruned:
+        Minimum-pass candidates skipped because the ascending degree-
+        bound order proved they could not lower the bound further.
+    min_pairs_evaluated / avg_pairs_evaluated:
+        Max-flow computations spent on each pass.
+    resilience:
+        ``max(minimum_bound - 1, 0)`` — an upper bound on the tolerated
+        attacker budget (Equation 2), exact iff ``min_is_exact``.
+    vertex_count / edge_count / disconnected_count / strongly_connected /
+    symmetry_ratio / seed / elapsed_seconds:
+        Same meaning as on the exact report.
+    """
+
+    minimum_bound: int
+    min_is_exact: bool
+    average_estimate: float
+    ci_low: float
+    ci_high: float
+    ci_level: float
+    sample_pairs: int
+    pairs_sampled: int
+    pairs_pruned: int
+    min_pairs_evaluated: int
+    avg_pairs_evaluated: int
+    resilience: int
+    vertex_count: int
+    edge_count: int
+    disconnected_count: int
+    strongly_connected: bool
+    symmetry_ratio: float
+    seed: int
+    elapsed_seconds: float
+
+    # -- shared report protocol (see ConnectivityReport) ----------------
+    @property
+    def min_connectivity(self) -> int:
+        """Protocol accessor: the reported minimum (here: an upper bound)."""
+        return self.minimum_bound
+
+    @property
+    def avg_connectivity(self) -> float:
+        """Protocol accessor: the reported average connectivity."""
+        return self.average_estimate
+
+    @property
+    def is_exact(self) -> bool:
+        """Protocol accessor: estimated reports are never exact-mode."""
+        return False
+
+    @property
+    def confidence_interval(self) -> Tuple[float, float]:
+        """Protocol accessor: ``(ci_low, ci_high)``."""
+        return (self.ci_low, self.ci_high)
+
+    @property
+    def ci_width(self) -> float:
+        """Width of the confidence interval (0.0 on exact recovery)."""
+        return self.ci_high - self.ci_low
+
+    # -- legacy attribute aliases (deprecated) --------------------------
+    @property
+    def minimum(self) -> int:
+        """Deprecated alias for :attr:`minimum_bound`."""
+        warnings.warn(
+            "EstimatedConnectivityReport.minimum is deprecated; use "
+            ".min_connectivity (protocol) or .minimum_bound (explicit)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.minimum_bound
+
+    @property
+    def average(self) -> float:
+        """Deprecated alias for :attr:`average_estimate`."""
+        warnings.warn(
+            "EstimatedConnectivityReport.average is deprecated; use "
+            ".avg_connectivity (protocol) or .average_estimate (explicit)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.average_estimate
+
+    @property
+    def exact(self) -> bool:
+        """Deprecated alias: estimated reports are never exact."""
+        warnings.warn(
+            "EstimatedConnectivityReport.exact is deprecated; use .is_exact",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-friendly encoding.
+
+        The leading ``"estimated": True`` marker is the persistence
+        discriminator between the two report classes; exact-mode report
+        dicts never carry the key, so their bytes are untouched.
+        """
+        return {
+            "estimated": True,
+            "minimum_bound": self.minimum_bound,
+            "min_is_exact": self.min_is_exact,
+            "average_estimate": self.average_estimate,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "ci_level": self.ci_level,
+            "sample_pairs": self.sample_pairs,
+            "pairs_sampled": self.pairs_sampled,
+            "pairs_pruned": self.pairs_pruned,
+            "min_pairs_evaluated": self.min_pairs_evaluated,
+            "avg_pairs_evaluated": self.avg_pairs_evaluated,
+            "resilience": self.resilience,
+            "vertex_count": self.vertex_count,
+            "edge_count": self.edge_count,
+            "disconnected_count": self.disconnected_count,
+            "strongly_connected": self.strongly_connected,
+            "symmetry_ratio": self.symmetry_ratio,
+            "seed": self.seed,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EstimatedConnectivityReport":
+        """Rebuild a report from :meth:`as_dict` output."""
+        fields = dict(data)
+        fields.pop("estimated", None)
+        return cls(**fields)
+
+
+class ConnectivityEstimator(FlowEngineHost):
+    """Drop-in estimation-mode analyzer (same ``analyze_*`` surface).
+
+    Parameters
+    ----------
+    sample_pairs:
+        Ordered-pair budget of the average pass.  When it covers every
+        non-adjacent ordered pair the estimator switches to exhaustive
+        evaluation (exact recovery).
+    ci_level:
+        Two-sided confidence level of the reported interval, in (0, 1).
+    strata:
+        Number of degree-bound strata for the average pass.
+    min_fraction / min_candidates:
+        Size of the minimum-pass candidate corner:
+        ``max(min_candidates, ceil(min_fraction * n))`` lowest-out-degree
+        sources (and as many lowest-in-degree targets).
+    seed:
+        Seed of the sampling stream.  One stream persists across the
+        snapshots an estimator instance sees (like the exact analyzer's),
+        and it depends only on graph structure — never a flow value.
+    algorithm / flow_jobs / flow_shard_size / flow_wave_width /
+    adaptive_shards:
+        Engine knobs, identical to :class:`ConnectivityAnalyzer` — all
+        identity-free (any combination reports the same bits).
+    """
+
+    def __init__(
+        self,
+        sample_pairs: int = DEFAULT_SAMPLE_PAIRS,
+        ci_level: float = DEFAULT_CI_LEVEL,
+        strata: int = DEFAULT_STRATA,
+        min_fraction: float = DEFAULT_MIN_FRACTION,
+        min_candidates: int = DEFAULT_MIN_CANDIDATES,
+        seed: int = 0,
+        algorithm: str = "dinic",
+        flow_jobs: int = 1,
+        flow_shard_size: Optional[int] = None,
+        flow_wave_width: Optional[int] = None,
+        adaptive_shards: bool = False,
+    ) -> None:
+        if sample_pairs < 1:
+            raise ValueError(f"sample_pairs must be >= 1, got {sample_pairs}")
+        if not 0.0 < ci_level < 1.0:
+            raise ValueError(f"ci_level must be in (0, 1), got {ci_level}")
+        if strata < 1:
+            raise ValueError(f"strata must be >= 1, got {strata}")
+        super().__init__(
+            algorithm=algorithm,
+            flow_jobs=flow_jobs,
+            flow_shard_size=flow_shard_size,
+            flow_wave_width=flow_wave_width,
+            adaptive_shards=adaptive_shards,
+        )
+        self.sample_pairs = int(sample_pairs)
+        self.ci_level = float(ci_level)
+        self.strata = int(strata)
+        self.min_fraction = float(min_fraction)
+        self.min_candidates = int(min_candidates)
+        self.seed = int(seed)
+        self._rng = random.Random(seed)
+        # The normal quantile is a pure function of ci_level; hoist it so
+        # every snapshot reports from the same constant.
+        self._z = NormalDist().inv_cdf((1.0 + self.ci_level) / 2.0)
+
+    # ------------------------------------------------------------------
+    def analyze_graph(self, graph: DiGraph) -> EstimatedConnectivityReport:
+        """Estimate the connectivity of an already-built graph."""
+        started = wallclock.perf_counter()
+        n = graph.number_of_vertices()
+        disconnected = disconnected_vertices(graph)
+        scc_count = len(strongly_connected_components(graph)) if n else 0
+        strongly_connected = scc_count <= 1
+
+        if n <= 1:
+            return self._finish(
+                graph, disconnected, strongly_connected=True, started=started,
+                minimum=0, min_is_exact=True, average=0.0, ci=(0.0, 0.0),
+                sampled=0, pruned=0, min_pairs=0, avg_pairs=0,
+            )
+        if graph.is_complete():
+            value = float(n - 1)
+            return self._finish(
+                graph, disconnected, strongly_connected, started,
+                minimum=n - 1, min_is_exact=True, average=value,
+                ci=(value, value), sampled=0, pruned=0, min_pairs=0,
+                avg_pairs=0,
+            )
+
+        total_pairs = n * (n - 1) - graph.number_of_edges()
+        with self._make_engine(graph) as engine:
+            if total_pairs <= self.sample_pairs:
+                return self._analyze_exhaustive(
+                    graph, engine, disconnected, strongly_connected, started
+                )
+            return self._analyze_sampled(
+                graph, engine, disconnected, strongly_connected, started
+            )
+
+    def analyze_snapshot(
+        self,
+        routing_tables: Mapping[int, Sequence[int]],
+        alive_nodes: Optional[Sequence[int]] = None,
+    ) -> EstimatedConnectivityReport:
+        """Build the connectivity graph from a snapshot and estimate it."""
+        graph = build_connectivity_graph(routing_tables, alive_nodes=alive_nodes)
+        return self.analyze_graph(graph)
+
+    # ------------------------------------------------------------------
+    def _analyze_exhaustive(
+        self, graph, engine, disconnected, strongly_connected, started
+    ) -> EstimatedConnectivityReport:
+        """Exact recovery: the budget covers every non-adjacent pair."""
+        pairs = list(graph.non_adjacent_pairs())
+        outcome = engine.evaluate(pairs, use_cutoff=False)
+        if outcome.pairs_evaluated:
+            average = outcome.average
+            minimum = int(outcome.minimum)
+        else:
+            average, minimum = 0.0, 0
+        if not strongly_connected:
+            minimum = 0
+        return self._finish(
+            graph, disconnected, strongly_connected, started,
+            minimum=minimum, min_is_exact=True, average=average,
+            ci=(average, average), sampled=len(pairs), pruned=0,
+            min_pairs=0, avg_pairs=outcome.pairs_evaluated,
+        )
+
+    def _analyze_sampled(
+        self, graph, engine, disconnected, strongly_connected, started
+    ) -> EstimatedConnectivityReport:
+        vertices = graph.vertices()
+        n = len(vertices)
+
+        # -- average pass: stratified sample, exact kappa, CI ----------
+        plan = self._stratified_plan(graph, vertices)
+        pair_blocks = self._draw_pairs(graph, vertices, plan)
+        flat_pairs = [pair for block in pair_blocks for pair in block]
+        outcome = engine.evaluate(flat_pairs, use_cutoff=False)
+        values = outcome.values
+        sampled = len(flat_pairs)
+        average, ci = self._stratified_estimate(graph, plan, pair_blocks, values)
+        observed_min = min(values) if values else None
+
+        # -- minimum pass: ascending-bound branch-and-bound ------------
+        degree_bound = min(graph.min_out_degree(), graph.min_in_degree())
+        min_pairs = 0
+        pruned = 0
+        min_is_exact = False
+        if not strongly_connected:
+            minimum = 0
+            min_is_exact = True
+        else:
+            from repro.core.vertex_connectivity import (
+                lowest_in_degree_vertices,
+                lowest_out_degree_vertices,
+            )
+
+            count = max(self.min_candidates, math.ceil(self.min_fraction * n))
+            sources = lowest_out_degree_vertices(graph, min(count, n))
+            targets = lowest_in_degree_vertices(graph, min(count, n))
+            has_edge = graph.has_edge
+            out_degree = graph.out_degree
+            in_degree = graph.in_degree
+            candidates = sorted(
+                (
+                    (min(out_degree(source), in_degree(target)), source, target)
+                    for source in sources
+                    for target in targets
+                    if target != source and not has_edge(source, target)
+                ),
+                key=lambda item: item[0],
+            )
+            running = degree_bound
+            if observed_min is not None:
+                running = min(running, observed_min)
+            index = 0
+            while index < len(candidates) and candidates[index][0] < running:
+                block: List[Tuple] = []
+                while (
+                    index < len(candidates)
+                    and len(block) < _MIN_BLOCK
+                    and candidates[index][0] < running
+                ):
+                    block.append(candidates[index][1:])
+                    index += 1
+                block_outcome = engine.evaluate(
+                    block, use_cutoff=True, initial_minimum=running
+                )
+                min_pairs += block_outcome.pairs_evaluated
+                if (
+                    block_outcome.minimum is not None
+                    and block_outcome.minimum < running
+                ):
+                    running = block_outcome.minimum
+            pruned = len(candidates) - min_pairs
+            minimum = running
+            if minimum == 0:
+                # kappa(D) >= 0 always; an achieved 0 bound is tight.
+                min_is_exact = True
+
+        return self._finish(
+            graph, disconnected, strongly_connected, started,
+            minimum=minimum, min_is_exact=min_is_exact, average=average,
+            ci=ci, sampled=sampled, pruned=pruned, min_pairs=min_pairs,
+            avg_pairs=outcome.pairs_evaluated,
+        )
+
+    # ------------------------------------------------------------------
+    def _stratified_plan(self, graph, vertices) -> List[Tuple[List, int, int]]:
+        """Partition vertices into degree strata and allocate the budget.
+
+        Returns ``[(members, weight, quota), ...]`` where ``weight`` is
+        the stratum's exact ordered non-adjacent pair population
+        (``sum over sources of n - 1 - out_degree``) and quotas follow
+        the largest-remainder method over those weights — deterministic,
+        and exactly proportional in the equal-weight (regular graph)
+        case.
+        """
+        n = len(vertices)
+        out_degree = graph.out_degree
+        order = sorted(range(n), key=lambda i: (out_degree(vertices[i]), i))
+        count = min(self.strata, n)
+        base, extra = divmod(n, count)
+        strata: List[Tuple[List, int]] = []
+        position = 0
+        for index in range(count):
+            size = base + (1 if index < extra else 0)
+            members = [vertices[i] for i in order[position:position + size]]
+            position += size
+            weight = sum(n - 1 - out_degree(v) for v in members)
+            strata.append((members, weight))
+        total_weight = sum(weight for _, weight in strata)
+        if total_weight <= 0:
+            return [(members, weight, 0) for members, weight in strata]
+        raw = [
+            self.sample_pairs * weight / total_weight for _, weight in strata
+        ]
+        quotas = [int(share) for share in raw]
+        remainder = self.sample_pairs - sum(quotas)
+        by_fraction = sorted(
+            range(len(strata)),
+            key=lambda i: (-(raw[i] - quotas[i]), i),
+        )
+        for i in by_fraction[:remainder]:
+            quotas[i] += 1
+        return [
+            (members, weight, quotas[i] if weight > 0 else 0)
+            for i, (members, weight) in enumerate(strata)
+        ]
+
+    def _draw_pairs(self, graph, vertices, plan) -> List[List[Tuple]]:
+        """Rejection-sample each stratum's quota of non-adjacent pairs.
+
+        Sources are drawn uniformly from the stratum, targets uniformly
+        from the whole graph; within a stratum this weights sources by
+        their non-adjacent target count, which matches the stratum
+        weights used by :meth:`_stratified_estimate` (the estimator stays
+        unbiased over ordered non-adjacent pairs).  Attempts are bounded
+        so near-complete strata terminate (with a short sample).
+        """
+        n = len(vertices)
+        rng = self._rng
+        has_edge = graph.has_edge
+        blocks: List[List[Tuple]] = []
+        for members, _weight, quota in plan:
+            drawn: List[Tuple] = []
+            attempts = 0
+            max_attempts = quota * 10
+            size = len(members)
+            while len(drawn) < quota and attempts < max_attempts:
+                attempts += 1
+                source = members[rng.randrange(size)]
+                target = vertices[rng.randrange(n)]
+                if target == source or has_edge(source, target):
+                    continue
+                drawn.append((source, target))
+            blocks.append(drawn)
+        return blocks
+
+    def _stratified_estimate(
+        self, graph, plan, pair_blocks, values
+    ) -> Tuple[float, Tuple[float, float]]:
+        """Combine per-stratum means into the estimate and its interval.
+
+        Per stratum: the sample mean, and a regularised variance
+        ``(sum (x - mean)^2 + B^2/4) / n`` — the sum of squares plus one
+        pseudo-observation at the conservative range variance, where
+        ``B`` is the largest degree bound among the stratum's sampled
+        pairs (Popoviciu: values in ``[0, B]`` have variance <= B^2/4).
+        Stratum weights are the exact pair-population shares, so the
+        combined mean is unbiased and its standard error shrinks as
+        ``1/sqrt(quota)`` per stratum.
+        """
+        out_degree = graph.out_degree
+        in_degree = graph.in_degree
+        offset = 0
+        terms: List[Tuple[int, float, float, int]] = []
+        for (members, weight, _quota), block in zip(plan, pair_blocks):
+            block_values = values[offset:offset + len(block)]
+            offset += len(block)
+            if not block_values:
+                continue
+            size = len(block_values)
+            mean = sum(block_values) / size
+            square_sum = sum((value - mean) ** 2 for value in block_values)
+            bound = max(
+                min(out_degree(source), in_degree(target))
+                for source, target in block
+            )
+            variance = (square_sum + bound * bound / 4.0) / size
+            terms.append((weight, mean, variance, size))
+        if not terms:
+            return 0.0, (0.0, 0.0)
+        total_weight = sum(weight for weight, _, _, _ in terms)
+        estimate = sum(
+            weight * mean for weight, mean, _, _ in terms
+        ) / total_weight
+        variance = sum(
+            (weight / total_weight) ** 2 * var / size
+            for weight, _, var, size in terms
+        )
+        half_width = self._z * variance ** 0.5
+        return estimate, (max(0.0, estimate - half_width), estimate + half_width)
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        graph,
+        disconnected,
+        strongly_connected: bool,
+        started: float,
+        minimum: int,
+        min_is_exact: bool,
+        average: float,
+        ci: Tuple[float, float],
+        sampled: int,
+        pruned: int,
+        min_pairs: int,
+        avg_pairs: int,
+    ) -> EstimatedConnectivityReport:
+        elapsed = wallclock.perf_counter() - started
+        report = EstimatedConnectivityReport(
+            minimum_bound=minimum,
+            min_is_exact=min_is_exact,
+            average_estimate=average,
+            ci_low=ci[0],
+            ci_high=ci[1],
+            ci_level=self.ci_level,
+            sample_pairs=self.sample_pairs,
+            pairs_sampled=sampled,
+            pairs_pruned=pruned,
+            min_pairs_evaluated=min_pairs,
+            avg_pairs_evaluated=avg_pairs,
+            resilience=resilience_of(minimum),
+            vertex_count=graph.number_of_vertices(),
+            edge_count=graph.number_of_edges(),
+            disconnected_count=len(disconnected),
+            strongly_connected=strongly_connected,
+            symmetry_ratio=graph.symmetry_ratio(),
+            seed=self.seed,
+            elapsed_seconds=elapsed,
+        )
+        self._record_obs(report)
+        return report
+
+    def _record_obs(self, report: EstimatedConnectivityReport) -> None:
+        from repro.obs import active as obs_active
+
+        registry = obs_active()
+        if registry is None:
+            return
+        registry.inc("estimation.runs")
+        registry.inc("estimation.pairs_sampled", report.pairs_sampled)
+        registry.inc(
+            "estimation.pairs_evaluated",
+            report.min_pairs_evaluated + report.avg_pairs_evaluated,
+        )
+        registry.inc("estimation.pairs_pruned", report.pairs_pruned)
+        registry.observe("estimation.ci_width", report.ci_width)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EstimateValidation:
+    """Outcome of one exact-vs-estimate comparison (validation harness)."""
+
+    exact_minimum: int
+    exact_average: float
+    estimate: EstimatedConnectivityReport
+
+    @property
+    def average_within_ci(self) -> bool:
+        """True when the exhaustive average lies inside the reported CI."""
+        return (
+            self.estimate.ci_low <= self.exact_average <= self.estimate.ci_high
+        )
+
+    @property
+    def minimum_bound_valid(self) -> bool:
+        """True when the bound dominates (and, if flagged exact, equals)
+        the exhaustive minimum."""
+        if self.estimate.min_is_exact:
+            return self.estimate.minimum_bound == self.exact_minimum
+        return self.estimate.minimum_bound >= self.exact_minimum
+
+
+def validate_exact_vs_estimate(
+    graph: DiGraph,
+    sample_pairs: int = DEFAULT_SAMPLE_PAIRS,
+    ci_level: float = DEFAULT_CI_LEVEL,
+    seed: int = 0,
+    algorithm: str = "dinic",
+    flow_jobs: int = 1,
+) -> EstimateValidation:
+    """Run the exhaustive pipeline and the estimator on the same graph.
+
+    The validation harness behind the CI estimator gate: on graphs small
+    enough for the O(n^2) exact computation, the exhaustive average must
+    fall inside the estimator's confidence interval and the minimum
+    bound must dominate the exhaustive minimum.  ``EXPERIMENTS.md``
+    documents running it at paper scale.
+    """
+    from repro.core.vertex_connectivity import connectivity_statistics
+
+    stats = connectivity_statistics(graph, algorithm=algorithm)
+    estimator = ConnectivityEstimator(
+        sample_pairs=sample_pairs,
+        ci_level=ci_level,
+        seed=seed,
+        algorithm=algorithm,
+        flow_jobs=flow_jobs,
+    )
+    with estimator:
+        estimate = estimator.analyze_graph(graph)
+    return EstimateValidation(
+        exact_minimum=stats.minimum,
+        exact_average=stats.average,
+        estimate=estimate,
+    )

@@ -19,7 +19,13 @@ from repro.core.analyzer import ConnectivityReport
 
 @dataclass(frozen=True)
 class ConnectivitySample:
-    """One snapshot's worth of measurements."""
+    """One snapshot's worth of measurements.
+
+    ``report`` is either an exact-mode :class:`ConnectivityReport` or an
+    estimate-mode :class:`~repro.core.estimation.EstimatedConnectivityReport`;
+    the accessors below go through the shared report protocol, so every
+    aggregation downstream (tables, figures, obs) works for both.
+    """
 
     time: float
     network_size: int
@@ -28,12 +34,12 @@ class ConnectivitySample:
     @property
     def minimum(self) -> int:
         """Minimum connectivity at this snapshot."""
-        return self.report.minimum
+        return self.report.min_connectivity
 
     @property
     def average(self) -> float:
         """Average connectivity at this snapshot."""
-        return self.report.average
+        return self.report.avg_connectivity
 
 
 @dataclass

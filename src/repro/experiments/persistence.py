@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.core.analyzer import ConnectivityReport
+from repro.core.estimation import EstimatedConnectivityReport
 from repro.core.timeseries import ConnectivitySample, ConnectivityTimeSeries
 from repro.experiments.phases import PhaseSchedule
 from repro.experiments.runner import ExperimentResult
@@ -129,11 +130,18 @@ def result_from_dict(document: Dict) -> ExperimentResult:
     )
     series = ConnectivityTimeSeries(label=document["series"]["label"])
     for sample in document["series"]["samples"]:
+        # Estimate-mode reports carry an "estimated": true marker;
+        # exact-mode dicts never have the key (byte-stable encoding).
+        report_doc = sample["report"]
+        if report_doc.get("estimated"):
+            report = EstimatedConnectivityReport.from_dict(report_doc)
+        else:
+            report = ConnectivityReport(**report_doc)
         series.append(
             ConnectivitySample(
                 time=sample["time"],
                 network_size=sample["network_size"],
-                report=ConnectivityReport(**sample["report"]),
+                report=report,
             )
         )
     snapshots: List[RoutingTableSnapshot] = []

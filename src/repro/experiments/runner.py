@@ -156,6 +156,15 @@ class ExperimentRunner:
         tightness-ordered minimum passes).  Like ``flow_jobs``, an
         execution knob with bit-identical output, excluded from the
         experiment's identity.
+    connectivity:
+        Per-snapshot measurement mode: ``"exact"`` (the paper's
+        pipeline) or ``"estimate"`` (sampled-pair estimation with
+        confidence intervals, :mod:`repro.core.estimation`).  Unlike the
+        knobs above this **is** identity-bearing: estimated series are
+        statistically, not bit-, compatible with exact ones.
+    sample_pairs / ci_level:
+        Estimation-mode parameters (pair budget and confidence level);
+        ignored in exact mode.
     """
 
     def __init__(
@@ -166,13 +175,23 @@ class ExperimentRunner:
         algorithm: str = "dinic",
         flow_jobs: int = 1,
         adaptive_shards: bool = False,
+        connectivity: str = "exact",
+        sample_pairs: int = 256,
+        ci_level: float = 0.95,
     ) -> None:
+        if connectivity not in ("exact", "estimate"):
+            raise ValueError(
+                f"connectivity must be 'exact' or 'estimate', got {connectivity!r}"
+            )
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.seed = seed
         self.keep_snapshots = keep_snapshots
         self.algorithm = algorithm
         self.flow_jobs = flow_jobs
         self.adaptive_shards = adaptive_shards
+        self.connectivity = connectivity
+        self.sample_pairs = sample_pairs
+        self.ci_level = ci_level
 
     @classmethod
     def for_task(cls, task) -> "ExperimentRunner":
@@ -192,6 +211,9 @@ class ExperimentRunner:
             algorithm=task.algorithm,
             flow_jobs=task.flow_jobs,
             adaptive_shards=task.adaptive_shards,
+            connectivity=getattr(task, "connectivity", "exact"),
+            sample_pairs=getattr(task, "sample_pairs", 256),
+            ci_level=getattr(task, "ci_level", 0.95),
         )
 
     # ------------------------------------------------------------------
@@ -262,9 +284,29 @@ class ExperimentRunner:
             simulation_end=profile.simulation_end(scenario.churn, size),
         )
 
-    def build_analyzer(self) -> ConnectivityAnalyzer:
-        """Return the connectivity analyzer configured by the profile."""
+    def build_analyzer(self):
+        """Return the per-snapshot connectivity measurement object.
+
+        Exact mode builds the paper's :class:`ConnectivityAnalyzer` from
+        the profile; estimate mode builds a
+        :class:`repro.core.estimation.ConnectivityEstimator` with the
+        runner's sampling parameters.  Both expose the same
+        ``analyze_graph`` / context-manager surface and report through
+        the shared connectivity-report protocol, so :meth:`_run` never
+        branches.
+        """
         profile = self.profile
+        if self.connectivity == "estimate":
+            from repro.core.estimation import ConnectivityEstimator
+
+            return ConnectivityEstimator(
+                sample_pairs=self.sample_pairs,
+                ci_level=self.ci_level,
+                seed=self.seed,
+                algorithm=self.algorithm,
+                flow_jobs=self.flow_jobs,
+                adaptive_shards=self.adaptive_shards,
+            )
         return ConnectivityAnalyzer(
             algorithm=self.algorithm,
             source_fraction=profile.source_fraction,

@@ -10,6 +10,7 @@ through the CLI (``repro-kademlia analyze-snapshot``).
 from __future__ import annotations
 
 import json
+import random
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Sequence, Union
@@ -108,3 +109,47 @@ class RoutingTableSnapshot:
     def load(cls, path: PathLike) -> "RoutingTableSnapshot":
         """Read a snapshot previously written by :meth:`save`."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def synthetic_snapshot(
+    network_size: int,
+    contacts_per_node: int = 16,
+    seed: int = 0,
+    time: float = 0.0,
+) -> RoutingTableSnapshot:
+    """Generate a seeded Kademlia-shaped snapshot without a simulation.
+
+    Deployment-scale (10^4+-node) snapshots are too expensive to simulate
+    inside CI or a benchmark just to have *input* for the estimation
+    pipeline, so this builds one directly: each node's routing table is a
+    ring successor (which makes the graph strongly connected, like a
+    stabilised overlay) plus XOR-structured long-range contacts — one
+    sampled per distance octave, mirroring Kademlia's per-bucket layout —
+    filled up with uniform picks when the octaves are exhausted.  Purely
+    a function of ``(network_size, contacts_per_node, seed)``.
+    """
+    if network_size < 2:
+        raise ValueError(f"network_size must be >= 2, got {network_size}")
+    rng = random.Random(seed)
+    bits = max(1, (network_size - 1).bit_length())
+    tables: Dict[int, List[int]] = {}
+    for node in range(network_size):
+        contacts = {(node + 1) % network_size}
+        # One contact per XOR-distance octave, nearest octaves first —
+        # the bucket structure the estimator's degree strata see in a
+        # real Kademlia table.
+        for bit in range(bits):
+            if len(contacts) >= contacts_per_node:
+                break
+            low, high = 1 << bit, min(1 << (bit + 1), network_size)
+            if low >= high:
+                continue
+            candidate = (node ^ rng.randrange(low, high)) % network_size
+            if candidate != node:
+                contacts.add(candidate)
+        while len(contacts) < min(contacts_per_node, network_size - 1):
+            candidate = rng.randrange(network_size)
+            if candidate != node:
+                contacts.add(candidate)
+        tables[node] = sorted(contacts)
+    return RoutingTableSnapshot(time=time, routing_tables=tables)

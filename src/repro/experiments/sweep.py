@@ -74,6 +74,10 @@ def run_scenario(
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
     backend: str = "local",
+    keep_snapshots: bool = False,
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> ExperimentResult:
     """Run a single scenario with the given profile and seed.
 
@@ -86,11 +90,16 @@ def run_scenario(
     through a persistent pool, see :class:`Campaign`).  ``backend``
     picks the executor family (``"local"`` pool or ``"distributed"``
     loopback workers) when no explicit ``executor`` is given; output is
-    bit-identical either way.
+    bit-identical either way.  ``connectivity`` selects exact or
+    sampled-pair estimated per-snapshot measurement (identity-bearing,
+    with ``sample_pairs`` / ``ci_level`` — see
+    :mod:`repro.core.estimation`).
     """
     tasks = sweep_tasks(
         scenario, [{}], profile=profile, seed=seed, algorithm=algorithm,
-        flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
+        keep_snapshots=keep_snapshots, flow_jobs=flow_jobs,
+        adaptive_shards=adaptive_shards, connectivity=connectivity,
+        sample_pairs=sample_pairs, ci_level=ci_level,
     )
     with _make_campaign(
         jobs, cache, executor, progress, schedule, batch, retry_policy,
@@ -115,6 +124,10 @@ def run_sweep(
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
     backend: str = "local",
+    keep_snapshots: bool = False,
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> List[ExperimentResult]:
     """Run one variant of ``base`` per override set and return the results.
 
@@ -124,7 +137,9 @@ def run_sweep(
     """
     tasks = sweep_tasks(
         base, overrides, profile=profile, seed=seed, algorithm=algorithm,
-        flow_jobs=flow_jobs, adaptive_shards=adaptive_shards,
+        keep_snapshots=keep_snapshots, flow_jobs=flow_jobs,
+        adaptive_shards=adaptive_shards, connectivity=connectivity,
+        sample_pairs=sample_pairs, ci_level=ci_level,
     )
     with _make_campaign(
         jobs, cache, executor, progress, schedule, batch, retry_policy,
@@ -148,6 +163,9 @@ def run_bucket_size_sweep(
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
     backend: str = "local",
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per bucket size (the k-sweep of Figures 2–9)."""
     bucket_sizes = list(bucket_sizes)
@@ -158,6 +176,8 @@ def run_bucket_size_sweep(
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
         retry_policy=retry_policy, backend=backend,
+        connectivity=connectivity, sample_pairs=sample_pairs,
+        ci_level=ci_level,
     )
     return dict(zip(bucket_sizes, results))
 
@@ -178,6 +198,9 @@ def run_alpha_sweep(
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
     backend: str = "local",
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the (alpha, k) grid behind Figure 10; keys are ``(alpha, k)``."""
     keys = [(alpha, k) for alpha in alphas for k in bucket_sizes]
@@ -188,6 +211,8 @@ def run_alpha_sweep(
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
         retry_policy=retry_policy, backend=backend,
+        connectivity=connectivity, sample_pairs=sample_pairs,
+        ci_level=ci_level,
     )
     return dict(zip(keys, results))
 
@@ -207,6 +232,9 @@ def run_staleness_sweep(
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
     backend: str = "local",
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per staleness limit (Figure 11)."""
     staleness_values = list(staleness_values)
@@ -217,6 +245,8 @@ def run_staleness_sweep(
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
         retry_policy=retry_policy, backend=backend,
+        connectivity=connectivity, sample_pairs=sample_pairs,
+        ci_level=ci_level,
     )
     return dict(zip(staleness_values, results))
 
@@ -237,6 +267,9 @@ def run_loss_sweep(
     batch: "str | int | None" = None,
     retry_policy: Optional[RetryPolicy] = None,
     backend: str = "local",
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> Dict[Tuple[str, int], ExperimentResult]:
     """Run the (loss, s) grid behind Figures 12–14; keys are ``(loss, s)``."""
     keys = [(loss, s) for loss in loss_levels for s in staleness_values]
@@ -247,5 +280,7 @@ def run_loss_sweep(
         cache=cache, executor=executor, progress=progress,
         schedule=schedule, adaptive_shards=adaptive_shards, batch=batch,
         retry_policy=retry_policy, backend=backend,
+        connectivity=connectivity, sample_pairs=sample_pairs,
+        ci_level=ci_level,
     )
     return dict(zip(keys, results))

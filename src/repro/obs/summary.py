@@ -164,6 +164,18 @@ def format_summary(snapshot: Dict[str, Any]) -> str:
         f"(prune rate: {_ratio(pruned, pairs_submitted):.0%}) | "
         f"shards: {shards} | adaptive resizes: {resizes}"
     )
+
+    # Connectivity estimator --------------------------------------------
+    est_runs = _counter(snapshot, "estimation.runs")
+    est_sampled = _counter(snapshot, "estimation.pairs_sampled")
+    est_evaluated = _counter(snapshot, "estimation.pairs_evaluated")
+    est_pruned = _counter(snapshot, "estimation.pairs_pruned")
+    ci_width = _hist(snapshot, "estimation.ci_width")
+    lines.append(
+        f"estimate   runs: {est_runs} | pairs: {est_sampled} sampled, "
+        f"{est_evaluated} evaluated, {est_pruned} pruned | "
+        f"mean CI width: {(ci_width['mean'] if ci_width else 0.0):.3f}"
+    )
     return "\n".join(lines)
 
 

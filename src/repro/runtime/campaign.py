@@ -896,6 +896,9 @@ def sweep_tasks(
     keep_snapshots: bool = False,
     flow_jobs: int = 1,
     adaptive_shards: bool = False,
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> List[ExperimentTask]:
     """One task per override set applied to ``base`` (a parameter sweep)."""
     return [
@@ -907,6 +910,9 @@ def sweep_tasks(
             keep_snapshots=keep_snapshots,
             flow_jobs=flow_jobs,
             adaptive_shards=adaptive_shards,
+            connectivity=connectivity,
+            sample_pairs=sample_pairs,
+            ci_level=ci_level,
         )
         for changes in overrides
     ]
@@ -920,6 +926,9 @@ def replication_tasks(
     keep_snapshots: bool = False,
     flow_jobs: int = 1,
     adaptive_shards: bool = False,
+    connectivity: str = "exact",
+    sample_pairs: int = 256,
+    ci_level: float = 0.95,
 ) -> List[ExperimentTask]:
     """One task per seed for the same scenario (multi-seed replication)."""
     return [
@@ -931,6 +940,9 @@ def replication_tasks(
             keep_snapshots=keep_snapshots,
             flow_jobs=flow_jobs,
             adaptive_shards=adaptive_shards,
+            connectivity=connectivity,
+            sample_pairs=sample_pairs,
+            ci_level=ci_level,
         )
         for seed in seeds
     ]

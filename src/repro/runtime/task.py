@@ -40,6 +40,16 @@ class ExperimentTask:
     :mod:`repro.runtime.pairflow`) is excluded for the same reason:
     scheduling changes only *when* flows run, never any recorded
     statistic.
+
+    ``connectivity`` selects the per-snapshot measurement mode:
+    ``"exact"`` (the paper's pipeline, the default) or ``"estimate"``
+    (sampled-pair estimation, :mod:`repro.core.estimation`).  The mode
+    and its ``sample_pairs`` / ``ci_level`` parameters are
+    **identity-bearing** — estimated results are statistically, not
+    bit-, compatible with exact ones, so they live under their own
+    fingerprint dimension.  Exact-mode fingerprints keep the
+    pre-estimation encoding (keys omitted) so committed cache entries
+    stay valid.
     """
 
     scenario: Scenario
@@ -49,6 +59,9 @@ class ExperimentTask:
     keep_snapshots: bool = False
     flow_jobs: int = 1
     adaptive_shards: bool = False
+    connectivity: str = "exact"
+    sample_pairs: int = 256
+    ci_level: float = 0.95
 
     # ------------------------------------------------------------------
     @classmethod
@@ -61,8 +74,15 @@ class ExperimentTask:
         keep_snapshots: bool = False,
         flow_jobs: int = 1,
         adaptive_shards: bool = False,
+        connectivity: str = "exact",
+        sample_pairs: int = 256,
+        ci_level: float = 0.95,
     ) -> "ExperimentTask":
         """Build a task, resolving a profile name to its definition."""
+        if connectivity not in ("exact", "estimate"):
+            raise ValueError(
+                f"connectivity must be 'exact' or 'estimate', got {connectivity!r}"
+            )
         resolved = get_profile(profile) if isinstance(profile, str) else profile
         return cls(
             scenario=scenario,
@@ -72,6 +92,9 @@ class ExperimentTask:
             keep_snapshots=keep_snapshots,
             flow_jobs=int(flow_jobs),
             adaptive_shards=bool(adaptive_shards),
+            connectivity=connectivity,
+            sample_pairs=int(sample_pairs),
+            ci_level=float(ci_level),
         )
 
     # ------------------------------------------------------------------
@@ -88,7 +111,7 @@ class ExperimentTask:
         scenario = asdict(self.scenario)
         if scenario.get("protocol") == "kademlia":
             del scenario["protocol"]
-        return {
+        fingerprint = {
             "format": TASK_FORMAT_VERSION,
             "scenario": scenario,
             "profile": asdict(self.profile),
@@ -96,6 +119,13 @@ class ExperimentTask:
             "algorithm": self.algorithm,
             "keep_snapshots": self.keep_snapshots,
         }
+        if self.connectivity != "exact":
+            fingerprint["connectivity"] = {
+                "mode": self.connectivity,
+                "sample_pairs": self.sample_pairs,
+                "ci_level": self.ci_level,
+            }
+        return fingerprint
 
     def key(self) -> str:
         """Content-addressed key: SHA-256 over the canonical fingerprint.

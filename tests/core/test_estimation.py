@@ -1,0 +1,287 @@
+"""Tests for the sampling-based connectivity estimator."""
+
+import random
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer import ConnectivityAnalyzer, ConnectivityReport
+from repro.core.estimation import (
+    ConnectivityEstimator,
+    EstimatedConnectivityReport,
+    validate_exact_vs_estimate,
+)
+from repro.core.vertex_connectivity import connectivity_statistics
+from repro.graph.digraph import DiGraph
+
+
+def bidirectional_cycle(n: int) -> DiGraph:
+    """C_n with both edge directions: kappa(s, t) == 2 for every pair."""
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+        graph.add_edge((i + 1) % n, i)
+    return graph
+
+
+def random_strongly_connected(n: int, extra: int, seed: int) -> DiGraph:
+    """A directed ring (strongly connected) plus ``extra`` random chords."""
+    rng = random.Random(seed)
+    graph = DiGraph()
+    graph.add_vertices(range(n))
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestConstruction:
+    def test_rejects_bad_sample_pairs(self):
+        with pytest.raises(ValueError):
+            ConnectivityEstimator(sample_pairs=0)
+
+    def test_rejects_bad_ci_level(self):
+        with pytest.raises(ValueError):
+            ConnectivityEstimator(ci_level=1.0)
+        with pytest.raises(ValueError):
+            ConnectivityEstimator(ci_level=0.0)
+
+    def test_rejects_bad_strata(self):
+        with pytest.raises(ValueError):
+            ConnectivityEstimator(strata=0)
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph(self):
+        report = ConnectivityEstimator().analyze_graph(DiGraph())
+        assert report.minimum_bound == 0
+        assert report.average_estimate == 0.0
+        assert report.min_is_exact
+
+    def test_single_vertex(self):
+        graph = DiGraph()
+        graph.add_vertex(1)
+        report = ConnectivityEstimator().analyze_graph(graph)
+        assert report.minimum_bound == 0
+        assert report.min_is_exact
+
+    def test_complete_graph_is_exact(self):
+        graph = DiGraph()
+        graph.add_vertices(range(5))
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    graph.add_edge(i, j)
+        report = ConnectivityEstimator(sample_pairs=4).analyze_graph(graph)
+        assert report.minimum_bound == 4
+        assert report.average_estimate == 4.0
+        assert report.min_is_exact
+        assert report.ci_width == 0.0
+
+    def test_disconnected_graph_minimum_is_zero(self):
+        graph = DiGraph()
+        graph.add_vertices(range(6))
+        for i in range(3):
+            graph.add_edge(i, (i + 1) % 3)
+        # vertices 3..5 are isolated -> not strongly connected
+        report = ConnectivityEstimator(sample_pairs=8).analyze_graph(graph)
+        assert report.minimum_bound == 0
+        assert report.min_is_exact
+        assert not report.strongly_connected
+
+
+class TestExactRecovery:
+    def test_budget_covering_all_pairs_is_exhaustive(self):
+        graph = bidirectional_cycle(8)
+        total = 8 * 7 - graph.number_of_edges()
+        report = ConnectivityEstimator(sample_pairs=total).analyze_graph(graph)
+        assert report.pairs_sampled == total
+        assert report.min_is_exact
+        assert report.minimum_bound == 2
+        assert report.average_estimate == pytest.approx(2.0)
+        assert report.ci_low == report.ci_high == pytest.approx(2.0)
+
+    def test_exhaustive_matches_exact_pipeline(self):
+        graph = random_strongly_connected(10, extra=15, seed=3)
+        stats = connectivity_statistics(graph)
+        report = ConnectivityEstimator(sample_pairs=10_000).analyze_graph(graph)
+        assert report.minimum_bound == stats.minimum
+        assert report.average_estimate == pytest.approx(stats.average)
+        assert report.min_is_exact
+
+
+class TestSampledEstimates:
+    def test_deterministic_for_fixed_seed(self):
+        graph = random_strongly_connected(24, extra=40, seed=9)
+        first = ConnectivityEstimator(sample_pairs=32, seed=5).analyze_graph(graph)
+        second = ConnectivityEstimator(sample_pairs=32, seed=5).analyze_graph(graph)
+        doc_a, doc_b = first.as_dict(), second.as_dict()
+        doc_a.pop("elapsed_seconds"), doc_b.pop("elapsed_seconds")
+        assert doc_a == doc_b
+
+    def test_different_seeds_may_differ_but_stay_valid(self):
+        graph = random_strongly_connected(24, extra=40, seed=9)
+        stats = connectivity_statistics(graph)
+        for seed in range(4):
+            report = ConnectivityEstimator(
+                sample_pairs=24, seed=seed
+            ).analyze_graph(graph)
+            assert report.minimum_bound >= stats.minimum or report.min_is_exact
+            assert report.ci_low <= report.average_estimate <= report.ci_high
+
+    def test_ci_width_narrows_with_budget_on_homogeneous_graph(self):
+        graph = bidirectional_cycle(16)
+        widths = []
+        for budget in (8, 16, 32):
+            report = ConnectivityEstimator(
+                sample_pairs=budget, seed=1
+            ).analyze_graph(graph)
+            assert report.average_estimate == pytest.approx(2.0)
+            widths.append(report.ci_width)
+        assert widths[0] > widths[1] > widths[2] > 0.0
+
+    def test_minimum_bound_dominates_exact_minimum(self):
+        graph = random_strongly_connected(20, extra=30, seed=17)
+        stats = connectivity_statistics(graph)
+        report = ConnectivityEstimator(sample_pairs=16, seed=2).analyze_graph(graph)
+        assert report.minimum_bound >= stats.minimum
+
+    def test_obs_counters_recorded(self):
+        from repro import obs
+
+        graph = bidirectional_cycle(12)
+        obs.enable()
+        try:
+            with obs.run_scope() as registry:
+                ConnectivityEstimator(sample_pairs=8, seed=0).analyze_graph(graph)
+                snapshot = registry.snapshot()
+        finally:
+            obs.disable()
+        assert snapshot["counters"].get("estimation.runs") == 1
+        assert snapshot["counters"].get("estimation.pairs_sampled") == 8
+
+
+class TestReportSurface:
+    def _report(self) -> EstimatedConnectivityReport:
+        graph = bidirectional_cycle(12)
+        return ConnectivityEstimator(sample_pairs=8, seed=0).analyze_graph(graph)
+
+    def test_protocol_properties(self):
+        report = self._report()
+        assert report.min_connectivity == report.minimum_bound
+        assert report.avg_connectivity == report.average_estimate
+        assert report.is_exact is False
+        assert report.confidence_interval == (report.ci_low, report.ci_high)
+
+    def test_exact_report_protocol_properties(self):
+        graph = bidirectional_cycle(6)
+        report = ConnectivityAnalyzer().analyze_graph(graph)
+        assert isinstance(report, ConnectivityReport)
+        assert report.min_connectivity == report.minimum
+        assert report.avg_connectivity == report.average
+        assert report.is_exact is True
+        assert report.confidence_interval is None
+
+    def test_deprecated_aliases_warn_but_work(self):
+        report = self._report()
+        with pytest.warns(DeprecationWarning):
+            assert report.minimum == report.minimum_bound
+        with pytest.warns(DeprecationWarning):
+            assert report.average == report.average_estimate
+        with pytest.warns(DeprecationWarning):
+            assert report.exact is report.min_is_exact
+
+    def test_protocol_properties_do_not_warn(self):
+        report = self._report()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report.min_connectivity
+            report.avg_connectivity
+            report.is_exact
+            report.confidence_interval
+
+    def test_as_dict_round_trip(self):
+        report = self._report()
+        document = report.as_dict()
+        assert document["estimated"] is True
+        restored = EstimatedConnectivityReport.from_dict(document)
+        assert restored == report
+
+    def test_as_dict_leads_with_marker(self):
+        assert next(iter(self._report().as_dict())) == "estimated"
+
+
+class TestValidationHarness:
+    def test_validation_passes_on_random_graph(self):
+        graph = random_strongly_connected(18, extra=25, seed=4)
+        validation = validate_exact_vs_estimate(graph, sample_pairs=24, seed=1)
+        assert validation.average_within_ci
+        assert validation.minimum_bound_valid
+
+    def test_validation_exact_recovery(self):
+        graph = bidirectional_cycle(8)
+        validation = validate_exact_vs_estimate(graph, sample_pairs=10_000)
+        assert validation.estimate.min_is_exact
+        assert validation.exact_average == pytest.approx(
+            validation.estimate.average_estimate
+        )
+        assert validation.average_within_ci
+        assert validation.minimum_bound_valid
+
+
+# ----------------------------------------------------------------------
+# Property-based tests (the ISSUE's hypothesis satellite).
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=20),
+    budget=st.integers(min_value=4, max_value=64),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_ci_deterministic_for_fixed_seed(n, budget, seed):
+    graph = bidirectional_cycle(n)
+    first = ConnectivityEstimator(sample_pairs=budget, seed=seed).analyze_graph(graph)
+    second = ConnectivityEstimator(sample_pairs=budget, seed=seed).analyze_graph(graph)
+    assert (first.ci_low, first.ci_high) == (second.ci_low, second.ci_high)
+    assert first.average_estimate == second.average_estimate
+    assert first.minimum_bound == second.minimum_bound
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=12, max_value=24),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_ci_narrows_monotonically_with_budget(n, seed):
+    """On a kappa-homogeneous graph the width is a pure function of the
+    budget, so doubling the sample must strictly shrink the interval."""
+    graph = bidirectional_cycle(n)
+    total = n * (n - 1) - graph.number_of_edges()
+    budgets = [b for b in (4, 8, 16, 32) if b < total]
+    widths = [
+        ConnectivityEstimator(sample_pairs=b, seed=seed).analyze_graph(graph).ci_width
+        for b in budgets
+    ]
+    assert all(earlier > later for earlier, later in zip(widths, widths[1:]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    extra=st.integers(min_value=0, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_exact_mode_recovered_when_budget_covers_all_pairs(n, extra, seed):
+    graph = random_strongly_connected(n, extra=extra, seed=seed)
+    stats = connectivity_statistics(graph)
+    report = ConnectivityEstimator(
+        sample_pairs=n * n, seed=seed
+    ).analyze_graph(graph)
+    assert report.min_is_exact
+    assert report.minimum_bound == stats.minimum
+    assert report.average_estimate == pytest.approx(stats.average)
+    assert report.ci_width == 0.0

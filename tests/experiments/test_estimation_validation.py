@@ -1,0 +1,68 @@
+"""Exact-vs-estimate validation across the three overlay protocols.
+
+This is the estimator's trust gate (run as-is in CI): on snapshots small
+enough for the exhaustive O(n^2) pipeline, the estimator's confidence
+interval must contain the true average connectivity and its minimum
+bound must dominate the true minimum — for Kademlia, Chord, and Pastry
+snapshots alike, on both a churn-free and a churned scenario.
+
+Everything here is fully deterministic (fixed seeds end to end), so a
+pass on one host is a pass on every host.
+"""
+
+import pytest
+
+from repro.core.connectivity_graph import build_connectivity_graph
+from repro.core.estimation import validate_exact_vs_estimate
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import get_scenario
+
+SEED = 42
+SAMPLE_PAIRS = 64
+
+#: (scenario, protocol) matrix: A = small/no churn, E = small/churn 1/1.
+MATRIX = [
+    ("A", "kademlia"),
+    ("A", "chord"),
+    ("A", "pastry"),
+    ("E", "kademlia"),
+    ("E", "chord"),
+    ("E", "pastry"),
+]
+
+
+def final_graph(scenario: str, protocol: str):
+    base = get_scenario(scenario)
+    if protocol != "kademlia":
+        base = base.with_overrides(protocol=protocol)
+    runner = ExperimentRunner(profile="tiny", seed=SEED, keep_snapshots=True)
+    result = runner.run(base)
+    snapshot = result.snapshots[-1]
+    return build_connectivity_graph(snapshot.routing_tables)
+
+
+@pytest.mark.parametrize("scenario,protocol", MATRIX)
+def test_exact_average_inside_estimated_ci(scenario, protocol):
+    graph = final_graph(scenario, protocol)
+    validation = validate_exact_vs_estimate(
+        graph, sample_pairs=SAMPLE_PAIRS, seed=SEED
+    )
+    assert validation.average_within_ci, (
+        f"{protocol}/{scenario}: exact average {validation.exact_average} "
+        f"outside CI [{validation.estimate.ci_low}, {validation.estimate.ci_high}]"
+    )
+    assert validation.minimum_bound_valid, (
+        f"{protocol}/{scenario}: bound {validation.estimate.minimum_bound} "
+        f"invalid against exact minimum {validation.exact_minimum}"
+    )
+
+
+def test_validation_is_deterministic():
+    graph = final_graph("A", "kademlia")
+    first = validate_exact_vs_estimate(graph, sample_pairs=SAMPLE_PAIRS, seed=SEED)
+    second = validate_exact_vs_estimate(graph, sample_pairs=SAMPLE_PAIRS, seed=SEED)
+    doc_a = first.estimate.as_dict()
+    doc_b = second.estimate.as_dict()
+    doc_a.pop("elapsed_seconds"), doc_b.pop("elapsed_seconds")
+    assert doc_a == doc_b
+    assert first.exact_average == second.exact_average

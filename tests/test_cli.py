@@ -125,3 +125,67 @@ class TestCommands:
         # 3 nodes -> 6 transformed vertices; 6 edges + 3 internal = 9 arcs.
         assert "p max 6 9" in content
         assert "wrote 6 vertices" in capsys.readouterr().out
+
+
+class TestEstimationOptions:
+    @pytest.fixture
+    def big_snapshot_file(self, tmp_path):
+        from repro.experiments.snapshot import synthetic_snapshot
+
+        snapshot = synthetic_snapshot(80, contacts_per_node=8, seed=5)
+        path = tmp_path / "big_snapshot.json"
+        snapshot.save(path)
+        return path
+
+    def test_connectivity_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "E", "--connectivity", "estimate",
+             "--sample-pairs", "128", "--ci-level", "0.9"]
+        )
+        assert args.connectivity == "estimate"
+        assert args.sample_pairs == 128
+        assert args.ci_level == 0.9
+
+    def test_connectivity_defaults_to_exact(self):
+        args = build_parser().parse_args(["run", "E"])
+        assert args.connectivity == "exact"
+        assert args.sample_pairs is None
+        assert args.ci_level is None
+
+    def test_sampling_flags_require_estimate_mode(self):
+        with pytest.raises(SystemExit):
+            main(["run", "A", "--profile", "tiny", "--sample-pairs", "64"])
+        with pytest.raises(SystemExit):
+            main(["run", "A", "--profile", "tiny", "--ci-level", "0.9"])
+
+    def test_ci_level_range_validated(self):
+        with pytest.raises(SystemExit):
+            main(["run", "A", "--profile", "tiny",
+                  "--connectivity", "estimate", "--ci-level", "1.5"])
+
+    def test_analyze_snapshot_estimate(self, big_snapshot_file, capsys):
+        assert main(
+            ["analyze-snapshot", str(big_snapshot_file),
+             "--connectivity", "estimate", "--sample-pairs", "64"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "minimum connectivity:" in output
+        assert "95% CI of average:" in output
+        assert "pairs sampled:        64" in output
+
+    def test_analyze_snapshot_estimate_excludes_exact_flag(self, big_snapshot_file):
+        with pytest.raises(SystemExit):
+            main(["analyze-snapshot", str(big_snapshot_file),
+                  "--connectivity", "estimate", "--exact"])
+
+    def test_analyze_snapshot_sampling_flags_require_estimate(self, big_snapshot_file):
+        with pytest.raises(SystemExit):
+            main(["analyze-snapshot", str(big_snapshot_file),
+                  "--sample-pairs", "64"])
+
+    def test_run_estimate_mode_end_to_end(self, capsys):
+        assert main(
+            ["run", "A", "--profile", "tiny",
+             "--connectivity", "estimate", "--sample-pairs", "32"]
+        ) == 0
+        assert "stabilized_min" in capsys.readouterr().out
